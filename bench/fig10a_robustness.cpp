@@ -1,0 +1,16 @@
+// Figure 10a: robustness — fixed active threads on the hash map while the
+// number of *stalled* threads (enter, read, never leave) grows. Non-robust
+// schemes (Epoch, Hyaline, Hyaline-1) blow up immediately; capped
+// Hyaline-S degrades once slots run out; adaptive Hyaline-S, Hyaline-1S,
+// HP, HE and IBR stay flat. Paper: 72 active threads, cliff at 57 stalled.
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyaline::harness;
+  cli_options defaults;
+  defaults.threads = {4};                    // active threads (paper: 72)
+  defaults.stalled = {0, 1, 2, 4, 8, 16};    // paper: 1..72
+  const cli_options o = parse_cli(argc, argv, defaults);
+  run_robustness("fig10a-robustness", o, o.threads.empty() ? 4 : o.threads[0]);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 10b: trimming with a small slot cap (k <= 32). trim() replaces
+// per-operation leave+enter, which alleviates head contention once the
+// thread count exceeds the slot count.
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyaline::harness;
+  cli_options defaults;
+  defaults.threads = {1, 2, 4, 8};  // paper sweeps 1..72 with k <= 32
+  const cli_options o = parse_cli(argc, argv, defaults);
+  run_trim("fig10b-trim", o, /*slot_cap=*/4);
+  return 0;
+}

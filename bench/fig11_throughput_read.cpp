@@ -1,0 +1,12 @@
+// Figure 11 (a-d): throughput under the read-mostly workload (90% get,
+// 10% put; put split evenly into insert/remove to hold size steady).
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyaline::harness;
+  cli_options defaults;
+  defaults.threads = {1, 2, 4, 8};
+  const cli_options o = parse_cli(argc, argv, defaults);
+  run_matrix("fig11-read-throughput", o, 5, 5, 90, /*llsc=*/false);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 12 (a-d): unreclaimed objects per operation, read-mostly mix.
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyaline::harness;
+  cli_options defaults;
+  defaults.threads = {1, 2, 4, 8};
+  const cli_options o = parse_cli(argc, argv, defaults);
+  run_matrix("fig12-read-unreclaimed", o, 5, 5, 90, /*llsc=*/false);
+  return 0;
+}

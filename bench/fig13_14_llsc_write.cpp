@@ -1,0 +1,15 @@
+// Figures 13/14: the PowerPC (single-width LL/SC) evaluation, write-heavy
+// mix. We have no PPC hardware, so the Hyaline variants run on the §4.4
+// algorithm over an emulated 16-byte reservation granule (see DESIGN.md
+// substitution #2); throughput and unreclaimed columns correspond to
+// Fig. 13 and Fig. 14 respectively.
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyaline::harness;
+  cli_options defaults;
+  defaults.threads = {1, 2, 4, 8};  // paper: 1..128 on a 64-way PPC box
+  const cli_options o = parse_cli(argc, argv, defaults);
+  run_matrix("fig13-14-llsc-write", o, 50, 50, 0, /*llsc=*/true);
+  return 0;
+}

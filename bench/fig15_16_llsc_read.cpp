@@ -1,0 +1,11 @@
+// Figures 15/16: PowerPC (emulated LL/SC) evaluation, read-mostly mix.
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyaline::harness;
+  cli_options defaults;
+  defaults.threads = {1, 2, 4, 8};
+  const cli_options o = parse_cli(argc, argv, defaults);
+  run_matrix("fig15-16-llsc-read", o, 5, 5, 90, /*llsc=*/true);
+  return 0;
+}

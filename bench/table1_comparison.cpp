@@ -1,0 +1,113 @@
+// Table 1: comparison of SMR schemes.
+//
+// The qualitative columns (robustness, transparency, reclamation cost
+// class, API) are printed as a table; the quantitative claims behind
+// "performance" are measured with google-benchmark micro-benchmarks:
+//   - enter_leave: cost of an empty critical section,
+//   - protect: cost of one pointer acquisition inside a section,
+//   - retire: amortized cost of retiring a node (allocation excluded from
+//     the scheme cost by pre-allocating).
+// Also covers the head-policy ablation DESIGN.md §6 calls out: Hyaline's
+// enter/leave under packed-64, 128-bit CAS, and emulated LL/SC heads.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "harness/schemes.hpp"
+
+namespace {
+
+using namespace hyaline;
+using namespace hyaline::harness;
+
+template <class D>
+void bm_enter_leave(benchmark::State& state) {
+  scheme_params p;
+  p.max_threads = 4;
+  p.slots = 8;
+  auto dom = scheme_traits<D>::make(p);
+  for (auto _ : state) {
+    typename D::guard g(*dom, 0);
+    benchmark::DoNotOptimize(&g);
+  }
+}
+
+template <class D>
+void bm_protect(benchmark::State& state) {
+  scheme_params p;
+  p.max_threads = 4;
+  p.slots = 8;
+  auto dom = scheme_traits<D>::make(p);
+  struct pnode : D::node {};
+  pnode target;
+  std::atomic<pnode*> src{&target};
+  typename D::guard g(*dom, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.protect(0, src));
+  }
+}
+
+template <class D>
+void bm_retire(benchmark::State& state) {
+  scheme_params p;
+  p.max_threads = 4;
+  p.slots = 8;
+  auto dom = scheme_traits<D>::make(p);
+  struct pnode : D::node {};
+  dom->set_free_fn([](typename D::node* n) {
+    delete static_cast<pnode*>(n);
+  });
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto* n = new pnode;
+    dom->on_alloc(n);
+    state.ResumeTiming();
+    typename D::guard g(*dom, 0);
+    g.retire(n);
+  }
+}
+
+#define REGISTER_SCHEME(D)                                      \
+  BENCHMARK(bm_enter_leave<D>)->Name("enter_leave/" #D);        \
+  BENCHMARK(bm_protect<D>)->Name("protect/" #D);                \
+  BENCHMARK(bm_retire<D>)->Name("retire/" #D)
+
+REGISTER_SCHEME(smr::leaky_domain);
+REGISTER_SCHEME(smr::ebr_domain);
+REGISTER_SCHEME(smr::hp_domain);
+REGISTER_SCHEME(smr::he_domain);
+REGISTER_SCHEME(smr::ibr_domain);
+REGISTER_SCHEME(domain);
+REGISTER_SCHEME(domain_dw);
+REGISTER_SCHEME(domain_llsc);
+REGISTER_SCHEME(domain_s);
+REGISTER_SCHEME(domain_1);
+REGISTER_SCHEME(domain_1s);
+
+void print_qualitative_table() {
+  std::puts(
+      "# Table 1: comparison of Hyaline with existing SMR approaches\n"
+      "# (qualitative columns from the paper; performance columns are the\n"
+      "#  micro-benchmarks below and the fig8/fig11 harnesses)\n"
+      "scheme      based-on      robust  transparent  reclam.   usage/API\n"
+      "HP          -             yes     no (retire)  O(mn)     harder\n"
+      "Epoch       RCU           no      no (retire)  O(n)      very simple\n"
+      "HE          EBR,HP        yes     no (retire)  O(mn)     harder\n"
+      "IBR         EBR,HP        yes     no (retire)  O(n)      simple (2GE)\n"
+      "Hyaline     -             no      yes          ~O(1)     very simple\n"
+      "Hyaline-1   -             no      almost       O(1)      very simple\n"
+      "Hyaline-S   Hyaline,      yes*    yes          ~O(1)     simple\n"
+      "            part. HE/IBR          (*adaptive slots, Sec. 4.3)\n"
+      "Hyaline-1S  Hyaline-1,    yes     almost       O(1)      simple\n"
+      "            part. HE/IBR");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_qualitative_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

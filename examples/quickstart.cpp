@@ -1,0 +1,66 @@
+// Quickstart: a concurrent hash map reclaimed by Hyaline.
+//
+// Shows the whole public API surface in one place:
+//   1. create a reclamation domain (hyaline::domain),
+//   2. build a data structure over it,
+//   3. wrap every operation in a guard (enter/leave),
+//   4. let the structure retire unlinked nodes through the guard,
+//   5. flush + drain at shutdown.
+//
+// Build: cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "ds/michael_hashmap.hpp"
+#include "smr/hyaline.hpp"
+
+int main() {
+  // A domain with 8 slots; any number of threads may share them. Threads
+  // never register or unregister (the paper's transparency property).
+  hyaline::domain dom(hyaline::config{.slots = 8});
+  hyaline::ds::michael_hashmap<hyaline::domain> map(dom, /*buckets=*/1024);
+
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kKeys = 10000;
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Insert a disjoint slice of keys, read some back, delete half.
+      for (std::uint64_t k = t; k < kKeys; k += kThreads) {
+        hyaline::domain::guard g(dom, t);  // enter
+        map.insert(g, k, k * k);
+      }  // leave (guard destructor)
+      for (std::uint64_t k = t; k < kKeys; k += kThreads) {
+        hyaline::domain::guard g(dom, t);
+        std::uint64_t v = 0;
+        if (!map.get(g, k, v) || v != k * k) {
+          std::fprintf(stderr, "lost key %llu!\n",
+                       static_cast<unsigned long long>(k));
+        }
+      }
+      for (std::uint64_t k = t; k < kKeys; k += 2 * kThreads) {
+        hyaline::domain::guard g(dom, t);
+        map.remove(g, k);  // unlinked nodes are retired, then freed by
+                           // whichever thread drops the last reference
+      }
+      dom.flush();  // finalize this thread's partial batch (dummy nodes);
+                    // after this the thread is fully "off the hook"
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::printf("elements left: %zu\n", map.unsafe_size());
+  const auto& c = dom.counters();
+  std::printf("allocated=%llu retired=%llu freed=%llu unreclaimed=%llu\n",
+              static_cast<unsigned long long>(c.allocated.load()),
+              static_cast<unsigned long long>(c.retired.load()),
+              static_cast<unsigned long long>(c.freed.load()),
+              static_cast<unsigned long long>(c.unreclaimed()));
+  dom.drain();
+  std::printf("after drain: unreclaimed=%llu\n",
+              static_cast<unsigned long long>(c.unreclaimed()));
+  return 0;
+}

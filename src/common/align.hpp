@@ -1,0 +1,36 @@
+// Cache-line alignment helpers shared by all reclamation schemes.
+//
+// Every mutable, per-slot / per-thread variable in this library is padded to
+// a cache line: false sharing between slots would otherwise dominate the
+// cost of the (intentionally uncontended) CAS/FAA operations on them, which
+// is exactly the effect the paper's §3.3 ("Trimming") discussion relies on
+// being absent.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace hyaline {
+
+// Fixed at 64: stable across compiler versions/tuning (GCC warns that
+// std::hardware_destructive_interference_size may vary, which would make
+// this part of the ABI unstable).
+inline constexpr std::size_t cache_line_size = 64;
+
+/// Wraps a value in a full cache line so that adjacent array elements never
+/// share a line. Used for slot heads, per-thread reservation records, etc.
+template <class T>
+struct alignas(cache_line_size) padded {
+  T value{};
+
+  padded() = default;
+  template <class... Args>
+  explicit padded(Args&&... args) : value(static_cast<Args&&>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace hyaline

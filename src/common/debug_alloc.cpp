@@ -1,0 +1,117 @@
+#include "common/debug_alloc.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace hyaline {
+namespace {
+
+struct block_header {
+  std::uint64_t magic;
+  std::size_t size;
+};
+
+constexpr std::uint64_t live_magic = 0xA110C47EDB10C4ULL;
+constexpr std::uint64_t dead_magic = 0xDEADB10CDEADB10CULL;
+
+struct registry {
+  std::mutex mu;
+  std::unordered_map<void*, std::size_t> live;  // user ptr -> size
+  std::vector<void*> quarantine;                // user ptrs, poisoned
+  std::atomic<std::size_t> total{0};
+  std::atomic<std::size_t> doubles{0};
+};
+
+registry& reg() {
+  static registry r;
+  return r;
+}
+
+block_header* header_of(void* user) {
+  return static_cast<block_header*>(user) - 1;
+}
+
+}  // namespace
+
+void* debug_alloc::allocate(std::size_t size) {
+  auto* h = static_cast<block_header*>(
+      std::malloc(sizeof(block_header) + size));
+  h->magic = live_magic;
+  h->size = size;
+  void* user = h + 1;
+  auto& r = reg();
+  r.total.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.live.emplace(user, size);
+  return user;
+}
+
+void debug_alloc::deallocate(void* p) {
+  auto& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.live.find(p);
+  if (it == r.live.end()) {
+    r.doubles.fetch_add(1, std::memory_order_relaxed);
+    return;  // double (or foreign) free: record, do not crash the test
+  }
+  const std::size_t size = it->second;
+  r.live.erase(it);
+  block_header* h = header_of(p);
+  h->magic = dead_magic;
+  std::memset(p, poison_byte, size);
+  r.quarantine.push_back(p);
+}
+
+std::size_t debug_alloc::flush_quarantine() {
+  auto& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::size_t corrupted = 0;
+  for (void* p : r.quarantine) {
+    block_header* h = header_of(p);
+    bool bad = h->magic != dead_magic;
+    if (!bad) {
+      auto* bytes = static_cast<const std::uint8_t*>(p);
+      for (std::size_t i = 0; i < h->size; ++i) {
+        if (bytes[i] != poison_byte) {
+          bad = true;
+          break;
+        }
+      }
+    }
+    corrupted += bad ? 1 : 0;
+    std::free(h);
+  }
+  r.quarantine.clear();
+  return corrupted;
+}
+
+std::size_t debug_alloc::live_count() {
+  auto& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.live.size();
+}
+
+std::size_t debug_alloc::total_allocs() {
+  return reg().total.load(std::memory_order_relaxed);
+}
+
+std::size_t debug_alloc::double_frees() {
+  return reg().doubles.load(std::memory_order_relaxed);
+}
+
+void debug_alloc::reset() {
+  auto& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (void* p : r.quarantine) std::free(header_of(p));
+  r.quarantine.clear();
+  // Deliberately leak anything still live: freeing would mask leak bugs and
+  // could race with in-flight reclamation from a previous (failed) test.
+  r.live.clear();
+  r.total.store(0, std::memory_order_relaxed);
+  r.doubles.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hyaline

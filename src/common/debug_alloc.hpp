@@ -1,0 +1,64 @@
+// Instrumented allocator used by the test suite.
+//
+// Converts the failure modes of a broken reclamation scheme into
+// deterministic test failures:
+//   - leaks            -> live-object counter != 0 at teardown
+//   - double free      -> freed-block registry hit
+//   - write-after-free -> poison/canary verification when the quarantine is
+//                         flushed (freed blocks are quarantined, filled with
+//                         a poison byte, and checked before release)
+//
+// This is a testing substrate (DESIGN.md system #18); the benchmarks use
+// the plain allocator.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hyaline {
+
+class debug_alloc {
+ public:
+  /// Allocate `size` bytes tracked by the registry.
+  static void* allocate(std::size_t size);
+
+  /// Free a tracked block: verifies it is live (double-free check), poisons
+  /// it, and moves it to the quarantine.
+  static void deallocate(void* p);
+
+  /// Verify poison integrity of all quarantined blocks and release them.
+  /// Returns the number of corrupted (written-after-free) blocks found.
+  static std::size_t flush_quarantine();
+
+  /// Number of currently live (allocated, not freed) blocks.
+  static std::size_t live_count();
+
+  /// Total allocations since reset.
+  static std::size_t total_allocs();
+
+  /// Double frees detected since reset.
+  static std::size_t double_frees();
+
+  /// Reset all counters and drop the quarantine (releases blocks without
+  /// checking). Call at the start of a test.
+  static void reset();
+
+  static constexpr std::uint8_t poison_byte = 0xDB;
+};
+
+/// Convenience RAII: constructs T in a tracked block.
+template <class T, class... Args>
+T* debug_new(Args&&... args) {
+  void* p = debug_alloc::allocate(sizeof(T));
+  return ::new (p) T(static_cast<Args&&>(args)...);
+}
+
+template <class T>
+void debug_delete(T* p) {
+  if (!p) return;
+  p->~T();
+  debug_alloc::deallocate(p);
+}
+
+}  // namespace hyaline

@@ -1,0 +1,60 @@
+// 16-byte (double-width) atomic operations.
+//
+// Hyaline's Head tuple [HRef, HPtr] must be updated atomically (paper §3.1).
+// On x86-64 this maps to cmpxchg16b; GCC exposes it through the __atomic
+// builtins on unsigned __int128 (with -mcx16, possibly routed through
+// libatomic, which still uses the instruction). This header wraps those
+// builtins behind a tiny typed interface so the head policies stay readable.
+#pragma once
+
+#include <cstdint>
+
+namespace hyaline {
+
+using u128 = unsigned __int128;
+
+/// Packs two 64-bit words into a 128-bit value: `lo` occupies bits 0..63.
+inline constexpr u128 pack128(std::uint64_t lo, std::uint64_t hi) {
+  return (static_cast<u128>(hi) << 64) | lo;
+}
+
+inline constexpr std::uint64_t lo64(u128 v) { return static_cast<std::uint64_t>(v); }
+inline constexpr std::uint64_t hi64(u128 v) { return static_cast<std::uint64_t>(v >> 64); }
+
+/// A 16-byte-aligned atomically accessed 128-bit cell.
+///
+/// All operations are sequentially consistent: head updates are the
+/// linearization points of enter/leave/retire and the paper's correctness
+/// argument (§5) assumes a total order on them.
+class alignas(16) atomic128 {
+ public:
+  atomic128() : v_(0) {}
+  explicit atomic128(u128 v) : v_(v) {}
+
+  u128 load() const {
+    return __atomic_load_n(&v_, __ATOMIC_SEQ_CST);
+  }
+
+  void store(u128 v) {
+    __atomic_store_n(&v_, v, __ATOMIC_SEQ_CST);
+  }
+
+  /// Single-call CAS; on failure `expected` is updated with the current value.
+  bool compare_exchange(u128& expected, u128 desired) {
+    return __atomic_compare_exchange_n(&v_, &expected, desired,
+                                       /*weak=*/false, __ATOMIC_SEQ_CST,
+                                       __ATOMIC_SEQ_CST);
+  }
+
+  u128 exchange(u128 desired) {
+    return __atomic_exchange_n(&v_, desired, __ATOMIC_SEQ_CST);
+  }
+
+ private:
+  u128 v_;
+};
+
+static_assert(sizeof(atomic128) == 16);
+static_assert(alignof(atomic128) == 16);
+
+}  // namespace hyaline

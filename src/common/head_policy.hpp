@@ -1,0 +1,236 @@
+// Head-tuple policies for Hyaline's per-slot retirement lists.
+//
+// Each slot owns a Head = [HRef, HPtr] tuple that must support:
+//   - an atomic snapshot load,
+//   - FAA of HRef with an atomic HPtr snapshot (enter),
+//   - CAS replacing HPtr while HRef is unchanged (retire),
+//   - CAS decrementing HRef while HPtr is unchanged (leave, HRef > 1),
+//   - the terminal transition {1, p} -> {0, Null} (leave, last thread).
+//
+// Three interchangeable implementations are provided, matching the paper's
+// portability discussion (§2.4, §4.4):
+//   head_packed  - HRef and HPtr squeezed into one 64-bit word (16-bit
+//                  counter, 48-bit pointer). Single-width CAS/FAA only; this
+//                  is the "SPARC squeeze" variant and the fastest on x86-64
+//                  because enter becomes a genuine fetch_add.
+//   head_dw      - true double-width (128-bit) tuple via cmpxchg16b.
+//   head_llsc    - Figure 7's single-width LL/SC algorithm over an emulated
+//                  reservation granule (stands in for PowerPC/MIPS).
+//
+// The terminal transition differs across policies: packed/dw perform it with
+// one CAS, while LL/SC needs the paper's two-step protocol (decrement HRef
+// keeping HPtr intact, then null HPtr only if no concurrent enter claimed
+// the list). `cas_leave_last` exposes the three possible outcomes so the
+// core algorithm can route the final Adjs adjustment correctly.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "common/dw128.hpp"
+#include "common/llsc.hpp"
+
+namespace hyaline {
+
+/// Outcome of the terminal {1, p} -> {0, Null} head transition.
+enum class leave_last_result {
+  retry,    ///< the head changed underneath us; re-run the leave loop
+  nulled,   ///< we cut the list; the leaver owns the final Adjs adjustment
+  claimed,  ///< HRef was re-claimed by a concurrent enter after our
+            ///< decrement (LL/SC only); the claimer's side owns the Adjs
+};
+
+/// Decoded head value shared by all policies.
+template <class Node>
+struct head_val {
+  std::uint64_t ref = 0;
+  Node* ptr = nullptr;
+
+  friend bool operator==(const head_val&, const head_val&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Packed single-word policy: [HRef:16 | HPtr:48].
+// ---------------------------------------------------------------------------
+
+/// Single-word head. Limits: at most 2^16-1 threads concurrently inside one
+/// slot, and node addresses must fit in 48 bits (true for user-space Linux
+/// on x86-64/AArch64).
+template <class Node>
+class head_packed {
+ public:
+  using val = head_val<Node>;
+
+  val load() const { return decode(word_.load(std::memory_order_seq_cst)); }
+
+  /// enter: HRef += 1 with a wait-free fetch_add; returns the old tuple.
+  val faa_enter() {
+    return decode(word_.fetch_add(ref_one, std::memory_order_seq_cst));
+  }
+
+  /// retire: HPtr := new_ptr, HRef unchanged.
+  bool cas_retire(const val& expected, Node* new_ptr) {
+    std::uint64_t e = encode(expected);
+    return word_.compare_exchange_strong(
+        e, encode({expected.ref, new_ptr}), std::memory_order_seq_cst);
+  }
+
+  /// leave (HRef > 1): HRef -= 1, HPtr unchanged.
+  bool cas_leave_dec(const val& expected) {
+    std::uint64_t e = encode(expected);
+    return word_.compare_exchange_strong(e, e - ref_one,
+                                         std::memory_order_seq_cst);
+  }
+
+  /// leave (HRef == 1): {1, p} -> {0, Null} in one CAS.
+  leave_last_result cas_leave_last(const val& expected) {
+    assert(expected.ref == 1);
+    std::uint64_t e = encode(expected);
+    return word_.compare_exchange_strong(e, 0, std::memory_order_seq_cst)
+               ? leave_last_result::nulled
+               : leave_last_result::retry;
+  }
+
+ private:
+  static constexpr std::uint64_t ptr_bits = 48;
+  static constexpr std::uint64_t ptr_mask = (std::uint64_t{1} << ptr_bits) - 1;
+  static constexpr std::uint64_t ref_one = std::uint64_t{1} << ptr_bits;
+
+  static std::uint64_t encode(const val& v) {
+    auto raw = reinterpret_cast<std::uintptr_t>(v.ptr);
+    assert((raw & ~ptr_mask) == 0 && "node address exceeds 48 bits");
+    assert(v.ref < (std::uint64_t{1} << 16) && "HRef overflows 16 bits");
+    return (v.ref << ptr_bits) | raw;
+  }
+
+  static val decode(std::uint64_t w) {
+    return val{w >> ptr_bits, reinterpret_cast<Node*>(w & ptr_mask)};
+  }
+
+  std::atomic<std::uint64_t> word_{0};
+};
+
+// ---------------------------------------------------------------------------
+// True double-width policy (cmpxchg16b / ldaxp-stlxp class hardware).
+// ---------------------------------------------------------------------------
+
+/// 128-bit head: lo word = HRef, hi word = HPtr. No limits on thread count
+/// or address width; enter is a CAS loop (x86-64 has no 128-bit FAA).
+template <class Node>
+class head_dw {
+ public:
+  using val = head_val<Node>;
+
+  val load() const { return decode(cell_.load()); }
+
+  val faa_enter() {
+    u128 cur = cell_.load();
+    for (;;) {
+      const u128 next = pack128(lo64(cur) + 1, hi64(cur));
+      if (cell_.compare_exchange(cur, next)) return decode(cur);
+      // cur reloaded by compare_exchange on failure.
+    }
+  }
+
+  bool cas_retire(const val& expected, Node* new_ptr) {
+    u128 e = encode(expected);
+    return cell_.compare_exchange(
+        e, pack128(expected.ref,
+                   reinterpret_cast<std::uint64_t>(new_ptr)));
+  }
+
+  bool cas_leave_dec(const val& expected) {
+    u128 e = encode(expected);
+    return cell_.compare_exchange(
+        e, pack128(expected.ref - 1,
+                   reinterpret_cast<std::uint64_t>(expected.ptr)));
+  }
+
+  leave_last_result cas_leave_last(const val& expected) {
+    assert(expected.ref == 1);
+    u128 e = encode(expected);
+    return cell_.compare_exchange(e, 0) ? leave_last_result::nulled
+                                        : leave_last_result::retry;
+  }
+
+ private:
+  static u128 encode(const val& v) {
+    return pack128(v.ref, reinterpret_cast<std::uint64_t>(v.ptr));
+  }
+  static val decode(u128 v) {
+    return val{lo64(v), reinterpret_cast<Node*>(hi64(v))};
+  }
+
+  atomic128 cell_;
+};
+
+// ---------------------------------------------------------------------------
+// Single-width LL/SC policy (Figure 7), over the emulated granule.
+// ---------------------------------------------------------------------------
+
+/// Head as two words in one reservation granule: word 0 = HRef, word 1 =
+/// HPtr. Implements dwFAA, dwCAS_Ref and dwCAS_Ptr exactly as in Figure 7,
+/// plus the two-step terminal transition described in §4.4.
+template <class Node>
+class head_llsc {
+ public:
+  using val = head_val<Node>;
+
+  val load() const {
+    // A plain double-word read; on real hardware this would be an LL of one
+    // word plus a dependent load of the other, which is what ll() models.
+    auto r = granule_.ll(0);
+    return val{r.word(0), reinterpret_cast<Node*>(r.word(1))};
+  }
+
+  /// Figure 7 dwFAA: increment HRef, HPtr remains intact.
+  val faa_enter() {
+    for (;;) {
+      auto r = granule_.ll(0);
+      const std::uint64_t old_ref = r.word(0);
+      if (granule_.sc(0, old_ref + 1, r)) {
+        return val{old_ref, reinterpret_cast<Node*>(r.word(1))};
+      }
+    }
+  }
+
+  /// Figure 7 dwCAS_Ptr: used by retire (HRef must be unchanged).
+  bool cas_retire(const val& expected, Node* new_ptr) {
+    auto r = granule_.ll(1);
+    if (r.word(0) != expected.ref ||
+        reinterpret_cast<Node*>(r.word(1)) != expected.ptr) {
+      return false;
+    }
+    return granule_.sc(1, reinterpret_cast<std::uint64_t>(new_ptr), r);
+  }
+
+  /// Figure 7 dwCAS_Ref: used by leave while HRef > 1.
+  bool cas_leave_dec(const val& expected) {
+    auto r = granule_.ll(0);
+    if (r.word(0) != expected.ref ||
+        reinterpret_cast<Node*>(r.word(1)) != expected.ptr) {
+      return false;
+    }
+    return granule_.sc(0, expected.ref - 1, r);
+  }
+
+  /// §4.4 two-step terminal transition: first dwCAS_Ref {1,p} -> {0,p};
+  /// then a strong loop of dwCAS_Ptr {0,p} -> {0,Null}. The second step can
+  /// legitimately fail forever only if a concurrent enter re-claimed the
+  /// list (HRef != 0 again), in which case the claimer inherits the list.
+  leave_last_result cas_leave_last(const val& expected) {
+    assert(expected.ref == 1);
+    if (!cas_leave_dec(expected)) return leave_last_result::retry;
+    for (;;) {
+      auto r = granule_.ll(1);
+      if (r.word(0) != 0) return leave_last_result::claimed;
+      if (granule_.sc(1, 0, r)) return leave_last_result::nulled;
+    }
+  }
+
+ private:
+  llsc_granule granule_{0, 0};
+};
+
+}  // namespace hyaline

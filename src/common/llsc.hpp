@@ -1,0 +1,72 @@
+// Emulated single-width LL/SC with a 16-byte reservation granule.
+//
+// Paper §4.4 implements Hyaline on PowerPC/MIPS, which provide only
+// single-width LL/SC, by exploiting the fact that the LL *reservation
+// granule* is larger than one word (typically a cache line): two adjacent
+// 64-bit variables placed in the same granule cause SC on either of them to
+// fail if the *other* changed too.
+//
+// We do not have PPC/MIPS hardware in this environment, so this header
+// provides the closest synthetic equivalent (see DESIGN.md §4, substitution
+// #2): a 16-byte granule whose LL returns a snapshot of both words and
+// whose SC atomically replaces one word *only if the whole granule is
+// unchanged* (implemented with one 128-bit CAS). This gives exactly the
+// semantics Figure 7 relies on:
+//   - an ordinary `load` of the sibling word between LL and SC observes the
+//     snapshot (the "artificial data dependency" barrier in the paper);
+//   - SC fails whenever any concurrent write touched the granule;
+//   - double-width load atomicity is guaranteed only when SC succeeds,
+//     which is all the Hyaline algorithm tolerates.
+//
+// The emulation is *stronger* than real LL/SC in one way (no spurious SC
+// failures from cache evictions); the algorithm tolerates weak SC anyway,
+// so correctness-relevant behavior is preserved while every code path of
+// the Figure 7 algorithm is exercised.
+#pragma once
+
+#include <cstdint>
+
+#include "common/dw128.hpp"
+
+namespace hyaline {
+
+/// A two-word LL/SC reservation granule. Word 0 and word 1 live in the same
+/// 16-byte granule, mirroring the paper's layout of [HRef, HPtr] aligned on
+/// a double-word boundary.
+class llsc_granule {
+ public:
+  llsc_granule() = default;
+  llsc_granule(std::uint64_t w0, std::uint64_t w1) : cell_(pack128(w0, w1)) {}
+
+  /// The snapshot captured by LL; also serves as the "reservation".
+  struct reservation {
+    u128 snapshot;
+
+    std::uint64_t word(int idx) const {
+      return idx == 0 ? lo64(snapshot) : hi64(snapshot);
+    }
+  };
+
+  /// Load-linked on word `idx`. Returns a reservation whose snapshot holds
+  /// both words; `word(idx)` is the LL result and `word(1-idx)` is what the
+  /// dependent ordinary load between LL and SC would observe.
+  reservation ll(int /*idx*/) const { return reservation{cell_.load()}; }
+
+  /// Store-conditional of `value` into word `idx`. Succeeds only if the
+  /// entire granule still matches the reservation snapshot.
+  bool sc(int idx, std::uint64_t value, const reservation& r) {
+    u128 expected = r.snapshot;
+    const u128 desired = idx == 0 ? pack128(value, hi64(expected))
+                                  : pack128(lo64(expected), value);
+    return cell_.compare_exchange(expected, desired);
+  }
+
+  /// Plain (non-reserving) double-word read, for debugging/tests only; real
+  /// hardware would not provide this atomically.
+  u128 unsafe_load() const { return cell_.load(); }
+
+ private:
+  atomic128 cell_{};
+};
+
+}  // namespace hyaline

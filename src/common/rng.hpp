@@ -1,0 +1,71 @@
+// Small, fast PRNGs for workload generation.
+//
+// The benchmark harness needs a per-thread generator that is (a) cheap
+// enough not to perturb the measured data-structure operation, and (b)
+// statistically good enough for uniform key draws. xoshiro256** fits both;
+// splitmix64 seeds it.
+#pragma once
+
+#include <cstdint>
+
+namespace hyaline {
+
+/// splitmix64 — used to expand a single 64-bit seed into generator state.
+class splitmix64 {
+ public:
+  explicit splitmix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — per-thread workload generator.
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit xoshiro256(std::uint64_t seed) {
+    splitmix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw in [0, bound) without modulo bias worth caring about for
+  /// benchmark purposes (Lemire's multiply-shift reduction).
+  std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace hyaline

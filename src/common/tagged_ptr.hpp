@@ -1,0 +1,37 @@
+// Low-bit pointer tagging used by the lock-free data structures.
+//
+// Harris–Michael lists mark the low bit of a node's next pointer to signal
+// logical deletion; the Natarajan–Mittal tree uses two low bits (flag +
+// tag). All nodes are at least 8-byte aligned, so the low three bits of any
+// node pointer are available.
+#pragma once
+
+#include <cstdint>
+
+namespace hyaline {
+
+/// Returns the pointer with all tag bits cleared.
+template <class T>
+inline T* untag(T* p) {
+  return reinterpret_cast<T*>(reinterpret_cast<std::uintptr_t>(p) & ~std::uintptr_t{7});
+}
+
+/// Returns the tag bits (0..7) of a pointer.
+template <class T>
+inline unsigned tag_of(T* p) {
+  return static_cast<unsigned>(reinterpret_cast<std::uintptr_t>(p) & 7);
+}
+
+/// Returns the pointer with the given tag bits OR-ed in.
+template <class T>
+inline T* with_tag(T* p, unsigned bits) {
+  return reinterpret_cast<T*>(reinterpret_cast<std::uintptr_t>(p) | bits);
+}
+
+/// True if any of `bits` is set on the pointer.
+template <class T>
+inline bool has_tag(T* p, unsigned bits) {
+  return (reinterpret_cast<std::uintptr_t>(p) & bits) != 0;
+}
+
+}  // namespace hyaline

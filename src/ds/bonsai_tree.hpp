@@ -1,0 +1,274 @@
+// Bonsai tree variant (Clements et al. [13], as adapted for SMR
+// benchmarking by the paper's framework): a weight-balanced BST updated by
+// path copying with a single root CAS.
+//
+// Writers build a fresh copy of the root-to-target path (plus any rotation
+// copies), then CAS the root; on failure the never-published copies are
+// deleted directly and the operation retries. On success every *replaced*
+// original node is retired through the SMR domain. Readers take one
+// protected root load and then traverse an immutable snapshot.
+//
+// Consequences mirror the paper exactly:
+//   - reads are wait-free and touch no shared state beyond the root;
+//   - updates are lock-free but allocate/retire O(log n) nodes each, which
+//     is what makes this benchmark a reclamation stress test (Fig. 8b/9b);
+//   - pointer-publication schemes (HP, HE) cannot protect an unbounded
+//     snapshot, so they are not instantiable here — the same reason the
+//     paper omits them from the Bonsai figures. Epoch/interval schemes
+//     (EBR, IBR, all Hyaline variants) need only the root protection: every
+//     snapshot node was born before the protected root load and is retired
+//     after it, so its lifetime interval covers the reader's reservation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <atomic>
+
+namespace hyaline::ds {
+
+template <class D>
+class bonsai_tree {
+ public:
+  using domain_type = D;
+  using guard = typename D::guard;
+
+  static constexpr unsigned hazards_needed = 1;
+
+  explicit bonsai_tree(D& dom) : dom_(dom) {
+    dom_.set_free_fn([](typename D::node* n) {
+      delete static_cast<bnode*>(n);
+    });
+  }
+
+  ~bonsai_tree() { free_rec(root_.load(std::memory_order_relaxed)); }
+
+  bonsai_tree(const bonsai_tree&) = delete;
+  bonsai_tree& operator=(const bonsai_tree&) = delete;
+
+  bool insert(guard& g, std::uint64_t key, std::uint64_t value) {
+    op_ctx ctx;
+    for (;;) {
+      bnode* old_root = g.protect(0, root_);
+      if (lookup(old_root, key) != nullptr) return false;
+      ctx.reset();
+      bnode* new_root = insert_rec(ctx, old_root, key, value);
+      ctx.seal();  // clear fresh flags before publication
+      bnode* expected = old_root;
+      if (root_.compare_exchange_strong(expected, new_root,
+                                        std::memory_order_seq_cst)) {
+        ctx.commit(g);
+        return true;
+      }
+      ctx.discard_fresh();
+    }
+  }
+
+  bool remove(guard& g, std::uint64_t key) {
+    op_ctx ctx;
+    for (;;) {
+      bnode* old_root = g.protect(0, root_);
+      if (lookup(old_root, key) == nullptr) return false;
+      ctx.reset();
+      bnode* new_root = remove_rec(ctx, old_root, key);
+      ctx.seal();  // clear fresh flags before publication
+      bnode* expected = old_root;
+      if (root_.compare_exchange_strong(expected, new_root,
+                                        std::memory_order_seq_cst)) {
+        ctx.commit(g);
+        return true;
+      }
+      ctx.discard_fresh();
+    }
+  }
+
+  bool contains(guard& g, std::uint64_t key) {
+    return lookup(g.protect(0, root_), key) != nullptr;
+  }
+
+  bool get(guard& g, std::uint64_t key, std::uint64_t& out) {
+    const bnode* n = lookup(g.protect(0, root_), key);
+    if (n == nullptr) return false;
+    out = n->value;
+    return true;
+  }
+
+  std::size_t unsafe_size() const {
+    const bnode* r = root_.load(std::memory_order_relaxed);
+    return r == nullptr ? 0 : r->size;
+  }
+
+ private:
+  struct bnode : D::node {
+    std::uint64_t key;
+    std::uint64_t value;
+    bnode* left;
+    bnode* right;
+    std::uint64_t size;   // subtree node count (weight = size + 1)
+    bool fresh;           // true only while unpublished (builder-private)
+
+    bnode(std::uint64_t k, std::uint64_t v, bnode* l, bnode* r,
+          std::uint64_t s)
+        : key(k), value(v), left(l), right(r), size(s), fresh(true) {}
+  };
+
+  /// Per-operation builder bookkeeping.
+  struct op_ctx {
+    std::vector<bnode*> fresh;     // allocated this attempt (unpublished)
+    std::vector<bnode*> replaced;  // originals to retire on success
+    std::vector<bnode*> orphaned;  // fresh nodes rotated away by join():
+                                   // unreachable from the new root, so they
+                                   // are deleted directly on success
+
+    void reset() {
+      fresh.clear();
+      replaced.clear();
+      orphaned.clear();
+    }
+
+    /// Clear builder-private flags; must precede the publishing CAS so
+    /// that a later operation's consume() sees these nodes as originals.
+    void seal() {
+      for (bnode* n : fresh) n->fresh = false;
+    }
+
+    void discard_fresh() {
+      for (bnode* n : fresh) delete n;  // orphaned is a subset of fresh
+      fresh.clear();
+      replaced.clear();
+      orphaned.clear();
+    }
+
+    /// Success path: retire originals through `g`, delete orphans.
+    template <class G>
+    void commit(G& g) {
+      for (bnode* n : replaced) g.retire(n);
+      for (bnode* n : orphaned) delete n;
+    }
+  };
+
+  static std::uint64_t size_of(const bnode* n) { return n ? n->size : 0; }
+  static std::uint64_t weight_of(const bnode* n) { return size_of(n) + 1; }
+
+  // Weight-balanced (BB[alpha]) parameters, Adams' variant: rebalance when
+  // one side is more than delta times heavier; choose single vs double
+  // rotation with gamma.
+  static constexpr std::uint64_t delta = 3;
+  static constexpr std::uint64_t gamma2 = 2;
+
+  bnode* make(op_ctx& ctx, std::uint64_t k, std::uint64_t v, bnode* l,
+              bnode* r) {
+    auto* n = new bnode{k, v, l, r, 1 + size_of(l) + size_of(r)};
+    dom_.on_alloc(n);
+    ctx.fresh.push_back(n);
+    return n;
+  }
+
+  /// Record that node `n` is superseded by a copy: originals are retired
+  /// on success; fresh nodes become orphans (never published, deleted
+  /// directly).
+  static void consume(op_ctx& ctx, bnode* n) {
+    if (n->fresh) {
+      ctx.orphaned.push_back(n);
+    } else {
+      ctx.replaced.push_back(n);
+    }
+  }
+
+  /// Build a balanced node (k,v) over subtrees l and r, rotating copies as
+  /// needed. l/r heights differ from a balanced join by at most one
+  /// insertion/removal, which Adams' conditions handle.
+  bnode* join(op_ctx& ctx, std::uint64_t k, std::uint64_t v, bnode* l,
+              bnode* r) {
+    const std::uint64_t wl = weight_of(l);
+    const std::uint64_t wr = weight_of(r);
+    if (wl + wr <= 2) return make(ctx, k, v, l, r);
+    if (wr > delta * wl) {
+      // Right-heavy: rotate left (r is decomposed, hence replaced).
+      consume(ctx, r);
+      bnode* rl = r->left;
+      bnode* rr = r->right;
+      if (weight_of(rl) < gamma2 * weight_of(rr)) {
+        return make(ctx, r->key, r->value, make(ctx, k, v, l, rl), rr);
+      }
+      consume(ctx, rl);
+      return make(ctx, rl->key, rl->value, make(ctx, k, v, l, rl->left),
+                  make(ctx, r->key, r->value, rl->right, rr));
+    }
+    if (wl > delta * wr) {
+      consume(ctx, l);
+      bnode* ll = l->left;
+      bnode* lr = l->right;
+      if (weight_of(lr) < gamma2 * weight_of(ll)) {
+        return make(ctx, l->key, l->value, ll, make(ctx, k, v, lr, r));
+      }
+      consume(ctx, lr);
+      return make(ctx, lr->key, lr->value,
+                  make(ctx, l->key, l->value, ll, lr->left),
+                  make(ctx, k, v, lr->right, r));
+    }
+    return make(ctx, k, v, l, r);
+  }
+
+  bnode* insert_rec(op_ctx& ctx, bnode* n, std::uint64_t key,
+                    std::uint64_t value) {
+    if (n == nullptr) return make(ctx, key, value, nullptr, nullptr);
+    consume(ctx, n);
+    if (key < n->key) {
+      return join(ctx, n->key, n->value,
+                  insert_rec(ctx, n->left, key, value), n->right);
+    }
+    return join(ctx, n->key, n->value, n->left,
+                insert_rec(ctx, n->right, key, value));
+  }
+
+  bnode* remove_rec(op_ctx& ctx, bnode* n, std::uint64_t key) {
+    consume(ctx, n);
+    if (key < n->key) {
+      return join(ctx, n->key, n->value, remove_rec(ctx, n->left, key),
+                  n->right);
+    }
+    if (key > n->key) {
+      return join(ctx, n->key, n->value, n->left,
+                  remove_rec(ctx, n->right, key));
+    }
+    // Found: splice. Subtrees are shared, not copied.
+    if (n->left == nullptr) return n->right;
+    if (n->right == nullptr) return n->left;
+    std::uint64_t mk = 0, mv = 0;
+    bnode* rest = extract_min(ctx, n->right, mk, mv);
+    return join(ctx, mk, mv, n->left, rest);
+  }
+
+  bnode* extract_min(op_ctx& ctx, bnode* n, std::uint64_t& mk,
+                     std::uint64_t& mv) {
+    consume(ctx, n);
+    if (n->left == nullptr) {
+      mk = n->key;
+      mv = n->value;
+      return n->right;
+    }
+    bnode* rest = extract_min(ctx, n->left, mk, mv);
+    return join(ctx, n->key, n->value, rest, n->right);
+  }
+
+  static const bnode* lookup(const bnode* n, std::uint64_t key) {
+    while (n != nullptr) {
+      if (key == n->key) return n;
+      n = key < n->key ? n->left : n->right;
+    }
+    return nullptr;
+  }
+
+  static void free_rec(bnode* n) {
+    if (n == nullptr) return;
+    free_rec(n->left);
+    free_rec(n->right);
+    delete n;
+  }
+
+  D& dom_;
+  std::atomic<bnode*> root_{nullptr};
+};
+
+}  // namespace hyaline::ds

@@ -1,0 +1,181 @@
+// Harris–Michael sorted lock-free linked list ([20], with Michael's [26]
+// hazard-compatible find).
+//
+// The slowest structure in the paper's benchmark suite (long traversals) —
+// Figure 8a/9a/11a/12a. The low bit of a node's `next` pointer marks the
+// node as logically deleted; find() physically unlinks marked nodes it
+// passes and retires them through the SMR domain, which is the "timely
+// retirement" discipline the robust schemes require (§2.4).
+//
+// Template parameter D is any smr::Domain. Pointer-publication schemes (HP,
+// HE) need two rotating hazard indices for curr/prev plus index 2 during
+// unlink; `hazards_needed` documents that.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/tagged_ptr.hpp"
+
+namespace hyaline::ds {
+
+template <class D>
+class hm_list {
+ public:
+  using domain_type = D;
+  using guard = typename D::guard;
+
+  static constexpr unsigned hazards_needed = 3;
+
+  explicit hm_list(D& dom) : dom_(dom) {
+    dom_.set_free_fn([](typename D::node* n) {
+      delete static_cast<lnode*>(n);
+    });
+  }
+
+  ~hm_list() {
+    // Quiescent teardown: free every remaining node directly.
+    lnode* n = untag(head_.load(std::memory_order_relaxed));
+    while (n != nullptr) {
+      lnode* nx = untag(n->next.load(std::memory_order_relaxed));
+      delete n;
+      n = nx;
+    }
+  }
+
+  hm_list(const hm_list&) = delete;
+  hm_list& operator=(const hm_list&) = delete;
+
+  /// Insert key -> value; fails if the key is present.
+  bool insert(guard& g, std::uint64_t key, std::uint64_t value) {
+    lnode* fresh = nullptr;
+    for (;;) {
+      window w;
+      if (find(g, key, w)) {
+        delete fresh;  // never published
+        return false;
+      }
+      if (fresh == nullptr) {
+        fresh = new lnode{key, value};
+        dom_.on_alloc(fresh);
+      }
+      fresh->next.store(w.curr, std::memory_order_relaxed);
+      lnode* expected = w.curr;
+      if (w.prev->compare_exchange_strong(expected, fresh,
+                                          std::memory_order_seq_cst)) {
+        return true;
+      }
+    }
+  }
+
+  /// Remove a key; fails if absent.
+  bool remove(guard& g, std::uint64_t key) {
+    for (;;) {
+      window w;
+      if (!find(g, key, w)) return false;
+      // Logically delete: mark curr's next.
+      lnode* next = w.next;
+      lnode* expected = next;
+      if (!w.curr->next.compare_exchange_strong(
+              expected, with_tag(next, 1), std::memory_order_seq_cst)) {
+        continue;  // next changed or already marked; re-find
+      }
+      // Physically unlink; on failure, a find() will clean up later.
+      expected = w.curr;
+      if (w.prev->compare_exchange_strong(expected, next,
+                                          std::memory_order_seq_cst)) {
+        g.retire(w.curr);
+      } else {
+        window dummy;
+        find(g, key, dummy);  // help unlink
+      }
+      return true;
+    }
+  }
+
+  /// Membership test.
+  bool contains(guard& g, std::uint64_t key) {
+    window w;
+    return find(g, key, w);
+  }
+
+  /// Lookup returning the value through `out`.
+  bool get(guard& g, std::uint64_t key, std::uint64_t& out) {
+    window w;
+    if (!find(g, key, w)) return false;
+    out = w.curr->value;
+    return true;
+  }
+
+  /// Number of (unmarked) nodes; quiescent use only (tests).
+  std::size_t unsafe_size() const {
+    std::size_t n = 0;
+    lnode* c = untag(head_.load(std::memory_order_relaxed));
+    while (c != nullptr) {
+      lnode* raw = c->next.load(std::memory_order_relaxed);
+      if (!has_tag(raw, 1)) ++n;
+      c = untag(raw);
+    }
+    return n;
+  }
+
+ private:
+  struct lnode : D::node {
+    std::uint64_t key;
+    std::uint64_t value;
+    std::atomic<lnode*> next{nullptr};
+
+    lnode(std::uint64_t k, std::uint64_t v) : key(k), value(v) {}
+  };
+
+  struct window {
+    std::atomic<lnode*>* prev = nullptr;
+    lnode* curr = nullptr;  // first node with key >= search key (or null)
+    lnode* next = nullptr;  // curr's successor at inspection time
+  };
+
+  /// Michael's find: positions the window at the first node with
+  /// key >= `key`, unlinking marked nodes along the way. On return, `curr`
+  /// (if non-null) and the node owning `prev` are hazard-protected.
+  bool find(guard& g, std::uint64_t key, window& w) {
+  retry:
+    std::atomic<lnode*>* prev = &head_;
+    unsigned ci = 0;  // hazard index for curr; prev-node holds the other
+    lnode* curr = g.protect(ci, *prev);
+    for (;;) {
+      if (curr == nullptr) {
+        w = {prev, nullptr, nullptr};
+        return false;
+      }
+      lnode* next_raw = curr->next.load(std::memory_order_acquire);
+      if (has_tag(next_raw, 1)) {
+        // curr is logically deleted: unlink it from prev.
+        lnode* next = untag(next_raw);
+        lnode* expected = curr;
+        if (!prev->compare_exchange_strong(expected, next,
+                                           std::memory_order_seq_cst)) {
+          goto retry;
+        }
+        g.retire(curr);
+        curr = g.protect(ci, *prev);
+        continue;
+      }
+      if (prev->load(std::memory_order_seq_cst) != curr) goto retry;
+      if (curr->key >= key) {
+        w = {prev, curr, next_raw};
+        return curr->key == key;
+      }
+      prev = &curr->next;
+      ci ^= 1;  // keep the old curr (the new prev-node) protected
+      curr = g.protect(ci, *prev);
+      // A marked prev-node makes *prev's raw value tagged; protect returns
+      // it tagged and the validation above (or the tag check) restarts us.
+      if (has_tag(curr, 1)) goto retry;
+    }
+  }
+
+  D& dom_;
+  std::atomic<lnode*> head_{nullptr};
+};
+
+}  // namespace hyaline::ds

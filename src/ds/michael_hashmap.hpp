@@ -1,0 +1,70 @@
+// Michael's lock-free hash map [26]: a fixed array of Harris–Michael list
+// buckets.
+//
+// The highest-throughput structure in the paper's suite (operations touch
+// a handful of nodes), which is what makes it the chosen stressor for the
+// oversubscription (Fig. 8c), robustness (Fig. 10a) and trimming
+// (Fig. 10b) experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ds/hm_list.hpp"
+
+namespace hyaline::ds {
+
+template <class D>
+class michael_hashmap {
+ public:
+  using domain_type = D;
+  using guard = typename D::guard;
+
+  static constexpr unsigned hazards_needed = hm_list<D>::hazards_needed;
+
+  /// `buckets` should be sized for the expected element count; the paper's
+  /// workload holds ~50k live keys.
+  explicit michael_hashmap(D& dom, std::size_t buckets = 16384) {
+    buckets_.reserve(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+      buckets_.push_back(std::make_unique<hm_list<D>>(dom));
+    }
+  }
+
+  michael_hashmap(const michael_hashmap&) = delete;
+  michael_hashmap& operator=(const michael_hashmap&) = delete;
+
+  bool insert(guard& g, std::uint64_t key, std::uint64_t value) {
+    return bucket(key).insert(g, key, value);
+  }
+
+  bool remove(guard& g, std::uint64_t key) {
+    return bucket(key).remove(g, key);
+  }
+
+  bool contains(guard& g, std::uint64_t key) {
+    return bucket(key).contains(g, key);
+  }
+
+  bool get(guard& g, std::uint64_t key, std::uint64_t& out) {
+    return bucket(key).get(g, key, out);
+  }
+
+  std::size_t unsafe_size() const {
+    std::size_t n = 0;
+    for (const auto& b : buckets_) n += b->unsafe_size();
+    return n;
+  }
+
+ private:
+  hm_list<D>& bucket(std::uint64_t key) {
+    // Fibonacci hashing spreads dense benchmark key ranges.
+    const std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    return *buckets_[h % buckets_.size()];
+  }
+
+  std::vector<std::unique_ptr<hm_list<D>>> buckets_;
+};
+
+}  // namespace hyaline::ds

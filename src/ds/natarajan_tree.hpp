@@ -1,0 +1,302 @@
+// Natarajan & Mittal's lock-free external binary search tree [29].
+//
+// Leaf-oriented: internal nodes route, leaves store the keys. Deletion is
+// two-phase: *injection* FLAGs the edge parent->leaf, then *cleanup* TAGs
+// the sibling edge (freezing it) and splices the sibling into the deepest
+// ancestor edge that is still untagged. Both bits live in the low bits of
+// child pointers (common/tagged_ptr.hpp).
+//
+// Reclamation discipline: edges inside an unlinked fragment always carry a
+// FLAG or TAG *before* the splice happens, and tagged/flagged edges are
+// immutable. Hence the fragment a successful splice removes is frozen: the
+// winner of the ancestor CAS walks it and retires every internal node and
+// flagged leaf exactly once. This also gives pointer-publication schemes
+// (HP/HE) their validation rule: a re-read *clean* edge proves the target
+// was not yet spliced when the hazard was published. (Traversals that cross
+// an in-progress deletion keep the same theoretical window as the paper's
+// reference framework.)
+//
+// Sentinels: keys inf0 < inf1 < inf2 occupy the top of the key space; user
+// keys must be < inf0. R(inf2) and S(inf1) and the three sentinel leaves
+// are never removed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/tagged_ptr.hpp"
+
+namespace hyaline::ds {
+
+template <class D>
+class natarajan_tree {
+ public:
+  using domain_type = D;
+  using guard = typename D::guard;
+
+  static constexpr unsigned hazards_needed = 5;
+
+  /// Largest key a user may insert.
+  static constexpr std::uint64_t max_key = ~std::uint64_t{0} - 3;
+
+  explicit natarajan_tree(D& dom) : dom_(dom) {
+    dom_.set_free_fn([](typename D::node* n) {
+      delete static_cast<tnode*>(n);
+    });
+    root_ = new tnode{inf2, 0};
+    s_ = new tnode{inf1, 0};
+    root_->left.store(s_, std::memory_order_relaxed);
+    root_->right.store(new tnode{inf2, 0}, std::memory_order_relaxed);
+    s_->left.store(new tnode{inf0, 0}, std::memory_order_relaxed);
+    s_->right.store(new tnode{inf1, 0}, std::memory_order_relaxed);
+  }
+
+  ~natarajan_tree() { free_rec(root_); }
+
+  natarajan_tree(const natarajan_tree&) = delete;
+  natarajan_tree& operator=(const natarajan_tree&) = delete;
+
+  bool insert(guard& g, std::uint64_t key, std::uint64_t value) {
+    tnode* new_leaf = nullptr;
+    tnode* new_internal = nullptr;
+    for (;;) {
+      seek_record r;
+      seek(g, key, r);
+      if (r.leaf->key == key) {
+        delete new_leaf;  // never published
+        delete new_internal;
+        return false;
+      }
+      tnode* parent = r.parent;
+      std::atomic<tnode*>* child_addr =
+          key < parent->key ? &parent->left : &parent->right;
+      if (new_leaf == nullptr) {
+        new_leaf = new tnode{key, value};
+        dom_.on_alloc(new_leaf);
+        new_internal = new tnode{0, 0};
+        dom_.on_alloc(new_internal);
+      }
+      tnode* old_leaf = r.leaf;
+      // Internal routing key = the larger leaf key; smaller key goes left.
+      new_internal->key = key > old_leaf->key ? key : old_leaf->key;
+      if (key < old_leaf->key) {
+        new_internal->left.store(new_leaf, std::memory_order_relaxed);
+        new_internal->right.store(old_leaf, std::memory_order_relaxed);
+      } else {
+        new_internal->left.store(old_leaf, std::memory_order_relaxed);
+        new_internal->right.store(new_leaf, std::memory_order_relaxed);
+      }
+      tnode* expected = old_leaf;  // clean edge required
+      if (child_addr->compare_exchange_strong(expected, new_internal,
+                                              std::memory_order_seq_cst)) {
+        return true;
+      }
+      // Help if the failure was an in-progress deletion of old_leaf.
+      tnode* raw = child_addr->load(std::memory_order_seq_cst);
+      if (untag(raw) == old_leaf && tag_of(raw) != 0) cleanup(g, key, r);
+    }
+  }
+
+  bool remove(guard& g, std::uint64_t key) {
+    bool injected = false;
+    tnode* leaf = nullptr;
+    for (;;) {
+      seek_record r;
+      seek(g, key, r);
+      if (!injected) {
+        leaf = r.leaf;
+        if (leaf->key != key) return false;
+        tnode* parent = r.parent;
+        std::atomic<tnode*>* child_addr =
+            key < parent->key ? &parent->left : &parent->right;
+        tnode* expected = leaf;  // clean edge required
+        if (child_addr->compare_exchange_strong(
+                expected, with_tag(leaf, flag_bit),
+                std::memory_order_seq_cst)) {
+          injected = true;
+          if (cleanup(g, key, r)) return true;
+        } else {
+          tnode* raw = child_addr->load(std::memory_order_seq_cst);
+          if (untag(raw) == leaf && tag_of(raw) != 0) cleanup(g, key, r);
+        }
+      } else {
+        if (r.leaf != leaf) return true;  // a helper finished the splice
+        if (cleanup(g, key, r)) return true;
+      }
+    }
+  }
+
+  bool contains(guard& g, std::uint64_t key) {
+    seek_record r;
+    seek(g, key, r);
+    return r.leaf->key == key;
+  }
+
+  bool get(guard& g, std::uint64_t key, std::uint64_t& out) {
+    seek_record r;
+    seek(g, key, r);
+    if (r.leaf->key != key) return false;
+    out = r.leaf->value;
+    return true;
+  }
+
+  /// Number of user leaves; quiescent use only.
+  std::size_t unsafe_size() const { return count_rec(root_); }
+
+ private:
+  static constexpr unsigned flag_bit = 1;  // leaf edge: delete in progress
+  static constexpr unsigned tag_bit = 2;   // sibling edge: frozen for splice
+  static constexpr std::uint64_t inf0 = ~std::uint64_t{0} - 2;
+  static constexpr std::uint64_t inf1 = ~std::uint64_t{0} - 1;
+  static constexpr std::uint64_t inf2 = ~std::uint64_t{0};
+
+  struct tnode : D::node {
+    std::uint64_t key;
+    std::uint64_t value;
+    std::atomic<tnode*> left{nullptr};
+    std::atomic<tnode*> right{nullptr};
+
+    tnode(std::uint64_t k, std::uint64_t v) : key(k), value(v) {}
+  };
+
+  struct seek_record {
+    tnode* ancestor = nullptr;   // deepest node with an untagged path edge
+    tnode* successor = nullptr;  // ancestor's child on the path
+    tnode* parent = nullptr;     // leaf's parent
+    tnode* leaf = nullptr;       // terminal leaf
+  };
+
+  /// Descend to the leaf for `key`, maintaining the four-node window. The
+  /// five hazard indices rotate between the window roles; R and S are
+  /// permanent and need no protection.
+  void seek(guard& g, std::uint64_t key, seek_record& r) {
+    constexpr unsigned none = 99;
+    unsigned free_slots[5] = {0, 1, 2, 3, 4};
+    int nfree = 5;
+    auto pop = [&] { return free_slots[--nfree]; };
+    auto push = [&](unsigned s) {
+      if (s != none) free_slots[nfree++] = s;
+    };
+
+    unsigned ia = none, is2 = none, ip = none, il = none;
+
+    r.ancestor = root_;
+    r.successor = s_;
+    r.parent = s_;
+    il = pop();
+    tnode* parent_field = g.protect(il, s_->left);
+    r.leaf = untag(parent_field);
+
+    for (;;) {
+      std::atomic<tnode*>& edge =
+          key < r.leaf->key ? r.leaf->left : r.leaf->right;
+      const unsigned it = pop();
+      tnode* cur_raw = g.protect(it, edge);
+      tnode* cur = untag(cur_raw);
+      if (cur == nullptr) {
+        push(it);
+        return;
+      }
+      if (!has_tag(parent_field, tag_bit)) {
+        push(ia);
+        if (is2 != ip) push(is2);
+        ia = ip;
+        is2 = il;
+        r.ancestor = r.parent;
+        r.successor = r.leaf;
+      }
+      if (ip != none && ip != ia && ip != is2) push(ip);
+      ip = il;
+      r.parent = r.leaf;
+      il = it;
+      r.leaf = cur;
+      parent_field = cur_raw;
+    }
+  }
+
+  /// Set the TAG bit on an edge (idempotent; pointer becomes immutable).
+  static void set_tag(std::atomic<tnode*>& edge) {
+    tnode* v = edge.load(std::memory_order_seq_cst);
+    while (!has_tag(v, tag_bit)) {
+      if (edge.compare_exchange_weak(v, with_tag(v, tag_bit),
+                                     std::memory_order_seq_cst)) {
+        return;
+      }
+    }
+  }
+
+  /// Splice the fragment [successor .. parent] + flagged leaf out of the
+  /// tree, replacing ancestor's path edge with the surviving sibling.
+  /// Returns true iff this call won the splice (and retired the fragment).
+  bool cleanup(guard& g, std::uint64_t key, seek_record& r) {
+    tnode* ancestor = r.ancestor;
+    tnode* successor = r.successor;
+    tnode* parent = r.parent;
+
+    std::atomic<tnode*>* succ_addr =
+        key < ancestor->key ? &ancestor->left : &ancestor->right;
+    std::atomic<tnode*>* child_addr;
+    std::atomic<tnode*>* sibling_addr;
+    if (key < parent->key) {
+      child_addr = &parent->left;
+      sibling_addr = &parent->right;
+    } else {
+      child_addr = &parent->right;
+      sibling_addr = &parent->left;
+    }
+    if (!has_tag(child_addr->load(std::memory_order_seq_cst), flag_bit)) {
+      // The deletion in progress is of the *other* child; it survives on
+      // the path side and the flagged one goes.
+      sibling_addr = child_addr;
+    }
+    set_tag(*sibling_addr);
+    tnode* sib = sibling_addr->load(std::memory_order_seq_cst);
+    // Keep the sibling's FLAG (its own deletion continues from ancestor),
+    // clear the TAG.
+    tnode* desired = with_tag(untag(sib), tag_of(sib) & flag_bit);
+    tnode* expected = successor;  // clean edge
+    if (!succ_addr->compare_exchange_strong(expected, desired,
+                                            std::memory_order_seq_cst)) {
+      return false;
+    }
+    // We won: the fragment is frozen (every edge inside carries FLAG/TAG
+    // and can no longer change). Retire it exactly once.
+    std::atomic<tnode*>* removed_addr =
+        sibling_addr == &parent->left ? &parent->right : &parent->left;
+    tnode* n = successor;
+    while (n != parent) {
+      const bool left_path = key < n->key;
+      tnode* on = untag((left_path ? n->left : n->right)
+                            .load(std::memory_order_seq_cst));
+      tnode* off = untag((left_path ? n->right : n->left)
+                             .load(std::memory_order_seq_cst));
+      g.retire(off);  // an intermediate's flagged leaf
+      g.retire(n);
+      n = on;
+    }
+    g.retire(parent);
+    g.retire(untag(removed_addr->load(std::memory_order_seq_cst)));
+    return true;
+  }
+
+  void free_rec(tnode* n) {
+    if (n == nullptr) return;
+    free_rec(untag(n->left.load(std::memory_order_relaxed)));
+    free_rec(untag(n->right.load(std::memory_order_relaxed)));
+    delete n;
+  }
+
+  std::size_t count_rec(const tnode* n) const {
+    if (n == nullptr) return 0;
+    const tnode* l = untag(n->left.load(std::memory_order_relaxed));
+    const tnode* rr = untag(n->right.load(std::memory_order_relaxed));
+    if (l == nullptr && rr == nullptr) return n->key < inf0 ? 1 : 0;
+    return count_rec(l) + count_rec(rr);
+  }
+
+  D& dom_;
+  tnode* root_;  // R (key inf2); left child S (key inf1); both permanent
+  tnode* s_;
+};
+
+}  // namespace hyaline::ds

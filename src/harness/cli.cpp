@@ -1,0 +1,113 @@
+#include "harness/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hyaline::harness {
+namespace {
+
+std::vector<unsigned> parse_list(const char* s) {
+  std::vector<unsigned> out;
+  const char* p = s;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    out.push_back(static_cast<unsigned>(v));
+    p = *end == ',' ? end + 1 : end;
+  }
+  return out;
+}
+
+std::vector<std::string> parse_names(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = s;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+      if (*p == '\0') break;
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  return out;
+}
+
+[[noreturn]] void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--threads a,b,...] [--stalled a,b,...]\n"
+               "          [--duration ms] [--repeats n] [--prefill n]\n"
+               "          [--range n] [--schemes name,...] [--full]\n",
+               prog);
+  std::exit(2);
+}
+
+}  // namespace
+
+bool cli_options::scheme_enabled(const std::string& name) const {
+  if (schemes.empty()) return true;
+  for (const auto& s : schemes) {
+    if (s == name) return true;
+  }
+  return false;
+}
+
+cli_options parse_cli(int argc, char** argv, cli_options defaults) {
+  cli_options o = defaults;
+  for (int i = 1; i < argc; ++i) {
+    auto need_val = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      o.threads = parse_list(need_val("--threads"));
+    } else if (std::strcmp(argv[i], "--stalled") == 0) {
+      o.stalled = parse_list(need_val("--stalled"));
+    } else if (std::strcmp(argv[i], "--duration") == 0) {
+      o.duration_ms =
+          static_cast<unsigned>(std::strtoul(need_val("--duration"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--repeats") == 0) {
+      o.repeats =
+          static_cast<unsigned>(std::strtoul(need_val("--repeats"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--prefill") == 0) {
+      o.prefill = std::strtoull(need_val("--prefill"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--range") == 0) {
+      o.key_range = std::strtoull(need_val("--range"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--schemes") == 0) {
+      o.schemes = parse_names(need_val("--schemes"));
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      o.full = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage(argv[0]);
+    }
+  }
+  if (o.full) {
+    o.duration_ms = 10000;  // paper §6: 10-second runs,
+    o.repeats = 5;          // averaged over 5 repetitions
+  }
+  return o;
+}
+
+void print_csv_header(const char* figure) {
+  std::printf("# %s\nfigure,structure,scheme,threads,stalled,mops,unreclaimed_per_op\n",
+              figure);
+  std::fflush(stdout);
+}
+
+void print_csv_row(const char* figure, const char* structure,
+                   const char* scheme, unsigned threads, unsigned stalled,
+                   double mops, double unreclaimed) {
+  std::printf("%s,%s,%s,%u,%u,%.4f,%.2f\n", figure, structure, scheme,
+              threads, stalled, mops, unreclaimed);
+  std::fflush(stdout);
+}
+
+}  // namespace hyaline::harness

@@ -1,0 +1,47 @@
+// Minimal command-line parsing shared by the benchmark binaries.
+//
+// Supported flags (all optional; each bench supplies paper-shaped
+// defaults scaled to finish quickly on a laptop/CI box):
+//   --threads 1,2,4,8    thread counts to sweep
+//   --duration <ms>      per-data-point run time
+//   --repeats <n>        runs averaged per point (paper uses 5)
+//   --prefill <n>        initial element count (paper: 50000)
+//   --range <n>          key range (paper: 100000)
+//   --stalled 0,1,...    stalled-thread counts (fig10a)
+//   --schemes a,b        restrict to named schemes
+//   --full               paper-scale settings (duration 10s, repeats 5)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyaline::harness {
+
+struct cli_options {
+  std::vector<unsigned> threads;
+  std::vector<unsigned> stalled;
+  unsigned duration_ms = 300;
+  unsigned repeats = 1;
+  std::uint64_t key_range = 100000;
+  std::size_t prefill = 50000;
+  std::vector<std::string> schemes;  // empty = all
+  bool full = false;
+
+  /// True if `name` should run under the --schemes filter.
+  bool scheme_enabled(const std::string& name) const;
+};
+
+/// Parse argv; exits with a usage message on malformed input. `defaults`
+/// seeds the sweep lists benches want when flags are absent.
+cli_options parse_cli(int argc, char** argv, cli_options defaults);
+
+/// Print the standard CSV header used by all figure benches.
+void print_csv_header(const char* figure);
+
+/// Emit one CSV data row.
+void print_csv_row(const char* figure, const char* structure,
+                   const char* scheme, unsigned threads, unsigned stalled,
+                   double mops, double unreclaimed);
+
+}  // namespace hyaline::harness

@@ -1,0 +1,72 @@
+// Shared driver for the figure benchmarks: runs one data structure across
+// the paper's scheme line-up and thread sweep, emitting CSV rows.
+#pragma once
+
+#include "harness/cli.hpp"
+#include "harness/schemes.hpp"
+#include "harness/workload.hpp"
+
+namespace hyaline::harness {
+
+/// Run one (scheme, structure) pair over the thread sweep.
+template <class D, template <class> class DS>
+void run_scheme(const char* figure, const char* structure,
+                const cli_options& o, const workload_config& base) {
+  if (!o.scheme_enabled(scheme_traits<D>::name)) return;
+  for (unsigned t : o.threads) {
+    scheme_params p;
+    p.max_threads = t + base.stalled_threads;
+    auto dom = scheme_traits<D>::make(p);
+    DS<D> s(*dom);
+    workload_config cfg = base;
+    cfg.threads = t;
+    cfg.duration_ms = o.duration_ms;
+    cfg.repeats = o.repeats;
+    cfg.key_range = o.key_range;
+    cfg.prefill = o.prefill;
+    const workload_result r = run_workload(*dom, s, cfg);
+    print_csv_row(figure, structure, scheme_traits<D>::name, t,
+                  base.stalled_threads, r.mops, r.unreclaimed_avg);
+  }
+}
+
+/// The paper's full scheme line-up for one structure. Pointer-publication
+/// schemes (HP, HE) are skipped when `include_pointer_schemes` is false
+/// (Bonsai tree, as in the paper).
+template <template <class> class DS>
+void run_all_schemes(const char* figure, const char* structure,
+                     const cli_options& o, const workload_config& base,
+                     bool include_pointer_schemes) {
+  run_scheme<smr::leaky_domain, DS>(figure, structure, o, base);
+  run_scheme<smr::ebr_domain, DS>(figure, structure, o, base);
+  run_scheme<domain, DS>(figure, structure, o, base);
+  run_scheme<domain_1, DS>(figure, structure, o, base);
+  run_scheme<domain_s, DS>(figure, structure, o, base);
+  run_scheme<domain_1s, DS>(figure, structure, o, base);
+  run_scheme<smr::ibr_domain, DS>(figure, structure, o, base);
+  if (include_pointer_schemes) {
+    run_scheme<smr::he_domain, DS>(figure, structure, o, base);
+    run_scheme<smr::hp_domain, DS>(figure, structure, o, base);
+  }
+}
+
+/// LL/SC head-policy line-up (PowerPC substitution, Figures 13-16): the
+/// Hyaline variants run on the emulated-LL/SC head, baselines unchanged.
+template <template <class> class DS>
+void run_llsc_schemes(const char* figure, const char* structure,
+                      const cli_options& o, const workload_config& base,
+                      bool include_pointer_schemes) {
+  run_scheme<smr::leaky_domain, DS>(figure, structure, o, base);
+  run_scheme<smr::ebr_domain, DS>(figure, structure, o, base);
+  run_scheme<domain_llsc, DS>(figure, structure, o, base);
+  run_scheme<domain_1, DS>(figure, structure, o, base);
+  run_scheme<domain_s_llsc, DS>(figure, structure, o, base);
+  run_scheme<domain_1s, DS>(figure, structure, o, base);
+  run_scheme<smr::ibr_domain, DS>(figure, structure, o, base);
+  if (include_pointer_schemes) {
+    run_scheme<smr::he_domain, DS>(figure, structure, o, base);
+    run_scheme<smr::hp_domain, DS>(figure, structure, o, base);
+  }
+}
+
+}  // namespace hyaline::harness

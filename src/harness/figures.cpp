@@ -1,0 +1,150 @@
+#include "harness/figures.hpp"
+
+#include "ds/bonsai_tree.hpp"
+#include "ds/hm_list.hpp"
+#include "ds/michael_hashmap.hpp"
+#include "ds/natarajan_tree.hpp"
+#include "harness/figure_runner.hpp"
+
+namespace hyaline::harness {
+namespace {
+
+workload_config base_mix(unsigned insert_pct, unsigned remove_pct,
+                         unsigned get_pct) {
+  workload_config cfg;
+  cfg.insert_pct = insert_pct;
+  cfg.remove_pct = remove_pct;
+  cfg.get_pct = get_pct;
+  return cfg;
+}
+
+// The list benchmark uses a smaller key range / prefill than the map and
+// trees: a 100k-key sorted list makes every operation a ~25k-node walk,
+// which is why the paper's list throughput is three orders of magnitude
+// below the map's. We keep the range proportional but bounded so the
+// default (CI-scale) run finishes; --full restores paper scale via the
+// regular flags.
+void scale_for_list(cli_options& o) {
+  if (o.full) return;
+  if (o.key_range > 2048) o.key_range = 2048;
+  if (o.prefill > 1024) o.prefill = 1024;
+}
+
+}  // namespace
+
+void run_matrix(const char* figure, const cli_options& o, unsigned insert_pct,
+                unsigned remove_pct, unsigned get_pct, bool llsc) {
+  print_csv_header(figure);
+  const workload_config base = base_mix(insert_pct, remove_pct, get_pct);
+
+  cli_options list_o = o;
+  scale_for_list(list_o);
+  if (llsc) {
+    run_llsc_schemes<ds::hm_list>(figure, "list", list_o, base, true);
+    run_llsc_schemes<ds::bonsai_tree>(figure, "bonsai", o, base, false);
+    run_llsc_schemes<ds::michael_hashmap>(figure, "hashmap", o, base, true);
+    run_llsc_schemes<ds::natarajan_tree>(figure, "nmtree", o, base, true);
+  } else {
+    run_all_schemes<ds::hm_list>(figure, "list", list_o, base, true);
+    run_all_schemes<ds::bonsai_tree>(figure, "bonsai", o, base, false);
+    run_all_schemes<ds::michael_hashmap>(figure, "hashmap", o, base, true);
+    run_all_schemes<ds::natarajan_tree>(figure, "nmtree", o, base, true);
+  }
+}
+
+namespace {
+
+/// One robustness data point with explicit scheme parameters (the sweep
+/// needs a slot count that does NOT scale with the stalled-thread count,
+/// so the "ran out of slots" cliff of Figure 10a is reproducible).
+template <class D>
+void run_robustness_point(const char* figure, const char* label,
+                          const cli_options& o, const scheme_params& p,
+                          const workload_config& base) {
+  if (!o.scheme_enabled(label)) return;
+  auto dom = scheme_traits<D>::make(p);
+  ds::michael_hashmap<D> s(*dom);
+  workload_config cfg = base;
+  cfg.duration_ms = o.duration_ms;
+  cfg.repeats = o.repeats;
+  cfg.key_range = o.key_range;
+  cfg.prefill = o.prefill;
+  const workload_result r = run_workload(*dom, s, cfg);
+  print_csv_row(figure, "hashmap", label, cfg.threads, cfg.stalled_threads,
+                r.mops, r.unreclaimed_avg);
+}
+
+}  // namespace
+
+void run_robustness(const char* figure, const cli_options& o,
+                    unsigned active_threads) {
+  print_csv_header(figure);
+  const std::size_t fixed_slots =
+      std::bit_ceil(std::size_t{active_threads}) * 2;
+  for (unsigned stalled : o.stalled) {
+    workload_config base = base_mix(50, 50, 0);
+    base.threads = active_threads;
+    base.stalled_threads = stalled;
+    scheme_params p;
+    p.max_threads = active_threads + stalled;
+    p.slots = fixed_slots;
+    p.ack_threshold = 512;  // scaled to short runs (paper: 8192 over 10 s)
+
+    run_robustness_point<smr::ebr_domain>(figure, "Epoch", o, p, base);
+    run_robustness_point<domain>(figure, "Hyaline", o, p, base);
+    run_robustness_point<domain_1>(figure, "Hyaline-1", o, p, base);
+    run_robustness_point<domain_s>(figure, "Hyaline-S", o, p, base);
+    scheme_params ap = p;
+    ap.max_slots = 4096;  // §4.3 adaptive growth enabled
+    run_robustness_point<domain_s>(figure, "Hyaline-S(adaptive)", o, ap,
+                                   base);
+    run_robustness_point<domain_1s>(figure, "Hyaline-1S", o, p, base);
+    run_robustness_point<smr::ibr_domain>(figure, "IBR", o, p, base);
+    run_robustness_point<smr::he_domain>(figure, "HE", o, p, base);
+    run_robustness_point<smr::hp_domain>(figure, "HP", o, p, base);
+  }
+}
+
+namespace {
+
+template <class D>
+void run_trim_scheme(const char* figure, const cli_options& o,
+                     std::size_t slot_cap, bool use_trim) {
+  const std::string label =
+      std::string(scheme_traits<D>::name) + (use_trim ? "(trim)" : "");
+  if (!o.scheme_enabled(label) && !o.scheme_enabled(scheme_traits<D>::name))
+    return;
+  for (unsigned t : o.threads) {
+    scheme_params p;
+    p.max_threads = t;
+    p.slots = slot_cap;
+    auto dom = scheme_traits<D>::make(p);
+    ds::michael_hashmap<D> s(*dom);
+    workload_config cfg;
+    cfg.insert_pct = 50;
+    cfg.remove_pct = 50;
+    cfg.get_pct = 0;
+    cfg.threads = t;
+    cfg.use_trim = use_trim;
+    cfg.duration_ms = o.duration_ms;
+    cfg.repeats = o.repeats;
+    cfg.key_range = o.key_range;
+    cfg.prefill = o.prefill;
+    const workload_result r = run_workload(*dom, s, cfg);
+    print_csv_row(figure, "hashmap", label.c_str(), t, 0, r.mops,
+                  r.unreclaimed_avg);
+  }
+}
+
+}  // namespace
+
+void run_trim(const char* figure, const cli_options& o,
+              std::size_t slot_cap) {
+  print_csv_header(figure);
+  run_trim_scheme<domain>(figure, o, slot_cap, /*use_trim=*/true);
+  run_trim_scheme<domain_s>(figure, o, slot_cap, /*use_trim=*/true);
+  run_trim_scheme<domain>(figure, o, slot_cap, /*use_trim=*/false);
+  run_trim_scheme<domain_s>(figure, o, slot_cap, /*use_trim=*/false);
+}
+
+}  // namespace hyaline::harness

@@ -1,0 +1,26 @@
+// High-level entry points for the paper-figure benchmarks. Each bench
+// binary is a thin main() over one of these; the (large) template matrix
+// of structures × schemes is instantiated once, in figures.cpp.
+#pragma once
+
+#include "harness/cli.hpp"
+
+namespace hyaline::harness {
+
+/// Figures 8/9 (write-heavy) and 11/12 (read-mostly), and their LL/SC
+/// twins 13-16: run all four structures over the full scheme line-up.
+/// `insert/remove/get` are the op-mix percentages; `llsc` switches the
+/// Hyaline variants to the emulated LL/SC head policy.
+void run_matrix(const char* figure, const cli_options& o, unsigned insert_pct,
+                unsigned remove_pct, unsigned get_pct, bool llsc);
+
+/// Figure 10a: hash map, fixed active threads, sweeping stalled threads;
+/// the interesting column is unreclaimed objects per operation.
+void run_robustness(const char* figure, const cli_options& o,
+                    unsigned active_threads);
+
+/// Figure 10b: hash map with a small slot cap (k <= 32), Hyaline and
+/// Hyaline-S with and without trim.
+void run_trim(const char* figure, const cli_options& o, std::size_t slot_cap);
+
+}  // namespace hyaline::harness

@@ -1,0 +1,214 @@
+// Workload driver: a reimplementation of the measurement loop of the test
+// framework the paper uses (Wen et al. [35]).
+//
+// Per data point (paper §6): prefill the structure with `prefill` elements,
+// run `threads` worker threads for `duration_ms`, each performing randomly
+// drawn operations on keys uniform in [0, key_range); report throughput in
+// Mops/sec and the mean number of retired-but-unreclaimed objects sampled
+// once every `sample_every` operations (Figures 9/12/14/16). Repeat
+// `repeats` times and average.
+//
+// Extras used by specific figures:
+//   - stalled_threads: extra threads that enter, touch one node, and then
+//     block until the run ends (the Figure 10a robustness experiment);
+//   - use_trim: hold one guard per thread and trim() after every operation
+//     instead of leave+enter (the Figure 10b trimming experiment).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "smr/stats.hpp"
+
+namespace hyaline::harness {
+
+struct workload_config {
+  unsigned threads = 4;
+  unsigned stalled_threads = 0;
+  unsigned duration_ms = 500;
+  unsigned repeats = 1;
+  std::uint64_t key_range = 100000;
+  std::size_t prefill = 50000;
+  /// Percentages; must sum to 100. Paper: write = {50,50,0}, read = {5,5,90}
+  /// ("90% get, 10% put", put split evenly between insert and remove to
+  /// keep the size in equilibrium).
+  unsigned insert_pct = 50;
+  unsigned remove_pct = 50;
+  unsigned get_pct = 0;
+  bool use_trim = false;
+  unsigned sample_every = 128;
+  std::uint64_t seed = 0x5eed;
+};
+
+struct workload_result {
+  double mops = 0;              ///< throughput, million operations / second
+  double unreclaimed_avg = 0;   ///< mean retired-not-yet-freed per sample
+  std::uint64_t total_ops = 0;  ///< operations completed across all threads
+};
+
+namespace detail {
+
+template <class D>
+concept has_global_flush = requires(D d) { d.flush(); };
+template <class D>
+concept has_tid_flush = requires(D d) { d.flush(0u); };
+
+template <class D>
+void flush_thread(D& dom, unsigned tid) {
+  if constexpr (has_tid_flush<D>) {
+    dom.flush(tid);
+  } else if constexpr (has_global_flush<D>) {
+    dom.flush();
+  } else {
+    (void)dom;
+    (void)tid;
+  }
+}
+
+template <class G>
+concept has_trim = requires(G g) { g.trim(); };
+
+}  // namespace detail
+
+/// Run one configuration against structure `s` over domain `dom`.
+/// DS must provide insert/remove/contains(guard&, key[, value]).
+template <class DS, class D>
+workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
+  using guard_t = typename D::guard;
+
+  // --- prefill (quiescent) ---------------------------------------------
+  {
+    xoshiro256 rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+    std::size_t live = 0;
+    while (live < cfg.prefill) {
+      guard_t g(dom, 0);
+      if (s.insert(g, rng.below(cfg.key_range), 1)) ++live;
+    }
+  }
+
+  double mops_sum = 0;
+  double unrecl_sum = 0;
+  std::uint64_t ops_total = 0;
+
+  for (unsigned rep = 0; rep < cfg.repeats; ++rep) {
+    std::atomic<bool> start{false};
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<std::uint64_t> sample_sum{0};
+    std::atomic<std::uint64_t> sample_cnt{0};
+
+    auto worker = [&](unsigned tid) {
+      xoshiro256 rng(cfg.seed + tid * 1000003 + rep * 7919);
+      std::uint64_t local_ops = 0;
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      if (!cfg.use_trim) {
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t key = rng.below(cfg.key_range);
+          const std::uint64_t dice = rng.below(100);
+          {
+            guard_t g(dom, tid);
+            if (dice < cfg.insert_pct) {
+              s.insert(g, key, key);
+            } else if (dice < cfg.insert_pct + cfg.remove_pct) {
+              s.remove(g, key);
+            } else {
+              s.contains(g, key);
+            }
+          }
+          ++local_ops;
+          if (local_ops % cfg.sample_every == 0) {
+            sample_sum.fetch_add(dom.counters().unreclaimed(),
+                                 std::memory_order_relaxed);
+            sample_cnt.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      } else {
+        // Trimming mode (§3.3): one guard spans many operations; trim()
+        // after each op reclaims without touching Head. Re-enter
+        // periodically to bound the retirement sublists.
+        constexpr std::uint64_t regrip_every = 1024;
+        while (!stop.load(std::memory_order_relaxed)) {
+          guard_t g(dom, tid);
+          for (std::uint64_t i = 0;
+               i < regrip_every && !stop.load(std::memory_order_relaxed);
+               ++i) {
+            const std::uint64_t key = rng.below(cfg.key_range);
+            const std::uint64_t dice = rng.below(100);
+            if (dice < cfg.insert_pct) {
+              s.insert(g, key, key);
+            } else if (dice < cfg.insert_pct + cfg.remove_pct) {
+              s.remove(g, key);
+            } else {
+              s.contains(g, key);
+            }
+            if constexpr (detail::has_trim<guard_t>) g.trim();
+            ++local_ops;
+            if (local_ops % cfg.sample_every == 0) {
+              sample_sum.fetch_add(dom.counters().unreclaimed(),
+                                   std::memory_order_relaxed);
+              sample_cnt.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+      ops.fetch_add(local_ops, std::memory_order_relaxed);
+      detail::flush_thread(dom, tid);
+    };
+
+    // A stalled thread enters, dereferences one node, then blocks until
+    // the run ends — pinning whatever its scheme's reservation pins.
+    auto stalled = [&](unsigned tid) {
+      xoshiro256 rng(cfg.seed + tid * 31337);
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      {
+        guard_t g(dom, tid);
+        s.contains(g, rng.below(cfg.key_range));
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      detail::flush_thread(dom, tid);
+    };
+
+    std::vector<std::thread> ts;
+    ts.reserve(cfg.threads + cfg.stalled_threads);
+    for (unsigned t = 0; t < cfg.threads; ++t) ts.emplace_back(worker, t);
+    for (unsigned t = 0; t < cfg.stalled_threads; ++t) {
+      ts.emplace_back(stalled, cfg.threads + t);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    start.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+    stop.store(true, std::memory_order_release);
+    for (auto& th : ts) th.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+            .count();
+    const std::uint64_t n = ops.load(std::memory_order_relaxed);
+    ops_total += n;
+    mops_sum += static_cast<double>(n) / secs / 1e6;
+    const std::uint64_t cnt = sample_cnt.load(std::memory_order_relaxed);
+    unrecl_sum += cnt == 0
+                      ? static_cast<double>(dom.counters().unreclaimed())
+                      : static_cast<double>(
+                            sample_sum.load(std::memory_order_relaxed)) /
+                            static_cast<double>(cnt);
+  }
+
+  workload_result r;
+  r.mops = mops_sum / cfg.repeats;
+  r.unreclaimed_avg = unrecl_sum / cfg.repeats;
+  r.total_ops = ops_total;
+  return r;
+}
+
+}  // namespace hyaline::harness

@@ -1,0 +1,64 @@
+// The uniform SMR domain facade.
+//
+// Every reclamation scheme in this library (the four Hyaline variants and
+// the five baselines) implements the same compile-time interface so the
+// lock-free data structures in src/ds can be instantiated over any of them,
+// exactly like the benchmark framework the paper builds on:
+//
+//   class D {
+//     struct node;                       // intrusive header base class
+//     class guard {                      // RAII enter/leave
+//       guard(D& dom, unsigned tid);     // tid: thread id (baselines) or
+//                                        //      slot hint (Hyaline)
+//       ~guard();                        // leave
+//       template <class T>
+//       T* protect(unsigned idx, const std::atomic<T*>& src);
+//       void retire(node* n);            // two-step reclamation, step 1
+//     };
+//     void set_free_fn(void (*)(node*)); // step 2: how to destroy a node
+//     void on_alloc(node* n);            // birth-era initialization hook
+//     smr::stats& counters();
+//     void drain();                      // quiescent-state cleanup (tests /
+//                                        // shutdown only)
+//   };
+//
+// `protect` is the single pointer-acquisition primitive:
+//   - epoch-style schemes (Leaky, EBR, Hyaline, Hyaline-1) implement it as
+//     a plain acquire load;
+//   - interval/era schemes (IBR, Hyaline-S, Hyaline-1S) bump their era
+//     reservation and re-read until stable;
+//   - pointer-publication schemes (HP, HE) publish into hazard index `idx`
+//     and validate.
+// Data structures must pass a distinct `idx` for every pointer that has to
+// stay simultaneously protected (max_hazards() of them).
+//
+// Tag bits: `protect` may be handed atomics whose stored pointers carry low
+// tag bits (mark/flag/tag); schemes that publish pointers strip the low
+// three bits before publication and retire() is always called on untagged
+// pointers, so publication and scan compare cleanly.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+
+namespace hyaline::smr {
+
+/// Compile-time check that a scheme implements the facade. Used in
+/// static_asserts in tests; data structures rely on duck typing to keep
+/// error messages local.
+template <class D>
+concept Domain = requires(D d, typename D::node* n, unsigned u,
+                          const std::atomic<typename D::node*>& src) {
+  typename D::node;
+  typename D::guard;
+  { d.counters() };
+  { d.set_free_fn(static_cast<void (*)(typename D::node*)>(nullptr)) };
+  { d.on_alloc(n) };
+  { d.drain() };
+  requires requires(typename D::guard g) {
+    { g.template protect<typename D::node>(u, src) };
+    { g.retire(n) };
+  };
+};
+
+}  // namespace hyaline::smr

@@ -1,0 +1,160 @@
+// Epoch-based reclamation (EBR) baseline.
+//
+// The three-epoch variant used by the paper's test framework (Fraser [18,
+// 19], Hart et al. [21], as packaged by Wen et al. [35]): a global epoch
+// clock, per-thread epoch reservations made at enter and cleared at leave,
+// and per-thread limbo lists. A node retired in epoch e is freed once the
+// global epoch reaches e+2 (by then every thread active at unlink time has
+// left). Fast, but a single stalled thread pins the epoch and blocks
+// reclamation globally — the non-robustness that Figure 10a demonstrates.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "smr/stats.hpp"
+
+namespace hyaline::smr {
+
+/// Tuning knobs for the EBR domain.
+struct ebr_config {
+  unsigned max_threads = 144;
+  /// Attempt a global-epoch advance every `advance_freq` retires.
+  std::uint64_t advance_freq = 64;
+};
+
+class ebr_domain {
+ public:
+  struct node {
+    node* next = nullptr;
+    std::uint64_t retire_epoch = 0;
+  };
+
+  using free_fn_t = void (*)(node*);
+
+  explicit ebr_domain(ebr_config cfg = {})
+      : cfg_(cfg), recs_(new rec[cfg.max_threads]) {}
+
+  explicit ebr_domain(unsigned max_threads)
+      : ebr_domain(ebr_config{max_threads, 64}) {}
+
+  ~ebr_domain() {
+    drain();
+    delete[] recs_;
+  }
+
+  ebr_domain(const ebr_domain&) = delete;
+  ebr_domain& operator=(const ebr_domain&) = delete;
+
+  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
+  void on_alloc(node*) { stats_->on_alloc(); }
+  stats& counters() { return *stats_; }
+  const stats& counters() const { return *stats_; }
+
+  class guard {
+   public:
+    guard(ebr_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
+      assert(tid < dom.cfg_.max_threads);
+      dom_.recs_[tid].reservation.store(
+          dom_.epoch_->load(std::memory_order_seq_cst),
+          std::memory_order_seq_cst);
+    }
+
+    ~guard() {
+      dom_.recs_[tid_].reservation.store(inactive,
+                                         std::memory_order_seq_cst);
+    }
+
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+    template <class T>
+    T* protect(unsigned /*idx*/, const std::atomic<T*>& src) {
+      return src.load(std::memory_order_acquire);
+    }
+
+    void retire(node* n) { dom_.retire(tid_, n); }
+
+   private:
+    ebr_domain& dom_;
+    unsigned tid_;
+  };
+
+  /// Quiescent-state cleanup: with every reservation inactive, advancing
+  /// the epoch twice makes every limbo node reclaimable.
+  void drain() {
+    for (int i = 0; i < 3; ++i) try_advance();
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) reclaim(t);
+  }
+
+  std::uint64_t debug_epoch() const {
+    return epoch_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t inactive = ~std::uint64_t{0};
+
+  struct alignas(cache_line_size) rec {
+    std::atomic<std::uint64_t> reservation{inactive};
+    node* limbo_head = nullptr;  // owner-thread private
+    node* limbo_tail = nullptr;
+    std::uint64_t retire_count = 0;
+  };
+
+  void retire(unsigned tid, node* n) {
+    stats_->on_retire();
+    rec& r = recs_[tid];
+    n->retire_epoch = epoch_->load(std::memory_order_seq_cst);
+    n->next = nullptr;
+    if (r.limbo_tail == nullptr) {
+      r.limbo_head = r.limbo_tail = n;
+    } else {
+      r.limbo_tail->next = n;
+      r.limbo_tail = n;
+    }
+    if (++r.retire_count % cfg_.advance_freq == 0) {
+      try_advance();
+    }
+    reclaim(tid);
+  }
+
+  /// Advance the global epoch if every active thread has observed it.
+  void try_advance() {
+    const std::uint64_t e = epoch_->load(std::memory_order_seq_cst);
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      const std::uint64_t res =
+          recs_[t].reservation.load(std::memory_order_seq_cst);
+      if (res != inactive && res < e) return;  // straggler (or stalled)
+    }
+    std::uint64_t expected = e;
+    epoch_->compare_exchange_strong(expected, e + 1,
+                                   std::memory_order_seq_cst);
+  }
+
+  /// Free this thread's limbo nodes at least two epochs old. The limbo
+  /// list is FIFO by retire epoch, so we pop from the head.
+  void reclaim(unsigned tid) {
+    rec& r = recs_[tid];
+    const std::uint64_t e = epoch_->load(std::memory_order_seq_cst);
+    while (r.limbo_head != nullptr &&
+           r.limbo_head->retire_epoch + 2 <= e) {
+      node* n = r.limbo_head;
+      r.limbo_head = n->next;
+      if (r.limbo_head == nullptr) r.limbo_tail = nullptr;
+      free_fn_(n);
+      stats_->on_free();
+    }
+  }
+
+  static void default_free(node* n) { delete n; }
+
+  const ebr_config cfg_;
+  rec* recs_;
+  padded<std::atomic<std::uint64_t>> epoch_{2};
+  free_fn_t free_fn_ = &default_free;
+  padded_stats stats_;
+};
+
+}  // namespace hyaline::smr

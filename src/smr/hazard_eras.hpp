@@ -1,0 +1,193 @@
+// Hazard Eras (HE) baseline — Ramalhete & Correia [31].
+//
+// Reconciles EBR's speed with HP's robustness: instead of publishing
+// pointer *addresses*, a thread publishes the current *era* into a hazard
+// index. Every node records its birth era at allocation and its retire era
+// at retirement; a retired node is freed only when no published era falls
+// inside [birth, retire]. Robust: a stalled thread pins only nodes whose
+// lifetime overlaps its published eras.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "smr/stats.hpp"
+
+namespace hyaline::smr {
+
+/// Tuning knobs for the HE domain.
+struct he_config {
+  unsigned max_threads = 144;
+  unsigned eras_per_thread = 8;
+  /// Bump the global era clock every `era_freq` allocations.
+  std::uint64_t era_freq = 64;
+  /// Scan this thread's retired list at this size (0 = auto).
+  std::size_t scan_threshold = 0;
+};
+
+class he_domain {
+ public:
+  struct node {
+    node* next = nullptr;
+    std::uint64_t birth_era = 0;
+    std::uint64_t retire_era = 0;
+  };
+
+  using free_fn_t = void (*)(node*);
+
+  explicit he_domain(he_config cfg = {}) : cfg_(cfg) {
+    if (cfg_.scan_threshold == 0) {
+      cfg_.scan_threshold =
+          2 * std::size_t{cfg_.max_threads} * cfg_.eras_per_thread;
+    }
+    recs_ = new rec[cfg_.max_threads];
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      recs_[t].eras = new std::atomic<std::uint64_t>[cfg_.eras_per_thread] {};
+    }
+  }
+
+  explicit he_domain(unsigned max_threads)
+      : he_domain(he_config{max_threads, 8, 64, 0}) {}
+
+  ~he_domain() {
+    drain();
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) delete[] recs_[t].eras;
+    delete[] recs_;
+  }
+
+  he_domain(const he_domain&) = delete;
+  he_domain& operator=(const he_domain&) = delete;
+
+  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
+
+  void on_alloc(node* n) {
+    stats_->on_alloc();
+    thread_local std::uint64_t alloc_counter = 0;
+    if (++alloc_counter % cfg_.era_freq == 0) {
+      era_->fetch_add(1, std::memory_order_seq_cst);
+    }
+    n->birth_era = era_->load(std::memory_order_seq_cst);
+  }
+
+  stats& counters() { return *stats_; }
+  const stats& counters() const { return *stats_; }
+
+  class guard {
+   public:
+    guard(he_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
+      assert(tid < dom.cfg_.max_threads);
+    }
+
+    ~guard() {
+      rec& r = dom_.recs_[tid_];
+      for (unsigned i = 0; i < dom_.cfg_.eras_per_thread; ++i) {
+        r.eras[i].store(0, std::memory_order_release);
+      }
+    }
+
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+    /// HE get_protected: publish the current era in index `idx` and
+    /// re-read until the era is stable across the load.
+    template <class T>
+    T* protect(unsigned idx, const std::atomic<T*>& src) {
+      assert(idx < dom_.cfg_.eras_per_thread);
+      std::atomic<std::uint64_t>& he = dom_.recs_[tid_].eras[idx];
+      std::uint64_t prev = he.load(std::memory_order_relaxed);
+      for (;;) {
+        T* p = src.load(std::memory_order_acquire);
+        const std::uint64_t e = dom_.era_->load(std::memory_order_seq_cst);
+        if (e == prev) return p;
+        he.store(e, std::memory_order_seq_cst);
+        prev = e;
+      }
+    }
+
+    void retire(node* n) { dom_.retire(tid_, n); }
+
+   private:
+    he_domain& dom_;
+    unsigned tid_;
+  };
+
+  void drain() {
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) scan(t);
+  }
+
+  std::uint64_t debug_era() const {
+    return era_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(cache_line_size) rec {
+    std::atomic<std::uint64_t>* eras = nullptr;
+    node* retired_head = nullptr;  // owner-thread private
+    std::size_t retired_count = 0;
+    std::size_t scan_at = 0;  // adaptive: kept + threshold after each scan
+  };
+
+  void retire(unsigned tid, node* n) {
+    stats_->on_retire();
+    n->retire_era = era_->load(std::memory_order_seq_cst);
+    rec& r = recs_[tid];
+    n->next = r.retired_head;
+    r.retired_head = n;
+    if (r.scan_at == 0) r.scan_at = cfg_.scan_threshold;
+    // Adaptive rescan point: nodes pinned by long-lived reservations stay
+    // on the list; rescanning them on a fixed period would make retire
+    // O(list length). Rescan only once the list grew by a full threshold
+    // beyond what the previous scan could not free.
+    if (++r.retired_count >= r.scan_at) {
+      scan(tid);
+      // Geometric growth keeps retire amortized O(threads) even when most
+      // of the list is pinned: the next scan happens only after the list
+      // doubles (plus a floor of scan_threshold).
+      r.scan_at = 2 * r.retired_count + cfg_.scan_threshold;
+    }
+  }
+
+  bool can_free(const node* n) const {
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      for (unsigned i = 0; i < cfg_.eras_per_thread; ++i) {
+        const std::uint64_t e =
+            recs_[t].eras[i].load(std::memory_order_seq_cst);
+        if (e != 0 && n->birth_era <= e && e <= n->retire_era) return false;
+      }
+    }
+    return true;
+  }
+
+  void scan(unsigned tid) {
+    rec& r = recs_[tid];
+    node* keep = nullptr;
+    std::size_t kept = 0;
+    node* n = r.retired_head;
+    while (n != nullptr) {
+      node* nx = n->next;
+      if (can_free(n)) {
+        free_fn_(n);
+        stats_->on_free();
+      } else {
+        n->next = keep;
+        keep = n;
+        ++kept;
+      }
+      n = nx;
+    }
+    r.retired_head = keep;
+    r.retired_count = kept;
+  }
+
+  static void default_free(node* n) { delete n; }
+
+  he_config cfg_;
+  rec* recs_ = nullptr;
+  padded<std::atomic<std::uint64_t>> era_{1};
+  free_fn_t free_fn_ = &default_free;
+  padded_stats stats_;
+};
+
+}  // namespace hyaline::smr

@@ -1,0 +1,184 @@
+// Hazard Pointers (HP) baseline — Michael [26].
+//
+// Per-thread array of hazard slots; `protect` publishes the (untagged)
+// pointer and validates by re-reading the source. Retired nodes collect in
+// a per-thread list; once the list exceeds the scan threshold, the thread
+// snapshots all hazards and frees every retired node not present in the
+// snapshot. Robust (a stalled thread pins at most its own K hazards) but
+// pays a store+fence per pointer acquisition — the slowness the paper's
+// figures show.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/tagged_ptr.hpp"
+#include "smr/stats.hpp"
+
+namespace hyaline::smr {
+
+/// Tuning knobs for the HP domain.
+struct hp_config {
+  unsigned max_threads = 144;
+  unsigned hazards_per_thread = 8;
+  /// Scan when a thread's retired list reaches this size (0 = auto:
+  /// 2 * max_threads * hazards_per_thread, the classic H·R rule).
+  std::size_t scan_threshold = 0;
+};
+
+class hp_domain {
+ public:
+  struct node {
+    node* next = nullptr;
+  };
+
+  using free_fn_t = void (*)(node*);
+
+  explicit hp_domain(hp_config cfg = {}) : cfg_(cfg) {
+    if (cfg_.scan_threshold == 0) {
+      cfg_.scan_threshold =
+          2 * std::size_t{cfg_.max_threads} * cfg_.hazards_per_thread;
+    }
+    recs_ = new rec[cfg_.max_threads];
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      recs_[t].hazards = new std::atomic<void*>[cfg_.hazards_per_thread] {};
+    }
+  }
+
+  explicit hp_domain(unsigned max_threads)
+      : hp_domain(hp_config{max_threads, 8, 0}) {}
+
+  ~hp_domain() {
+    drain();
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      delete[] recs_[t].hazards;
+    }
+    delete[] recs_;
+  }
+
+  hp_domain(const hp_domain&) = delete;
+  hp_domain& operator=(const hp_domain&) = delete;
+
+  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
+  void on_alloc(node*) { stats_->on_alloc(); }
+  stats& counters() { return *stats_; }
+  const stats& counters() const { return *stats_; }
+
+  class guard {
+   public:
+    guard(hp_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
+      assert(tid < dom.cfg_.max_threads);
+    }
+
+    ~guard() {
+      // Clear this thread's hazards (leave).
+      rec& r = dom_.recs_[tid_];
+      for (unsigned i = 0; i < dom_.cfg_.hazards_per_thread; ++i) {
+        r.hazards[i].store(nullptr, std::memory_order_release);
+      }
+    }
+
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+    /// Publish-and-validate loop. The published value is stripped of tag
+    /// bits so it compares equal to the pointer later passed to retire().
+    template <class T>
+    T* protect(unsigned idx, const std::atomic<T*>& src) {
+      assert(idx < dom_.cfg_.hazards_per_thread);
+      std::atomic<void*>& hp = dom_.recs_[tid_].hazards[idx];
+      T* p = src.load(std::memory_order_acquire);
+      for (;;) {
+        hp.store(untag(p), std::memory_order_seq_cst);
+        T* q = src.load(std::memory_order_seq_cst);
+        if (q == p) return p;
+        p = q;
+      }
+    }
+
+    void retire(node* n) { dom_.retire(tid_, n); }
+
+   private:
+    hp_domain& dom_;
+    unsigned tid_;
+  };
+
+  /// Quiescent-state cleanup: with all hazards clear, one scan per thread
+  /// frees everything.
+  void drain() {
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) scan(t);
+  }
+
+ private:
+  struct alignas(cache_line_size) rec {
+    std::atomic<void*>* hazards = nullptr;
+    node* retired_head = nullptr;  // owner-thread private
+    std::size_t retired_count = 0;
+    std::size_t scan_at = 0;  // adaptive: kept + threshold after each scan
+  };
+
+  void retire(unsigned tid, node* n) {
+    stats_->on_retire();
+    rec& r = recs_[tid];
+    n->next = r.retired_head;
+    r.retired_head = n;
+    if (r.scan_at == 0) r.scan_at = cfg_.scan_threshold;
+    // Adaptive rescan point: nodes pinned by long-lived reservations stay
+    // on the list; rescanning them on a fixed period would make retire
+    // O(list length). Rescan only once the list grew by a full threshold
+    // beyond what the previous scan could not free.
+    if (++r.retired_count >= r.scan_at) {
+      scan(tid);
+      // Geometric growth keeps retire amortized O(threads) even when most
+      // of the list is pinned: the next scan happens only after the list
+      // doubles (plus a floor of scan_threshold).
+      r.scan_at = 2 * r.retired_count + cfg_.scan_threshold;
+    }
+  }
+
+  void scan(unsigned tid) {
+    rec& r = recs_[tid];
+    std::vector<void*> snapshot;
+    snapshot.reserve(std::size_t{cfg_.max_threads} *
+                     cfg_.hazards_per_thread);
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      for (unsigned i = 0; i < cfg_.hazards_per_thread; ++i) {
+        void* h = recs_[t].hazards[i].load(std::memory_order_seq_cst);
+        if (h != nullptr) snapshot.push_back(h);
+      }
+    }
+    std::sort(snapshot.begin(), snapshot.end());
+
+    node* keep = nullptr;
+    std::size_t kept = 0;
+    node* n = r.retired_head;
+    while (n != nullptr) {
+      node* nx = n->next;
+      if (std::binary_search(snapshot.begin(), snapshot.end(),
+                             static_cast<void*>(n))) {
+        n->next = keep;
+        keep = n;
+        ++kept;
+      } else {
+        free_fn_(n);
+        stats_->on_free();
+      }
+      n = nx;
+    }
+    r.retired_head = keep;
+    r.retired_count = kept;
+  }
+
+  static void default_free(node* n) { delete n; }
+
+  hp_config cfg_;
+  rec* recs_ = nullptr;
+  free_fn_t free_fn_ = &default_free;
+  padded_stats stats_;
+};
+
+}  // namespace hyaline::smr

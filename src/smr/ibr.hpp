@@ -1,0 +1,192 @@
+// Interval-Based Reclamation, 2GE variant (IBR) — Wen et al. [35].
+//
+// The scheme whose API the paper calls "reminiscent of EBR": each thread
+// reserves a single era *interval* [lo, hi]; enter sets lo = hi = era, and
+// every pointer acquisition extends hi to the current era (no per-pointer
+// "unreserve", unlike HP/HE). Nodes carry birth and retire eras; a retired
+// node is freed when its lifetime interval [birth, retire] intersects no
+// thread's reservation interval. Robust, O(n) reclamation.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "smr/stats.hpp"
+
+namespace hyaline::smr {
+
+/// Tuning knobs for the IBR domain.
+struct ibr_config {
+  unsigned max_threads = 144;
+  /// Bump the global era clock every `era_freq` allocations.
+  std::uint64_t era_freq = 64;
+  /// Scan this thread's retired list at this size (0 = auto).
+  std::size_t scan_threshold = 0;
+};
+
+class ibr_domain {
+ public:
+  struct node {
+    node* next = nullptr;
+    std::uint64_t birth_era = 0;
+    std::uint64_t retire_era = 0;
+  };
+
+  using free_fn_t = void (*)(node*);
+
+  explicit ibr_domain(ibr_config cfg = {}) : cfg_(cfg) {
+    if (cfg_.scan_threshold == 0) {
+      cfg_.scan_threshold = 2 * std::size_t{cfg_.max_threads};
+    }
+    recs_ = new rec[cfg_.max_threads];
+  }
+
+  explicit ibr_domain(unsigned max_threads)
+      : ibr_domain(ibr_config{max_threads, 64, 0}) {}
+
+  ~ibr_domain() {
+    drain();
+    delete[] recs_;
+  }
+
+  ibr_domain(const ibr_domain&) = delete;
+  ibr_domain& operator=(const ibr_domain&) = delete;
+
+  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
+
+  void on_alloc(node* n) {
+    stats_->on_alloc();
+    thread_local std::uint64_t alloc_counter = 0;
+    if (++alloc_counter % cfg_.era_freq == 0) {
+      era_->fetch_add(1, std::memory_order_seq_cst);
+    }
+    n->birth_era = era_->load(std::memory_order_seq_cst);
+  }
+
+  stats& counters() { return *stats_; }
+  const stats& counters() const { return *stats_; }
+
+  class guard {
+   public:
+    guard(ibr_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
+      assert(tid < dom.cfg_.max_threads);
+      const std::uint64_t e = dom_.era_->load(std::memory_order_seq_cst);
+      rec& r = dom_.recs_[tid];
+      r.lo.store(e, std::memory_order_seq_cst);
+      r.hi.store(e, std::memory_order_seq_cst);
+    }
+
+    ~guard() {
+      rec& r = dom_.recs_[tid_];
+      r.lo.store(inactive, std::memory_order_release);
+      r.hi.store(0, std::memory_order_release);
+    }
+
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+    /// 2GE-IBR read: extend the reservation's upper bound to the current
+    /// era, re-reading the pointer until the era is stable.
+    template <class T>
+    T* protect(unsigned /*idx*/, const std::atomic<T*>& src) {
+      rec& r = dom_.recs_[tid_];
+      std::uint64_t cur = r.hi.load(std::memory_order_relaxed);
+      for (;;) {
+        T* p = src.load(std::memory_order_acquire);
+        const std::uint64_t e = dom_.era_->load(std::memory_order_seq_cst);
+        if (e == cur) return p;
+        r.hi.store(e, std::memory_order_seq_cst);
+        cur = e;
+      }
+    }
+
+    void retire(node* n) { dom_.retire(tid_, n); }
+
+   private:
+    ibr_domain& dom_;
+    unsigned tid_;
+  };
+
+  void drain() {
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) scan(t);
+  }
+
+  std::uint64_t debug_era() const {
+    return era_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t inactive = ~std::uint64_t{0};
+
+  struct alignas(cache_line_size) rec {
+    std::atomic<std::uint64_t> lo{inactive};
+    std::atomic<std::uint64_t> hi{0};
+    node* retired_head = nullptr;  // owner-thread private
+    std::size_t retired_count = 0;
+    std::size_t scan_at = 0;  // adaptive: kept + threshold after each scan
+  };
+
+  void retire(unsigned tid, node* n) {
+    stats_->on_retire();
+    n->retire_era = era_->load(std::memory_order_seq_cst);
+    rec& r = recs_[tid];
+    n->next = r.retired_head;
+    r.retired_head = n;
+    if (r.scan_at == 0) r.scan_at = cfg_.scan_threshold;
+    // Adaptive rescan point: nodes pinned by long-lived reservations stay
+    // on the list; rescanning them on a fixed period would make retire
+    // O(list length). Rescan only once the list grew by a full threshold
+    // beyond what the previous scan could not free.
+    if (++r.retired_count >= r.scan_at) {
+      scan(tid);
+      // Geometric growth keeps retire amortized O(threads) even when most
+      // of the list is pinned: the next scan happens only after the list
+      // doubles (plus a floor of scan_threshold).
+      r.scan_at = 2 * r.retired_count + cfg_.scan_threshold;
+    }
+  }
+
+  bool can_free(const node* n) const {
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      const std::uint64_t lo = recs_[t].lo.load(std::memory_order_seq_cst);
+      if (lo == inactive) continue;
+      const std::uint64_t hi = recs_[t].hi.load(std::memory_order_seq_cst);
+      // Intervals intersect iff birth <= hi && retire >= lo.
+      if (n->birth_era <= hi && n->retire_era >= lo) return false;
+    }
+    return true;
+  }
+
+  void scan(unsigned tid) {
+    rec& r = recs_[tid];
+    node* keep = nullptr;
+    std::size_t kept = 0;
+    node* n = r.retired_head;
+    while (n != nullptr) {
+      node* nx = n->next;
+      if (can_free(n)) {
+        free_fn_(n);
+        stats_->on_free();
+      } else {
+        n->next = keep;
+        keep = n;
+        ++kept;
+      }
+      n = nx;
+    }
+    r.retired_head = keep;
+    r.retired_count = kept;
+  }
+
+  static void default_free(node* n) { delete n; }
+
+  ibr_config cfg_;
+  rec* recs_ = nullptr;
+  padded<std::atomic<std::uint64_t>> era_{1};
+  free_fn_t free_fn_ = &default_free;
+  padded_stats stats_;
+};
+
+}  // namespace hyaline::smr

@@ -1,0 +1,80 @@
+// "Leaky" pseudo-scheme: no reclamation during the run.
+//
+// The paper's evaluation (§6) uses Leaky as the baseline that shows the raw
+// data-structure throughput without any SMR cost. Retired nodes are parked
+// on a global Treiber stack and released only at drain()/destruction so the
+// test suite can still verify leak-freedom.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "smr/stats.hpp"
+
+namespace hyaline::smr {
+
+class leaky_domain {
+ public:
+  struct node {
+    node* next = nullptr;
+  };
+
+  using free_fn_t = void (*)(node*);
+
+  explicit leaky_domain(unsigned /*max_threads*/ = 0) {}
+
+  ~leaky_domain() { drain(); }
+
+  leaky_domain(const leaky_domain&) = delete;
+  leaky_domain& operator=(const leaky_domain&) = delete;
+
+  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
+  void on_alloc(node*) { stats_->on_alloc(); }
+  stats& counters() { return *stats_; }
+  const stats& counters() const { return *stats_; }
+
+  class guard {
+   public:
+    guard(leaky_domain& dom, unsigned /*tid*/) : dom_(dom) {}
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+    template <class T>
+    T* protect(unsigned /*idx*/, const std::atomic<T*>& src) {
+      return src.load(std::memory_order_acquire);
+    }
+
+    void retire(node* n) {
+      dom_.stats_->on_retire();
+      node* head = dom_.retired_.load(std::memory_order_relaxed);
+      do {
+        n->next = head;
+      } while (!dom_.retired_.compare_exchange_weak(
+          head, n, std::memory_order_release, std::memory_order_relaxed));
+    }
+
+   private:
+    leaky_domain& dom_;
+  };
+
+  /// Releases every parked node. Quiescent use only.
+  void drain() {
+    node* n = retired_.exchange(nullptr, std::memory_order_acquire);
+    while (n != nullptr) {
+      node* nx = n->next;
+      free_fn_(n);
+      stats_->on_free();
+      n = nx;
+    }
+  }
+
+ private:
+  static void default_free(node* n) { delete n; }
+
+  std::atomic<node*> retired_{nullptr};
+  free_fn_t free_fn_ = &default_free;
+  padded_stats stats_;
+};
+
+}  // namespace hyaline::smr

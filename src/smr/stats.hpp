@@ -1,0 +1,42 @@
+// Reclamation statistics shared by every SMR domain.
+//
+// The paper's Figures 9/12/14/16 plot the average number of retired but not
+// yet reclaimed objects per operation; these counters are what the harness
+// samples to regenerate them. Counters are relaxed (they are monotone
+// statistics, not synchronization).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+
+namespace hyaline::smr {
+
+struct stats {
+  std::atomic<std::uint64_t> allocated{0};
+  std::atomic<std::uint64_t> retired{0};
+  std::atomic<std::uint64_t> freed{0};
+
+  void on_alloc(std::uint64_t n = 1) {
+    allocated.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_retire(std::uint64_t n = 1) {
+    retired.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_free(std::uint64_t n = 1) {
+    freed.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Retired-but-not-yet-reclaimed snapshot. Relaxed reads: the value is a
+  /// statistical sample, momentary inconsistencies are fine.
+  std::uint64_t unreclaimed() const {
+    const auto r = retired.load(std::memory_order_relaxed);
+    const auto f = freed.load(std::memory_order_relaxed);
+    return r >= f ? r - f : 0;
+  }
+};
+
+using padded_stats = hyaline::padded<stats>;
+
+}  // namespace hyaline::smr

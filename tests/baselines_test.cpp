@@ -1,0 +1,266 @@
+// Unit tests for the baseline SMR schemes: Leaky, EBR, HP, HE, IBR.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "smr/domain.hpp"
+#include "smr/ebr.hpp"
+#include "smr/hazard_eras.hpp"
+#include "smr/hazard_pointers.hpp"
+#include "smr/hyaline.hpp"
+#include "smr/hyaline1.hpp"
+#include "smr/ibr.hpp"
+#include "smr/leaky.hpp"
+
+namespace hyaline::smr {
+namespace {
+
+// Compile-time: every scheme satisfies the uniform facade.
+static_assert(Domain<leaky_domain>);
+static_assert(Domain<ebr_domain>);
+static_assert(Domain<hp_domain>);
+static_assert(Domain<he_domain>);
+static_assert(Domain<ibr_domain>);
+static_assert(Domain<hyaline::domain>);
+static_assert(Domain<hyaline::domain_dw>);
+static_assert(Domain<hyaline::domain_llsc>);
+static_assert(Domain<hyaline::domain_s>);
+static_assert(Domain<hyaline::domain_1>);
+static_assert(Domain<hyaline::domain_1s>);
+
+template <class D>
+typename D::node* make_node(D& dom) {
+  auto* n = new typename D::node;
+  dom.on_alloc(n);
+  return n;
+}
+
+// ---------------------------------------------------------------- Leaky --
+
+TEST(Leaky, NeverFreesDuringRun) {
+  leaky_domain dom;
+  {
+    leaky_domain::guard g(dom, 0);
+    for (int i = 0; i < 100; ++i) g.retire(make_node(dom));
+  }
+  EXPECT_EQ(dom.counters().freed.load(), 0u);
+  EXPECT_EQ(dom.counters().unreclaimed(), 100u);
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), 100u);
+}
+
+// ------------------------------------------------------------------ EBR --
+
+TEST(Ebr, EpochAdvancesWhenQuiescent) {
+  ebr_domain dom(ebr_config{2, /*advance_freq=*/1});
+  const auto e0 = dom.debug_epoch();
+  {
+    ebr_domain::guard g(dom, 0);
+    for (int i = 0; i < 10; ++i) g.retire(make_node(dom));
+  }
+  EXPECT_GT(dom.debug_epoch(), e0);
+}
+
+TEST(Ebr, NodesFreeAfterTwoEpochs) {
+  ebr_domain dom(ebr_config{2, 1});
+  {
+    ebr_domain::guard g(dom, 0);
+    g.retire(make_node(dom));
+    // Churn more retires so the epoch advances and reclamation triggers.
+    for (int i = 0; i < 8; ++i) g.retire(make_node(dom));
+  }
+  {
+    ebr_domain::guard g(dom, 0);
+    for (int i = 0; i < 8; ++i) g.retire(make_node(dom));
+  }
+  EXPECT_GT(dom.counters().freed.load(), 0u);
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+}
+
+TEST(Ebr, StalledReaderPinsTheEpoch) {
+  ebr_domain dom(ebr_config{2, 1});
+  auto* pinned = new ebr_domain::guard(dom, 1);  // enters and never leaves
+  const auto e0 = dom.debug_epoch();
+  {
+    ebr_domain::guard g(dom, 0);
+    for (int i = 0; i < 50; ++i) g.retire(make_node(dom));
+  }
+  EXPECT_LE(dom.debug_epoch(), e0 + 1)
+      << "the stalled reservation must block advances past its epoch";
+  EXPECT_EQ(dom.counters().freed.load(), 0u)
+      << "non-robust: nothing reclaims while a reader is stalled";
+  delete pinned;
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+}
+
+// ------------------------------------------------------------------- HP --
+
+TEST(Hp, HazardProtectsNodeFromScan) {
+  hp_domain dom(hp_config{2, 2, /*scan_threshold=*/1});
+  auto* victim = make_node(dom);
+  std::atomic<hp_domain::node*> src{victim};
+
+  hp_domain::guard reader(dom, 0);
+  EXPECT_EQ(reader.protect(0, src), victim);
+  {
+    hp_domain::guard writer(dom, 1);
+    src.store(nullptr);
+    writer.retire(victim);          // threshold 1: scan runs immediately
+    for (int i = 0; i < 10; ++i) {  // more retires, more scans
+      writer.retire(make_node(dom));
+    }
+  }
+  EXPECT_LT(dom.counters().freed.load(), dom.counters().retired.load())
+      << "the hazarded victim must survive every scan";
+  // Reader drops its hazard; now the victim is reclaimable.
+  reader.~guard();
+  new (&reader) hp_domain::guard(dom, 0);
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+}
+
+TEST(Hp, ProtectReloadsUntilStable) {
+  hp_domain dom(hp_config{1, 1, 100});
+  auto* a = make_node(dom);
+  auto* b = make_node(dom);
+  std::atomic<hp_domain::node*> src{a};
+  hp_domain::guard g(dom, 0);
+  EXPECT_EQ(g.protect(0, src), a);
+  src.store(b);
+  EXPECT_EQ(g.protect(0, src), b);
+  delete a;
+  delete b;
+}
+
+TEST(Hp, ScanThresholdBoundsRetiredList) {
+  hp_domain dom(hp_config{1, 1, /*scan_threshold=*/8});
+  {
+    hp_domain::guard g(dom, 0);
+    for (int i = 0; i < 64; ++i) g.retire(make_node(dom));
+  }
+  // No hazards held: every scan frees the whole list.
+  EXPECT_GE(dom.counters().freed.load(), 56u);
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), 64u);
+}
+
+// ------------------------------------------------------------------- HE --
+
+TEST(He, BirthAndRetireErasBracketLifetimes) {
+  he_domain dom(he_config{2, 2, /*era_freq=*/1, /*scan_threshold=*/1});
+  auto* victim = make_node(dom);
+  std::atomic<he_domain::node*> src{victim};
+  hyaline::smr::he_domain::guard reader(dom, 0);
+  EXPECT_EQ(reader.protect(0, src), victim);
+  {
+    he_domain::guard writer(dom, 1);
+    writer.retire(victim);
+    for (int i = 0; i < 10; ++i) writer.retire(make_node(dom));
+  }
+  EXPECT_LT(dom.counters().freed.load(), dom.counters().retired.load())
+      << "reader's published era lies inside the victim's interval";
+  reader.~guard();
+  new (&reader) he_domain::guard(dom, 0);
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+}
+
+TEST(He, OldReservationDoesNotPinNewNodes) {
+  he_domain dom(he_config{2, 2, 1, /*scan_threshold=*/4});
+  auto* early = make_node(dom);
+  std::atomic<he_domain::node*> src{early};
+  he_domain::guard reader(dom, 0);
+  reader.protect(0, src);  // era reserved "early"
+  std::uint64_t freed_before;
+  {
+    he_domain::guard writer(dom, 1);
+    // Nodes born after the reader's reservation are reclaimable.
+    for (int i = 0; i < 32; ++i) writer.retire(make_node(dom));
+    freed_before = dom.counters().freed.load();
+  }
+  EXPECT_GT(freed_before, 0u)
+      << "robust: a parked era only pins its own interval";
+  delete early;
+}
+
+// ------------------------------------------------------------------ IBR --
+
+TEST(Ibr, IntervalOverlapBlocksJustThatNode) {
+  ibr_domain dom(ibr_config{2, /*era_freq=*/1, /*scan_threshold=*/1});
+  auto* victim = make_node(dom);
+  std::atomic<ibr_domain::node*> src{victim};
+  ibr_domain::guard reader(dom, 0);
+  EXPECT_EQ(reader.protect(0, src), victim);
+  {
+    ibr_domain::guard writer(dom, 1);
+    writer.retire(victim);
+    for (int i = 0; i < 10; ++i) writer.retire(make_node(dom));
+  }
+  EXPECT_LT(dom.counters().freed.load(), dom.counters().retired.load());
+  reader.~guard();
+  new (&reader) ibr_domain::guard(dom, 0);
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+}
+
+TEST(Ibr, StalledReaderPinsOnlyItsInterval) {
+  ibr_domain dom(ibr_config{2, 1, 4});
+  auto* parked_guard = new ibr_domain::guard(dom, 0);  // reserves [e, e]
+  {
+    ibr_domain::guard writer(dom, 1);
+    for (int i = 0; i < 64; ++i) writer.retire(make_node(dom));
+  }
+  EXPECT_GT(dom.counters().freed.load(), 0u)
+      << "nodes born after the parked interval must still reclaim";
+  delete parked_guard;
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+}
+
+TEST(Ibr, ProtectExtendsUpperBound) {
+  ibr_domain dom(ibr_config{1, 1, 100});
+  std::atomic<ibr_domain::node*> src{nullptr};
+  ibr_domain::guard g(dom, 0);
+  std::vector<ibr_domain::node*> nodes;
+  for (int i = 0; i < 8; ++i) nodes.push_back(make_node(dom));  // era moves
+  EXPECT_EQ(g.protect(0, src), nullptr);  // must not loop forever
+  for (auto* n : nodes) delete n;
+}
+
+// --------------------------------------------------- cross-scheme churn --
+
+template <class D>
+class BaselineChurnTest : public ::testing::Test {};
+
+using Baselines =
+    ::testing::Types<leaky_domain, ebr_domain, hp_domain, he_domain,
+                     ibr_domain>;
+TYPED_TEST_SUITE(BaselineChurnTest, Baselines);
+
+TYPED_TEST(BaselineChurnTest, ConcurrentChurnReclaimsEverything) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kOps = 10000;
+  TypeParam dom(kThreads);
+  std::vector<std::thread> ts;
+  std::atomic<typename TypeParam::node*> shared{nullptr};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        typename TypeParam::guard g(dom, t);
+        g.protect(0, shared);
+        g.retire(make_node(dom));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  dom.drain();
+  EXPECT_EQ(dom.counters().retired.load(), std::uint64_t{kThreads} * kOps);
+  EXPECT_EQ(dom.counters().freed.load(), std::uint64_t{kThreads} * kOps);
+}
+
+}  // namespace
+}  // namespace hyaline::smr

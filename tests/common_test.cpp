@@ -1,0 +1,221 @@
+// Unit tests for the common substrate: padding, RNG, tagged pointers,
+// 128-bit atomics, the LL/SC reservation-granule emulation, the adaptive
+// slot directory, and the instrumented allocator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/debug_alloc.hpp"
+#include "common/dw128.hpp"
+#include "common/llsc.hpp"
+#include "common/rng.hpp"
+#include "common/slot_directory.hpp"
+#include "common/tagged_ptr.hpp"
+
+namespace hyaline {
+namespace {
+
+TEST(Padded, OccupiesFullCacheLines) {
+  EXPECT_EQ(sizeof(padded<int>), cache_line_size);
+  EXPECT_EQ(alignof(padded<int>), cache_line_size);
+  padded<int> arr[2];
+  auto a = reinterpret_cast<std::uintptr_t>(&arr[0]);
+  auto b = reinterpret_cast<std::uintptr_t>(&arr[1]);
+  EXPECT_GE(b - a, cache_line_size);
+}
+
+TEST(Padded, ForwardsConstructorArguments) {
+  padded<std::atomic<std::uint64_t>> v{42};
+  EXPECT_EQ(v->load(), 42u);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  xoshiro256 a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(97), 97u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(TaggedPtr, RoundTrip) {
+  alignas(8) int x = 0;  // node pointers are always >= 8-byte aligned
+  int* p = &x;
+  EXPECT_EQ(tag_of(p), 0u);
+  int* t = with_tag(p, 3);
+  EXPECT_EQ(tag_of(t), 3u);
+  EXPECT_EQ(untag(t), p);
+  EXPECT_TRUE(has_tag(t, 1));
+  EXPECT_TRUE(has_tag(t, 2));
+  EXPECT_FALSE(has_tag(p, 7));
+}
+
+TEST(Atomic128, LoadStoreCas) {
+  atomic128 a;
+  EXPECT_EQ(a.load(), u128{0});
+  a.store(pack128(1, 2));
+  EXPECT_EQ(lo64(a.load()), 1u);
+  EXPECT_EQ(hi64(a.load()), 2u);
+  u128 expected = pack128(1, 2);
+  EXPECT_TRUE(a.compare_exchange(expected, pack128(3, 4)));
+  EXPECT_EQ(lo64(a.load()), 3u);
+  expected = pack128(9, 9);
+  EXPECT_FALSE(a.compare_exchange(expected, pack128(5, 5)));
+  EXPECT_EQ(lo64(expected), 3u) << "failed CAS reports current value";
+  EXPECT_EQ(hi64(expected), 4u);
+}
+
+TEST(Atomic128, ConcurrentCasCounts) {
+  atomic128 a;
+  constexpr int kThreads = 4, kIters = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        u128 cur = a.load();
+        while (!a.compare_exchange(cur, pack128(lo64(cur) + 1, hi64(cur)))) {
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(lo64(a.load()), std::uint64_t{kThreads} * kIters);
+}
+
+TEST(Llsc, ScSucceedsWhenGranuleUnchanged) {
+  llsc_granule g(10, 20);
+  auto r = g.ll(0);
+  EXPECT_EQ(r.word(0), 10u);
+  EXPECT_EQ(r.word(1), 20u);
+  EXPECT_TRUE(g.sc(0, 11, r));
+  EXPECT_EQ(lo64(g.unsafe_load()), 11u);
+  EXPECT_EQ(hi64(g.unsafe_load()), 20u) << "sibling word untouched";
+}
+
+TEST(Llsc, ScFailsWhenSiblingWordChanged) {
+  // The crux of §4.4: a write to the *other* word in the granule breaks
+  // the reservation ("false sharing" inside the granule).
+  llsc_granule g(1, 2);
+  auto r = g.ll(0);
+  auto r2 = g.ll(1);
+  EXPECT_TRUE(g.sc(1, 99, r2));   // sibling word changes
+  EXPECT_FALSE(g.sc(0, 5, r));    // our reservation is gone
+  EXPECT_EQ(lo64(g.unsafe_load()), 1u);
+}
+
+TEST(Llsc, ScFailsWhenOwnWordChanged) {
+  llsc_granule g(1, 2);
+  auto r = g.ll(0);
+  auto r2 = g.ll(0);
+  EXPECT_TRUE(g.sc(0, 7, r2));
+  EXPECT_FALSE(g.sc(0, 8, r));
+}
+
+TEST(SlotDirectory, IndexFormula) {
+  slot_directory<int> d(4, 64);
+  // Paper Figure 6: s = log2(floor(i/Kmin)) + 1 with log2(0) = -1.
+  EXPECT_EQ(d.dir_index(0), 0u);
+  EXPECT_EQ(d.dir_index(3), 0u);
+  EXPECT_EQ(d.dir_index(4), 1u);
+  EXPECT_EQ(d.dir_index(7), 1u);
+  EXPECT_EQ(d.dir_index(8), 2u);
+  EXPECT_EQ(d.dir_index(15), 2u);
+  EXPECT_EQ(d.dir_index(16), 3u);
+  EXPECT_EQ(d.base_of(0), 0u);
+  EXPECT_EQ(d.base_of(1), 4u);
+  EXPECT_EQ(d.base_of(2), 8u);
+  EXPECT_EQ(d.base_of(3), 16u);
+}
+
+TEST(SlotDirectory, GrowthDoublesAndPreservesAddresses) {
+  slot_directory<int> d(4, 64);
+  EXPECT_EQ(d.size(), 4u);
+  int* addr0 = &d.at(0);
+  d.at(0) = 42;
+  EXPECT_EQ(d.grow(), 8u);
+  EXPECT_EQ(d.grow(), 16u);
+  EXPECT_EQ(&d.at(0), addr0) << "slots must never move";
+  EXPECT_EQ(d.at(0), 42);
+  d.at(15) = 7;
+  EXPECT_EQ(d.at(15), 7);
+}
+
+TEST(SlotDirectory, GrowthStopsAtCap) {
+  slot_directory<int> d(4, 8);
+  EXPECT_EQ(d.grow(), 8u);
+  EXPECT_EQ(d.grow(), 8u) << "capped at kmax";
+  EXPECT_EQ(d.size(), 8u);
+}
+
+TEST(SlotDirectory, ConcurrentGrowthIsSafe) {
+  slot_directory<int> d(2, 1024);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 6; ++i) d.grow();
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_GE(d.size(), 128u);
+  EXPECT_LE(d.size(), 1024u);
+  // Every covered slot must be addressable.
+  for (std::size_t i = 0; i < d.size(); ++i) d.at(i) = static_cast<int>(i);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.at(i), static_cast<int>(i));
+  }
+}
+
+TEST(DebugAlloc, CountsLiveObjects) {
+  debug_alloc::reset();
+  int* a = debug_new<int>(1);
+  int* b = debug_new<int>(2);
+  EXPECT_EQ(debug_alloc::live_count(), 2u);
+  debug_delete(a);
+  EXPECT_EQ(debug_alloc::live_count(), 1u);
+  debug_delete(b);
+  EXPECT_EQ(debug_alloc::live_count(), 0u);
+  EXPECT_EQ(debug_alloc::total_allocs(), 2u);
+  EXPECT_EQ(debug_alloc::flush_quarantine(), 0u);
+}
+
+TEST(DebugAlloc, DetectsDoubleFree) {
+  debug_alloc::reset();
+  int* a = debug_new<int>(1);
+  debug_alloc::deallocate(a);
+  debug_alloc::deallocate(a);  // double free: recorded, not fatal
+  EXPECT_EQ(debug_alloc::double_frees(), 1u);
+  debug_alloc::flush_quarantine();
+}
+
+TEST(DebugAlloc, DetectsWriteAfterFree) {
+  debug_alloc::reset();
+  int* a = debug_new<int>(1);
+  debug_alloc::deallocate(a);
+  *a = 1234;  // write-after-free into the quarantined (poisoned) block
+  EXPECT_EQ(debug_alloc::flush_quarantine(), 1u);
+}
+
+TEST(DebugAlloc, PoisonsFreedMemory) {
+  debug_alloc::reset();
+  auto* a = debug_new<std::uint32_t>(0xAABBCCDD);
+  debug_alloc::deallocate(a);
+  EXPECT_EQ(*reinterpret_cast<std::uint8_t*>(a), debug_alloc::poison_byte);
+  debug_alloc::flush_quarantine();
+}
+
+}  // namespace
+}  // namespace hyaline

@@ -1,0 +1,142 @@
+// Bonsai (path-copy weight-balanced) tree: semantics, balance, and
+// concurrency over the snapshot-safe schemes (no HP/HE, as in the paper).
+#include "ds/bonsai_tree.hpp"
+
+#include <cmath>
+
+#include "ds_test_common.hpp"
+
+namespace hyaline {
+namespace {
+
+using test_support::SnapshotSafeSchemes;
+
+template <class D>
+class BonsaiTest : public test_support::ds_fixture<D, ds::bonsai_tree> {};
+
+TYPED_TEST_SUITE(BonsaiTest, SnapshotSafeSchemes);
+
+TYPED_TEST(BonsaiTest, EmptyTreeBehaviour) {
+  auto g = this->guard();
+  EXPECT_FALSE(this->ds_->contains(g, 1));
+  EXPECT_FALSE(this->ds_->remove(g, 1));
+  EXPECT_EQ(this->ds_->unsafe_size(), 0u);
+}
+
+TYPED_TEST(BonsaiTest, InsertGetRemoveRoundTrip) {
+  auto g = this->guard();
+  EXPECT_TRUE(this->ds_->insert(g, 10, 100));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(this->ds_->get(g, 10, v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(this->ds_->remove(g, 10));
+  EXPECT_FALSE(this->ds_->contains(g, 10));
+}
+
+TYPED_TEST(BonsaiTest, DuplicateInsertFails) {
+  auto g = this->guard();
+  EXPECT_TRUE(this->ds_->insert(g, 3, 1));
+  EXPECT_FALSE(this->ds_->insert(g, 3, 2));
+}
+
+TYPED_TEST(BonsaiTest, RemoveInternalNodeWithTwoChildren) {
+  auto g = this->guard();
+  for (std::uint64_t k : {50u, 25u, 75u, 12u, 37u, 62u, 87u}) {
+    ASSERT_TRUE(this->ds_->insert(g, k, k));
+  }
+  // 50 is the root with two subtrees: removal goes through extract_min.
+  EXPECT_TRUE(this->ds_->remove(g, 50));
+  EXPECT_FALSE(this->ds_->contains(g, 50));
+  for (std::uint64_t k : {25u, 75u, 12u, 37u, 62u, 87u}) {
+    EXPECT_TRUE(this->ds_->contains(g, k)) << "k=" << k;
+  }
+  EXPECT_EQ(this->ds_->unsafe_size(), 6u);
+}
+
+TYPED_TEST(BonsaiTest, SequentialInsertionStaysBalanced) {
+  // Sorted insertion is the worst case for an unbalanced BST; the
+  // weight-balance invariant keeps lookups logarithmic. We verify
+  // indirectly: 4096 sorted inserts must complete quickly and the size
+  // must be exact (a degenerate 4096-deep recursion would also blow the
+  // stack in debug builds).
+  constexpr std::uint64_t kN = 4096;
+  {
+    auto g = this->guard();
+    for (std::uint64_t k = 0; k < kN; ++k) {
+      ASSERT_TRUE(this->ds_->insert(g, k, k));
+    }
+    for (std::uint64_t k = 0; k < kN; ++k) {
+      ASSERT_TRUE(this->ds_->contains(g, k));
+    }
+  }
+  EXPECT_EQ(this->ds_->unsafe_size(), kN);
+}
+
+TYPED_TEST(BonsaiTest, UpdateChurnRetiresPathCopies) {
+  {
+    auto g = this->guard();
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      ASSERT_TRUE(this->ds_->insert(g, k, k));
+    }
+  }
+  const auto retired_before = this->dom_->counters().retired.load();
+  {
+    auto g = this->guard();
+    ASSERT_TRUE(this->ds_->remove(g, 32));
+    ASSERT_TRUE(this->ds_->insert(g, 32, 1));
+  }
+  // Each update copies O(log n) path nodes and retires the originals.
+  EXPECT_GT(this->dom_->counters().retired.load(), retired_before + 2);
+}
+
+TYPED_TEST(BonsaiTest, MixedStressFourThreads) {
+  test_support::run_mixed_stress(*this->dom_, *this->ds_, 4, 4000, 256);
+}
+
+TYPED_TEST(BonsaiTest, ReadersSeeConsistentSnapshots) {
+  // Writers churn two keys that are always inserted/removed as a pair;
+  // readers must never observe a state where the *older* key of the pair
+  // is missing while the newer is present (single root CAS = atomic
+  // snapshot switch).
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 4000; ++i) {
+      {
+        typename TypeParam::guard g(*this->dom_, 0);
+        this->ds_->insert(g, 1, i);
+      }
+      {
+        typename TypeParam::guard g(*this->dom_, 0);
+        this->ds_->insert(g, 2, i);
+      }
+      {
+        typename TypeParam::guard g(*this->dom_, 0);
+        this->ds_->remove(g, 2);
+      }
+      {
+        typename TypeParam::guard g(*this->dom_, 0);
+        this->ds_->remove(g, 1);
+      }
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      typename TypeParam::guard g(*this->dom_, 1);
+      std::uint64_t v2 = 0, v1 = 0;
+      const bool has2 = this->ds_->get(g, 2, v2);
+      const bool has1 = this->ds_->get(g, 1, v1);
+      // Round i writes 1 (value i) before 2 (value i). Key 2's value read
+      // *first* therefore can never exceed key 1's value read *second*:
+      // round numbers only grow with time.
+      if (has2 && has1 && v1 < v2) violations.fetch_add(1);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+}  // namespace
+}  // namespace hyaline

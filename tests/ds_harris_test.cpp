@@ -1,0 +1,98 @@
+// Harris's original list (segment snipping, deferred retirement): the
+// §2.4 claim that basic Hyaline handles it without modification. Runs
+// under every epoch/interval-style scheme; HP/HE are excluded (a hazard
+// on a marked node does not protect its successors).
+#include "ds/harris_list.hpp"
+
+#include "ds_test_common.hpp"
+
+namespace hyaline {
+namespace {
+
+using test_support::SnapshotSafeSchemes;
+
+template <class D>
+class HarrisListTest : public test_support::ds_fixture<D, ds::harris_list> {};
+
+TYPED_TEST_SUITE(HarrisListTest, SnapshotSafeSchemes);
+
+TYPED_TEST(HarrisListTest, EmptyListBehaviour) {
+  auto g = this->guard();
+  EXPECT_FALSE(this->ds_->contains(g, 1));
+  EXPECT_FALSE(this->ds_->remove(g, 1));
+  EXPECT_EQ(this->ds_->unsafe_size(), 0u);
+}
+
+TYPED_TEST(HarrisListTest, InsertGetRemoveRoundTrip) {
+  auto g = this->guard();
+  EXPECT_TRUE(this->ds_->insert(g, 5, 50));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(this->ds_->get(g, 5, v));
+  EXPECT_EQ(v, 50u);
+  EXPECT_TRUE(this->ds_->remove(g, 5));
+  EXPECT_FALSE(this->ds_->contains(g, 5));
+  EXPECT_FALSE(this->ds_->remove(g, 5));
+}
+
+TYPED_TEST(HarrisListTest, DuplicateInsertFails) {
+  auto g = this->guard();
+  EXPECT_TRUE(this->ds_->insert(g, 5, 50));
+  EXPECT_FALSE(this->ds_->insert(g, 5, 51));
+}
+
+TYPED_TEST(HarrisListTest, SortedBulkInsertAndLookup) {
+  auto g = this->guard();
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(this->ds_->insert(g, (k * 61) % 300, k));
+  }
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(this->ds_->contains(g, k));
+  }
+  EXPECT_EQ(this->ds_->unsafe_size(), 300u);
+}
+
+TYPED_TEST(HarrisListTest, SegmentSnipRetiresWholeRuns) {
+  // Remove a contiguous run of keys, then force a search across the run:
+  // every node of the snipped segment must eventually be retired.
+  {
+    auto g = this->guard();
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      ASSERT_TRUE(this->ds_->insert(g, k, k));
+    }
+    for (std::uint64_t k = 8; k < 56; ++k) {
+      ASSERT_TRUE(this->ds_->remove(g, k));
+    }
+    ASSERT_TRUE(this->ds_->contains(g, 60));  // walks across the gap
+  }
+  EXPECT_EQ(this->ds_->unsafe_size(), 16u);
+  EXPECT_EQ(this->dom_->counters().retired.load(), 48u);
+}
+
+TYPED_TEST(HarrisListTest, MixedStressFourThreads) {
+  test_support::run_mixed_stress(*this->dom_, *this->ds_, 4, 6000, 64);
+}
+
+TYPED_TEST(HarrisListTest, ContendedSingleKey) {
+  constexpr unsigned kThreads = 4;
+  std::vector<std::thread> ts;
+  std::atomic<long> net{0};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      long local = 0;
+      for (int i = 0; i < 4000; ++i) {
+        typename TypeParam::guard g(*this->dom_, t);
+        if (i % 2 == 0) {
+          if (this->ds_->insert(g, 42, t)) ++local;
+        } else {
+          if (this->ds_->remove(g, 42)) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(this->ds_->unsafe_size(), static_cast<std::size_t>(net.load()));
+}
+
+}  // namespace
+}  // namespace hyaline

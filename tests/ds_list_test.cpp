@@ -1,0 +1,135 @@
+// Harris–Michael list: semantics and concurrency over every SMR scheme.
+#include "ds/hm_list.hpp"
+
+#include "ds_test_common.hpp"
+
+namespace hyaline {
+namespace {
+
+using test_support::AllSchemes;
+
+template <class D>
+class ListTest : public test_support::ds_fixture<D, ds::hm_list> {};
+
+TYPED_TEST_SUITE(ListTest, AllSchemes);
+
+TYPED_TEST(ListTest, EmptyListBehaviour) {
+  auto g = this->guard();
+  EXPECT_FALSE(this->ds_->contains(g, 1));
+  EXPECT_FALSE(this->ds_->remove(g, 1));
+  EXPECT_EQ(this->ds_->unsafe_size(), 0u);
+}
+
+TYPED_TEST(ListTest, InsertThenContains) {
+  auto g = this->guard();
+  EXPECT_TRUE(this->ds_->insert(g, 5, 50));
+  EXPECT_TRUE(this->ds_->contains(g, 5));
+  EXPECT_FALSE(this->ds_->contains(g, 4));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(this->ds_->get(g, 5, v));
+  EXPECT_EQ(v, 50u);
+}
+
+TYPED_TEST(ListTest, DuplicateInsertFails) {
+  auto g = this->guard();
+  EXPECT_TRUE(this->ds_->insert(g, 5, 50));
+  EXPECT_FALSE(this->ds_->insert(g, 5, 51));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(this->ds_->get(g, 5, v));
+  EXPECT_EQ(v, 50u) << "failed insert must not clobber the value";
+}
+
+TYPED_TEST(ListTest, RemoveMakesKeyAbsent) {
+  auto g = this->guard();
+  EXPECT_TRUE(this->ds_->insert(g, 5, 50));
+  EXPECT_TRUE(this->ds_->remove(g, 5));
+  EXPECT_FALSE(this->ds_->contains(g, 5));
+  EXPECT_FALSE(this->ds_->remove(g, 5));
+  EXPECT_TRUE(this->ds_->insert(g, 5, 52)) << "key is reusable after remove";
+}
+
+TYPED_TEST(ListTest, ManyKeysSortedTraversal) {
+  {
+    auto g = this->guard();
+    for (std::uint64_t k = 0; k < 200; ++k) {
+      ASSERT_TRUE(this->ds_->insert(g, (k * 37) % 200, k));
+    }
+    for (std::uint64_t k = 0; k < 200; ++k) {
+      EXPECT_TRUE(this->ds_->contains(g, k));
+    }
+  }
+  EXPECT_EQ(this->ds_->unsafe_size(), 200u);
+}
+
+TYPED_TEST(ListTest, BoundaryKeys) {
+  auto g = this->guard();
+  EXPECT_TRUE(this->ds_->insert(g, 0, 1));
+  EXPECT_TRUE(this->ds_->insert(g, ~std::uint64_t{0} - 8, 2));
+  EXPECT_TRUE(this->ds_->contains(g, 0));
+  EXPECT_TRUE(this->ds_->contains(g, ~std::uint64_t{0} - 8));
+  EXPECT_TRUE(this->ds_->remove(g, 0));
+  EXPECT_FALSE(this->ds_->contains(g, 0));
+}
+
+TYPED_TEST(ListTest, InterleavedInsertRemoveChurnsReclamation) {
+  for (int round = 0; round < 50; ++round) {
+    auto g = this->guard();
+    for (std::uint64_t k = 0; k < 16; ++k) {
+      ASSERT_TRUE(this->ds_->insert(g, k, round));
+    }
+    for (std::uint64_t k = 0; k < 16; ++k) {
+      ASSERT_TRUE(this->ds_->remove(g, k));
+    }
+  }
+  EXPECT_EQ(this->ds_->unsafe_size(), 0u);
+  EXPECT_GE(this->dom_->counters().retired.load(), 50u * 16u);
+}
+
+TYPED_TEST(ListTest, MixedStressFourThreads) {
+  test_support::run_mixed_stress(*this->dom_, *this->ds_, 4, 6000, 64);
+}
+
+TYPED_TEST(ListTest, DisjointKeyRangesParallel) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 400;
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        typename TypeParam::guard g(*this->dom_, t);
+        ASSERT_TRUE(this->ds_->insert(g, t * kPerThread + i, i));
+      }
+      for (std::uint64_t i = 0; i < kPerThread; i += 2) {
+        typename TypeParam::guard g(*this->dom_, t);
+        ASSERT_TRUE(this->ds_->remove(g, t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(this->ds_->unsafe_size(), kThreads * kPerThread / 2);
+}
+
+TYPED_TEST(ListTest, ContendedSingleKey) {
+  constexpr unsigned kThreads = 4;
+  std::vector<std::thread> ts;
+  std::atomic<long> net{0};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      long local = 0;
+      for (int i = 0; i < 4000; ++i) {
+        typename TypeParam::guard g(*this->dom_, t);
+        if (i % 2 == 0) {
+          if (this->ds_->insert(g, 42, t)) ++local;
+        } else {
+          if (this->ds_->remove(g, 42)) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(this->ds_->unsafe_size(), static_cast<std::size_t>(net.load()));
+}
+
+}  // namespace
+}  // namespace hyaline

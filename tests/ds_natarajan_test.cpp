@@ -1,0 +1,120 @@
+// Natarajan–Mittal external BST: semantics, helping/cleanup paths, and
+// concurrency over every SMR scheme.
+#include "ds/natarajan_tree.hpp"
+
+#include "ds_test_common.hpp"
+
+namespace hyaline {
+namespace {
+
+using test_support::AllSchemes;
+
+template <class D>
+class NmTreeTest : public test_support::ds_fixture<D, ds::natarajan_tree> {};
+
+TYPED_TEST_SUITE(NmTreeTest, AllSchemes);
+
+TYPED_TEST(NmTreeTest, EmptyTreeBehaviour) {
+  auto g = this->guard();
+  EXPECT_FALSE(this->ds_->contains(g, 1));
+  EXPECT_FALSE(this->ds_->remove(g, 1));
+  EXPECT_EQ(this->ds_->unsafe_size(), 0u);
+}
+
+TYPED_TEST(NmTreeTest, InsertGetRemoveRoundTrip) {
+  auto g = this->guard();
+  EXPECT_TRUE(this->ds_->insert(g, 10, 100));
+  EXPECT_TRUE(this->ds_->contains(g, 10));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(this->ds_->get(g, 10, v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(this->ds_->remove(g, 10));
+  EXPECT_FALSE(this->ds_->contains(g, 10));
+  EXPECT_EQ(this->ds_->unsafe_size(), 0u);
+}
+
+TYPED_TEST(NmTreeTest, DuplicateInsertFails) {
+  auto g = this->guard();
+  EXPECT_TRUE(this->ds_->insert(g, 10, 1));
+  EXPECT_FALSE(this->ds_->insert(g, 10, 2));
+}
+
+TYPED_TEST(NmTreeTest, AscendingAndDescendingInsertions) {
+  {
+    auto g = this->guard();
+    for (std::uint64_t k = 0; k < 100; ++k) {
+      ASSERT_TRUE(this->ds_->insert(g, k, k));
+    }
+    for (std::uint64_t k = 300; k > 200; --k) {
+      ASSERT_TRUE(this->ds_->insert(g, k, k));
+    }
+    for (std::uint64_t k = 0; k < 100; ++k) {
+      ASSERT_TRUE(this->ds_->contains(g, k));
+    }
+  }
+  EXPECT_EQ(this->ds_->unsafe_size(), 200u);
+}
+
+TYPED_TEST(NmTreeTest, RemoveLeafWithInternalParentChain) {
+  auto g = this->guard();
+  // Build a chain shape, then delete in an order that exercises cleanup
+  // at different ancestor depths.
+  for (std::uint64_t k : {50u, 25u, 75u, 12u, 37u, 62u, 87u}) {
+    ASSERT_TRUE(this->ds_->insert(g, k, k));
+  }
+  for (std::uint64_t k : {12u, 37u, 25u, 87u, 62u, 75u, 50u}) {
+    ASSERT_TRUE(this->ds_->remove(g, k)) << "k=" << k;
+    ASSERT_FALSE(this->ds_->contains(g, k));
+  }
+  EXPECT_EQ(this->ds_->unsafe_size(), 0u);
+}
+
+TYPED_TEST(NmTreeTest, ReinsertAfterRemove) {
+  auto g = this->guard();
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(this->ds_->insert(g, 5, round));
+    ASSERT_TRUE(this->ds_->remove(g, 5));
+  }
+  EXPECT_FALSE(this->ds_->contains(g, 5));
+}
+
+TYPED_TEST(NmTreeTest, MaxKeyBoundary) {
+  auto g = this->guard();
+  using tree_t = ds::natarajan_tree<TypeParam>;
+  EXPECT_TRUE(this->ds_->insert(g, tree_t::max_key, 1));
+  EXPECT_TRUE(this->ds_->contains(g, tree_t::max_key));
+  EXPECT_TRUE(this->ds_->remove(g, tree_t::max_key));
+}
+
+TYPED_TEST(NmTreeTest, MixedStressFourThreads) {
+  test_support::run_mixed_stress(*this->dom_, *this->ds_, 4, 6000, 128);
+}
+
+TYPED_TEST(NmTreeTest, ContendedNeighborKeys) {
+  // Deletions of adjacent keys share parents/ancestors, driving the
+  // helping (flag/tag) paths.
+  constexpr unsigned kThreads = 4;
+  std::vector<std::thread> ts;
+  std::atomic<long> net{0};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      xoshiro256 rng(t + 17);
+      long local = 0;
+      for (int i = 0; i < 5000; ++i) {
+        typename TypeParam::guard g(*this->dom_, t);
+        const std::uint64_t k = rng.below(8);  // tiny range: max contention
+        if (rng.below(2) == 0) {
+          if (this->ds_->insert(g, k, t)) ++local;
+        } else {
+          if (this->ds_->remove(g, k)) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(this->ds_->unsafe_size(), static_cast<std::size_t>(net.load()));
+}
+
+}  // namespace
+}  // namespace hyaline

@@ -1,0 +1,198 @@
+// Property-based tests: random operation sequences checked against a
+// std::map reference model, swept over seeds with TEST_P / parameterized
+// gtest, for each structure and a representative scheme set.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "ds/bonsai_tree.hpp"
+#include "ds/harris_list.hpp"
+#include "ds/hm_list.hpp"
+#include "ds/michael_hashmap.hpp"
+#include "ds/natarajan_tree.hpp"
+#include "ds_test_common.hpp"
+
+namespace hyaline {
+namespace {
+
+/// Single-threaded model check: every operation's return value and the
+/// final contents must match std::map exactly.
+template <class D, template <class> class DS>
+void model_check(std::uint64_t seed, int ops, std::uint64_t range) {
+  auto dom = harness::scheme_traits<D>::make(test_support::small_params());
+  DS<D> s(*dom);
+  std::map<std::uint64_t, std::uint64_t> model;
+  xoshiro256 rng(seed);
+
+  for (int i = 0; i < ops; ++i) {
+    typename D::guard g(*dom, 0);
+    const std::uint64_t k = rng.below(range);
+    switch (rng.below(4)) {
+      case 0:
+      case 1: {
+        const bool expect = model.emplace(k, i).second;
+        ASSERT_EQ(s.insert(g, k, i), expect) << "op " << i << " key " << k;
+        break;
+      }
+      case 2: {
+        const bool expect = model.erase(k) > 0;
+        ASSERT_EQ(s.remove(g, k), expect) << "op " << i << " key " << k;
+        break;
+      }
+      default: {
+        auto it = model.find(k);
+        std::uint64_t v = 0;
+        const bool found = s.get(g, k, v);
+        ASSERT_EQ(found, it != model.end()) << "op " << i << " key " << k;
+        if (found) {
+          ASSERT_EQ(v, it->second) << "op " << i << " key " << k;
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(s.unsafe_size(), model.size());
+  for (const auto& [k, v] : model) {
+    typename D::guard g(*dom, 0);
+    std::uint64_t got = 0;
+    ASSERT_TRUE(s.get(g, k, got)) << "final key " << k;
+    ASSERT_EQ(got, v);
+  }
+}
+
+class ModelCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelCheck, ListUnderHyaline) {
+  model_check<domain, ds::hm_list>(GetParam(), 4000, 64);
+}
+TEST_P(ModelCheck, ListUnderHyalineS) {
+  model_check<domain_s, ds::hm_list>(GetParam(), 4000, 64);
+}
+TEST_P(ModelCheck, ListUnderHp) {
+  model_check<smr::hp_domain, ds::hm_list>(GetParam(), 4000, 64);
+}
+TEST_P(ModelCheck, HashmapUnderHyaline) {
+  model_check<domain, ds::michael_hashmap>(GetParam(), 6000, 512);
+}
+TEST_P(ModelCheck, HashmapUnderEbr) {
+  model_check<smr::ebr_domain, ds::michael_hashmap>(GetParam(), 6000, 512);
+}
+TEST_P(ModelCheck, HashmapUnderHyaline1) {
+  model_check<domain_1, ds::michael_hashmap>(GetParam(), 6000, 512);
+}
+TEST_P(ModelCheck, NmTreeUnderHyaline) {
+  model_check<domain, ds::natarajan_tree>(GetParam(), 6000, 256);
+}
+TEST_P(ModelCheck, NmTreeUnderIbr) {
+  model_check<smr::ibr_domain, ds::natarajan_tree>(GetParam(), 6000, 256);
+}
+TEST_P(ModelCheck, NmTreeUnderHe) {
+  model_check<smr::he_domain, ds::natarajan_tree>(GetParam(), 6000, 256);
+}
+TEST_P(ModelCheck, BonsaiUnderHyaline) {
+  model_check<domain, ds::bonsai_tree>(GetParam(), 5000, 256);
+}
+TEST_P(ModelCheck, BonsaiUnderHyaline1S) {
+  model_check<domain_1s, ds::bonsai_tree>(GetParam(), 5000, 256);
+}
+TEST_P(ModelCheck, BonsaiUnderLeaky) {
+  model_check<smr::leaky_domain, ds::bonsai_tree>(GetParam(), 5000, 256);
+}
+TEST_P(ModelCheck, HarrisListUnderHyaline) {
+  model_check<domain, ds::harris_list>(GetParam(), 4000, 64);
+}
+TEST_P(ModelCheck, HarrisListUnderEbr) {
+  model_check<smr::ebr_domain, ds::harris_list>(GetParam(), 4000, 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelCheck,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+/// Hyaline batch-size sweep: reclamation must be exact for any batch
+/// size, including the k+1 minimum and sizes far above it.
+class BatchSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchSizeSweep, ExactReclamationAtAnyBatchSize) {
+  config c;
+  c.slots = 4;
+  c.batch_min = GetParam();
+  domain dom(c);
+  {
+    domain::guard g(dom, 0);
+    for (int i = 0; i < 3000; ++i) {
+      auto* n = new domain::node;
+      dom.on_alloc(n);
+      g.retire(n);
+    }
+  }
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), 3000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchSizeSweep,
+                         ::testing::Values(1, 2, 5, 8, 16, 64, 256, 1024));
+
+/// Slot-count sweep: the Adjs arithmetic must settle for every
+/// power-of-two k.
+class SlotCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SlotCountSweep, ExactReclamationAtAnySlotCount) {
+  config c;
+  c.slots = GetParam();
+  c.batch_min = 4;
+  domain dom(c);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 3; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        domain::guard g(dom, t + i);
+        auto* n = new domain::node;
+        dom.on_alloc(n);
+        g.retire(n);
+      }
+      dom.flush();
+    });
+  }
+  for (auto& th : ts) th.join();
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), 6000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, SlotCountSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+/// Era-frequency sweep for Hyaline-S: reclamation exactness must not
+/// depend on how often the era clock ticks.
+class EraFreqSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EraFreqSweep, ExactReclamationAtAnyEraFreq) {
+  config c;
+  c.slots = 4;
+  c.batch_min = 8;
+  c.era_freq = GetParam();
+  domain_s dom(c);
+  std::atomic<domain_s::node*> shared{nullptr};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 3; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        domain_s::guard g(dom, t);
+        g.protect(0, shared);
+        auto* n = new domain_s::node;
+        dom.on_alloc(n);
+        g.retire(n);
+      }
+      dom.flush();
+    });
+  }
+  for (auto& th : ts) th.join();
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), 6000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Freqs, EraFreqSweep,
+                         ::testing::Values(1, 2, 16, 64, 1024));
+
+}  // namespace
+}  // namespace hyaline

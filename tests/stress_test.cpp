@@ -1,0 +1,219 @@
+// Cross-cutting stress and failure-injection tests: oversubscription,
+// thread churn, stalled threads against robust schemes, trim under load,
+// and the workload harness itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ds/michael_hashmap.hpp"
+#include "ds/natarajan_tree.hpp"
+#include "ds_test_common.hpp"
+#include "harness/workload.hpp"
+
+namespace hyaline {
+namespace {
+
+// --- transparency: thread churn over a fixed slot set (Hyaline only) ----
+
+TEST(Transparency, HundredsOfThreadLifetimesOverFourSlots) {
+  domain dom(config{.slots = 4, .batch_min = 8});
+  ds::michael_hashmap<domain> map(dom, 512);
+  for (int wave = 0; wave < 8; ++wave) {
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 24; ++t) {
+      ts.emplace_back([&, wave, t] {
+        xoshiro256 rng(wave * 100 + t);
+        for (int i = 0; i < 500; ++i) {
+          domain::guard g(dom, static_cast<unsigned>(t + i));
+          const std::uint64_t k = rng.below(128);
+          if (rng.below(2) == 0) {
+            map.insert(g, k, k);
+          } else {
+            map.remove(g, k);
+          }
+        }
+        dom.flush();
+      });
+    }
+    for (auto& th : ts) th.join();
+  }
+  dom.drain();
+  EXPECT_EQ(dom.counters().retired.load(), dom.counters().freed.load());
+}
+
+// --- robustness under stalled threads, end to end ------------------------
+
+template <class D>
+std::uint64_t unreclaimed_with_stalled_thread(D& dom, bool deref_first) {
+  ds::michael_hashmap<D> map(dom, 512);
+  {
+    typename D::guard g(dom, 0);
+    for (std::uint64_t k = 0; k < 256; ++k) map.insert(g, k, k);
+  }
+  std::atomic<bool> hold{true};
+  std::atomic<bool> ready{false};
+  std::thread stalled([&] {
+    typename D::guard g(dom, 1);
+    if (deref_first) map.contains(g, 7);
+    ready.store(true);
+    while (hold.load()) std::this_thread::yield();
+  });
+  while (!ready.load()) std::this_thread::yield();
+
+  for (int i = 0; i < 20000; ++i) {
+    typename D::guard g(dom, 2);
+    const std::uint64_t k = static_cast<std::uint64_t>(i) % 256;
+    map.remove(g, k);
+    map.insert(g, k, k);
+  }
+  const std::uint64_t unreclaimed = dom.counters().unreclaimed();
+  hold.store(false);
+  stalled.join();
+  dom.drain();
+  return unreclaimed;
+}
+
+TEST(Robustness, EpochIsBlockedByStalledThread) {
+  smr::ebr_domain dom(smr::ebr_config{4, 32});
+  const auto unreclaimed = unreclaimed_with_stalled_thread(dom, true);
+  EXPECT_GT(unreclaimed, 10000u)
+      << "EBR must accumulate garbage behind the pinned epoch";
+}
+
+TEST(Robustness, HyalineSStaysBoundedWithStalledThread) {
+  domain_s dom(config{.slots = 4, .batch_min = 8, .era_freq = 16});
+  const auto unreclaimed = unreclaimed_with_stalled_thread(dom, true);
+  EXPECT_LT(unreclaimed, 10000u)
+      << "era-based slot skipping must keep reclamation flowing";
+}
+
+TEST(Robustness, Hyaline1SStaysBoundedWithStalledThread) {
+  domain_1s dom(config1{.max_threads = 4, .batch_min = 8, .era_freq = 16});
+  const auto unreclaimed = unreclaimed_with_stalled_thread(dom, true);
+  EXPECT_LT(unreclaimed, 10000u);
+}
+
+TEST(Robustness, IbrStaysBoundedWithStalledThread) {
+  smr::ibr_domain dom(smr::ibr_config{4, 16, 16});
+  const auto unreclaimed = unreclaimed_with_stalled_thread(dom, true);
+  EXPECT_LT(unreclaimed, 10000u);
+}
+
+TEST(Robustness, BasicHyalineIsNotRobust) {
+  // Honesty check: basic Hyaline, like EBR, is *not* robust (Table 1); a
+  // stalled thread inside a slot with traffic pins every batch inserted
+  // there.
+  domain dom(config{.slots = 2, .batch_min = 8});
+  const auto unreclaimed = unreclaimed_with_stalled_thread(dom, true);
+  EXPECT_GT(unreclaimed, 10000u);
+}
+
+// --- trim under concurrent load -----------------------------------------
+
+TEST(Trim, ConcurrentTrimmersReclaimEverything) {
+  domain dom(config{.slots = 2, .batch_min = 8});
+  ds::michael_hashmap<domain> map(dom, 512);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&, t] {
+      xoshiro256 rng(t + 5);
+      for (int outer = 0; outer < 20; ++outer) {
+        domain::guard g(dom, t);
+        for (int i = 0; i < 200; ++i) {
+          const std::uint64_t k = rng.below(128);
+          if (rng.below(2) == 0) {
+            map.insert(g, k, k);
+          } else {
+            map.remove(g, k);
+          }
+          g.trim();
+        }
+      }
+      dom.flush();
+    });
+  }
+  for (auto& th : ts) th.join();
+  dom.drain();
+  EXPECT_EQ(dom.counters().retired.load(), dom.counters().freed.load());
+}
+
+// --- the workload harness itself -----------------------------------------
+
+TEST(Harness, ReportsThroughputAndReclaims) {
+  auto dom = harness::scheme_traits<domain>::make(test_support::small_params());
+  ds::michael_hashmap<domain> map(*dom, 1024);
+  harness::workload_config cfg;
+  cfg.threads = 2;
+  cfg.duration_ms = 100;
+  cfg.prefill = 500;
+  cfg.key_range = 1000;
+  const auto r = harness::run_workload(*dom, map, cfg);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.mops, 0.0);
+  dom->drain();
+  EXPECT_EQ(dom->counters().retired.load(), dom->counters().freed.load());
+}
+
+TEST(Harness, StalledThreadsModeRuns) {
+  auto dom =
+      harness::scheme_traits<domain_s>::make(test_support::small_params());
+  ds::michael_hashmap<domain_s> map(*dom, 1024);
+  harness::workload_config cfg;
+  cfg.threads = 2;
+  cfg.stalled_threads = 2;
+  cfg.duration_ms = 100;
+  cfg.prefill = 200;
+  cfg.key_range = 512;
+  const auto r = harness::run_workload(*dom, map, cfg);
+  EXPECT_GT(r.total_ops, 0u);
+  dom->drain();
+  EXPECT_EQ(dom->counters().retired.load(), dom->counters().freed.load());
+}
+
+TEST(Harness, TrimModeRuns) {
+  auto dom = harness::scheme_traits<domain>::make(test_support::small_params());
+  ds::michael_hashmap<domain> map(*dom, 1024);
+  harness::workload_config cfg;
+  cfg.threads = 2;
+  cfg.duration_ms = 100;
+  cfg.prefill = 200;
+  cfg.key_range = 512;
+  cfg.use_trim = true;
+  const auto r = harness::run_workload(*dom, map, cfg);
+  EXPECT_GT(r.total_ops, 0u);
+  dom->drain();
+  EXPECT_EQ(dom->counters().retired.load(), dom->counters().freed.load());
+}
+
+TEST(Harness, ReadMostlyMixRuns) {
+  auto dom = harness::scheme_traits<smr::ibr_domain>::make(
+      test_support::small_params());
+  ds::natarajan_tree<smr::ibr_domain> tree(*dom);
+  harness::workload_config cfg;
+  cfg.threads = 3;
+  cfg.duration_ms = 100;
+  cfg.prefill = 300;
+  cfg.key_range = 1000;
+  cfg.insert_pct = 5;
+  cfg.remove_pct = 5;
+  cfg.get_pct = 90;
+  const auto r = harness::run_workload(*dom, tree, cfg);
+  EXPECT_GT(r.total_ops, 0u);
+  dom->drain();
+  EXPECT_EQ(dom->counters().retired.load(), dom->counters().freed.load());
+}
+
+// --- oversubscription ----------------------------------------------------
+
+TEST(Oversubscription, SixteenThreadsOverFourSlots) {
+  domain dom(config{.slots = 4, .batch_min = 16});
+  ds::natarajan_tree<domain> tree(dom);
+  test_support::run_mixed_stress(dom, tree, 16, 1500, 128);
+  dom.drain();
+  EXPECT_EQ(dom.counters().retired.load(), dom.counters().freed.load());
+}
+
+}  // namespace
+}  // namespace hyaline
