@@ -7,7 +7,9 @@
 #include <cstdio>
 
 #include "ds/michael_hashmap.hpp"
-#include "harness/figure_runner.hpp"
+#include "harness/cli.hpp"
+#include "harness/workload.hpp"
+#include "smr/hyaline.hpp"
 
 namespace {
 

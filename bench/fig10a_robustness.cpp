@@ -7,10 +7,12 @@
 
 int main(int argc, char** argv) {
   using namespace hyaline::harness;
-  cli_options defaults;
-  defaults.threads = {4};                    // active threads (paper: 72)
-  defaults.stalled = {0, 1, 2, 4, 8, 16};    // paper: 1..72
-  const cli_options o = parse_cli(argc, argv, defaults);
-  run_robustness("fig10a-robustness", o, o.threads.empty() ? 4 : o.threads[0]);
-  return 0;
+  return run_figure({.name = "fig10a-robustness",
+                     .kind = figure_kind::robustness,
+                     .insert_pct = 50,
+                     .remove_pct = 50,
+                     .get_pct = 0,
+                     .default_threads = {4},  // active threads (paper: 72)
+                     .default_stalled = {0, 1, 2, 4, 8, 16}},
+                    argc, argv);
 }

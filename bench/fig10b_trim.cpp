@@ -5,9 +5,11 @@
 
 int main(int argc, char** argv) {
   using namespace hyaline::harness;
-  cli_options defaults;
-  defaults.threads = {1, 2, 4, 8};  // paper sweeps 1..72 with k <= 32
-  const cli_options o = parse_cli(argc, argv, defaults);
-  run_trim("fig10b-trim", o, /*slot_cap=*/4);
-  return 0;
+  return run_figure({.name = "fig10b-trim",
+                     .kind = figure_kind::trim,
+                     .insert_pct = 50,
+                     .remove_pct = 50,
+                     .get_pct = 0,
+                     .slot_cap = 4},  // paper sweeps 1..72 with k <= 32
+                    argc, argv);
 }

@@ -3,9 +3,9 @@
 
 int main(int argc, char** argv) {
   using namespace hyaline::harness;
-  cli_options defaults;
-  defaults.threads = {1, 2, 4, 8};
-  const cli_options o = parse_cli(argc, argv, defaults);
-  run_matrix("fig12-read-unreclaimed", o, 5, 5, 90, /*llsc=*/false);
-  return 0;
+  return run_figure({.name = "fig12-read-unreclaimed",
+                     .insert_pct = 5,
+                     .remove_pct = 5,
+                     .get_pct = 90},
+                    argc, argv);
 }

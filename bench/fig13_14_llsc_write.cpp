@@ -2,14 +2,15 @@
 // mix. We have no PPC hardware, so the Hyaline variants run on the §4.4
 // algorithm over an emulated 16-byte reservation granule (see DESIGN.md
 // substitution #2); throughput and unreclaimed columns correspond to
-// Fig. 13 and Fig. 14 respectively.
+// Fig. 13 and Fig. 14 respectively. Paper: 1..128 threads on a 64-way box.
 #include "harness/figures.hpp"
 
 int main(int argc, char** argv) {
   using namespace hyaline::harness;
-  cli_options defaults;
-  defaults.threads = {1, 2, 4, 8};  // paper: 1..128 on a 64-way PPC box
-  const cli_options o = parse_cli(argc, argv, defaults);
-  run_matrix("fig13-14-llsc-write", o, 50, 50, 0, /*llsc=*/true);
-  return 0;
+  return run_figure({.name = "fig13-14-llsc-write",
+                     .insert_pct = 50,
+                     .remove_pct = 50,
+                     .get_pct = 0,
+                     .llsc = true},
+                    argc, argv);
 }

@@ -1,14 +1,13 @@
 // Figure 8 (a-d): throughput of the four structures under the
 // write-intensive workload (50% insert, 50% delete), sweeping threads.
-// Reports both Mops/sec and unreclaimed objects per operation; the
-// companion fig9 binary runs the same sweep emphasizing the latter.
+// Paper sweeps 1..144 on 72 cores; defaults here are CI-scale.
 #include "harness/figures.hpp"
 
 int main(int argc, char** argv) {
   using namespace hyaline::harness;
-  cli_options defaults;
-  defaults.threads = {1, 2, 4, 8};  // paper sweeps 1..144 on 72 cores
-  const cli_options o = parse_cli(argc, argv, defaults);
-  run_matrix("fig8-write-throughput", o, 50, 50, 0, /*llsc=*/false);
-  return 0;
+  return run_figure({.name = "fig8-write-throughput",
+                     .insert_pct = 50,
+                     .remove_pct = 50,
+                     .get_pct = 0},
+                    argc, argv);
 }

@@ -1,12 +1,12 @@
 // Figure 9 (a-d): average retired-but-unreclaimed objects per operation,
-// write-intensive workload. Higher sampling density than the fig8 run.
+// write-intensive workload.
 #include "harness/figures.hpp"
 
 int main(int argc, char** argv) {
   using namespace hyaline::harness;
-  cli_options defaults;
-  defaults.threads = {1, 2, 4, 8};
-  const cli_options o = parse_cli(argc, argv, defaults);
-  run_matrix("fig9-write-unreclaimed", o, 50, 50, 0, /*llsc=*/false);
-  return 0;
+  return run_figure({.name = "fig9-write-unreclaimed",
+                     .insert_pct = 50,
+                     .remove_pct = 50,
+                     .get_pct = 0},
+                    argc, argv);
 }

@@ -224,7 +224,16 @@ class head_llsc {
     if (!cas_leave_dec(expected)) return leave_last_result::retry;
     for (;;) {
       auto r = granule_.ll(1);
-      if (r.word(0) != 0) return leave_last_result::claimed;
+      // dwCAS_Ptr validates BOTH words against {0, expected.ptr} (exactly
+      // like cas_retire above). HRef != 0 means a concurrent enter claimed
+      // the list; a changed HPtr means it was claimed, mutated, and
+      // released again. Either way the claimer's side inherited the list
+      // and the final Adjs — nulling the head here would cut a list this
+      // leaver no longer owns and adjust a stale batch.
+      if (r.word(0) != 0 ||
+          reinterpret_cast<Node*>(r.word(1)) != expected.ptr) {
+        return leave_last_result::claimed;
+      }
       if (granule_.sc(1, 0, r)) return leave_last_result::nulled;
     }
   }

@@ -10,11 +10,15 @@
 // FLAG or TAG *before* the splice happens, and tagged/flagged edges are
 // immutable. Hence the fragment a successful splice removes is frozen: the
 // winner of the ancestor CAS walks it and retires every internal node and
-// flagged leaf exactly once. This also gives pointer-publication schemes
-// (HP/HE) their validation rule: a re-read *clean* edge proves the target
-// was not yet spliced when the hazard was published. (Traversals that cross
-// an in-progress deletion keep the same theoretical window as the paper's
-// reference framework.)
+// flagged leaf exactly once. This also gives reservation-based schemes
+// (D::needs_clean_edges: HP/HE/IBR/Hyaline-S/-1S) their validation rule: a
+// re-read *clean* edge proves the target was not yet spliced when the
+// reservation was published. A frozen edge, by contrast, validates forever
+// — its target may already be retired and reclaimed — so under those
+// schemes, seek never crosses a flagged/tagged edge: it helps the pending
+// deletion complete (cleanup) and restarts from the root. Guard-lifetime
+// schemes (Leaky/EBR/basic Hyaline/Hyaline-1) pin everything retired while
+// the guard is live and traverse frozen fragments safely.
 //
 // Sentinels: keys inf0 < inf1 < inf2 occupy the top of the key space; user
 // keys must be < inf0. R(inf2) and S(inf1) and the three sentinel leaves
@@ -166,10 +170,26 @@ class natarajan_tree {
     tnode* leaf = nullptr;       // terminal leaf
   };
 
+  /// True if D cannot guarantee that a node reached through a frozen
+  /// (already spliced-out) edge is still allocated: HP/HE pin only the
+  /// published pointer/era, and the era-robust schemes (IBR, Hyaline-S,
+  /// Hyaline-1S) may skip young batches a stale-edge holder was never
+  /// refcounted into. Such schemes must not cross frozen edges; see the
+  /// header comment. Guard-lifetime schemes (Leaky/EBR/basic Hyaline)
+  /// pin everything retired while the guard is live and may.
+  static constexpr bool needs_clean_edges() {
+    if constexpr (requires { D::needs_clean_edges; }) {
+      return D::needs_clean_edges;
+    } else {
+      return false;
+    }
+  }
+
   /// Descend to the leaf for `key`, maintaining the four-node window. The
   /// five hazard indices rotate between the window roles; R and S are
   /// permanent and need no protection.
   void seek(guard& g, std::uint64_t key, seek_record& r) {
+  retry:
     constexpr unsigned none = 99;
     unsigned free_slots[5] = {0, 1, 2, 3, 4};
     int nfree = 5;
@@ -185,6 +205,15 @@ class natarajan_tree {
     r.parent = s_;
     il = pop();
     tnode* parent_field = g.protect(il, s_->left);
+    if constexpr (needs_clean_edges()) {
+      if (tag_of(parent_field) != 0) {
+        // Defensive: the sentinel structure keeps S's left edge clean (the
+        // rightmost leaf of the left subtree is the undeletable inf0), so
+        // this cannot happen in a correct execution; never descend through
+        // a dirty edge regardless.
+        goto retry;
+      }
+    }
     r.leaf = untag(parent_field);
 
     for (;;) {
@@ -204,6 +233,22 @@ class natarajan_tree {
         is2 = il;
         r.ancestor = r.parent;
         r.successor = r.leaf;
+      }
+      if constexpr (needs_clean_edges()) {
+        if (tag_of(cur_raw) != 0) {
+          // Frozen edge: cur may sit in an already-spliced fragment. Help
+          // the deletion pending at r.leaf — the (ancestor, successor)
+          // window just updated above is exactly its cleanup window — then
+          // restart from the root. Progress: each restart either completes
+          // that deletion or observes another thread's completed splice.
+          seek_record h;
+          h.ancestor = r.ancestor;
+          h.successor = r.successor;
+          h.parent = r.leaf;
+          h.leaf = cur;
+          cleanup(g, key, h);
+          goto retry;
+        }
       }
       if (ip != none && ip != ia && ip != is2) push(ip);
       ip = il;

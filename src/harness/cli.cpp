@@ -12,9 +12,11 @@ std::vector<unsigned> parse_list(const char* s) {
   const char* p = s;
   while (*p != '\0') {
     char* end = nullptr;
-    const unsigned long v = std::strtoul(p, &end, 10);
+    const unsigned long long v = std::strtoull(p, &end, 10);
     if (end == p) break;
-    out.push_back(static_cast<unsigned>(v));
+    // Saturate instead of truncating: a silently wrapped value could slip
+    // past downstream range checks (e.g. the --mix sum-to-100 rule).
+    out.push_back(v > ~0u ? ~0u : static_cast<unsigned>(v));
     p = *end == ',' ? end + 1 : end;
   }
   return out;
@@ -39,7 +41,8 @@ std::vector<std::string> parse_names(const char* s) {
   std::fprintf(stderr,
                "usage: %s [--threads a,b,...] [--stalled a,b,...]\n"
                "          [--duration ms] [--repeats n] [--prefill n]\n"
-               "          [--range n] [--schemes name,...] [--full]\n",
+               "          [--range n] [--schemes name,...]\n"
+               "          [--mix insert,remove,get] [--full]\n",
                prog);
   std::exit(2);
 }
@@ -80,6 +83,21 @@ cli_options parse_cli(int argc, char** argv, cli_options defaults) {
       o.key_range = std::strtoull(need_val("--range"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--schemes") == 0) {
       o.schemes = parse_names(need_val("--schemes"));
+    } else if (std::strcmp(argv[i], "--mix") == 0) {
+      o.mix = parse_list(need_val("--mix"));
+      // Reject malformed mixes up front: a mix that does not sum to 100
+      // would silently skew the op distribution (the dice remainder falls
+      // through to get). Sum in 64 bits so huge values cannot wrap back
+      // to 100.
+      unsigned long long sum = 0;
+      for (unsigned v : o.mix) sum += v;
+      if (o.mix.size() != 3 || sum != 100) {
+        std::fprintf(stderr,
+                     "--mix wants three percentages insert,remove,get "
+                     "summing to 100 (got %zu values, sum %llu)\n",
+                     o.mix.size(), sum);
+        usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--full") == 0) {
       o.full = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {

@@ -8,7 +8,10 @@
 //   --prefill <n>        initial element count (paper: 50000)
 //   --range <n>          key range (paper: 100000)
 //   --stalled 0,1,...    stalled-thread counts (fig10a)
-//   --schemes a,b        restrict to named schemes
+//   --schemes a,b        restrict to named schemes (validated against the
+//                        runtime scheme registry by the figure drivers)
+//   --mix i,r,g          op-mix percentages (insert,remove,get); rejected
+//                        unless they sum to exactly 100
 //   --full               paper-scale settings (duration 10s, repeats 5)
 #pragma once
 
@@ -26,6 +29,9 @@ struct cli_options {
   std::uint64_t key_range = 100000;
   std::size_t prefill = 50000;
   std::vector<std::string> schemes;  // empty = all
+  /// Op-mix override {insert,remove,get}; empty = the figure's default.
+  /// parse_cli guarantees: empty, or exactly 3 values summing to 100.
+  std::vector<unsigned> mix;
   bool full = false;
 
   /// True if `name` should run under the --schemes filter.

@@ -1,21 +1,27 @@
 #include "harness/figures.hpp"
 
-#include "ds/bonsai_tree.hpp"
-#include "ds/hm_list.hpp"
-#include "ds/michael_hashmap.hpp"
-#include "ds/natarajan_tree.hpp"
-#include "harness/figure_runner.hpp"
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "harness/registry.hpp"
 
 namespace hyaline::harness {
 namespace {
 
-workload_config base_mix(unsigned insert_pct, unsigned remove_pct,
-                         unsigned get_pct) {
-  workload_config cfg;
-  cfg.insert_pct = insert_pct;
-  cfg.remove_pct = remove_pct;
-  cfg.get_pct = get_pct;
-  return cfg;
+/// The paper's scheme line-up, straight from the registry (entries are in
+/// plotting order). Under the LL/SC figures, schemes with a registered
+/// emulated-LL/SC twin swap to it.
+std::vector<std::string> matrix_lineup(const scheme_registry& reg,
+                                       bool llsc) {
+  std::vector<std::string> out;
+  for (const scheme_registry::entry& e : reg.schemes()) {
+    if (!e.caps.core_lineup) continue;
+    out.push_back(llsc && !e.llsc_variant.empty() ? e.llsc_variant : e.name);
+  }
+  return out;
 }
 
 // The list benchmark uses a smaller key range / prefill than the map and
@@ -30,121 +36,227 @@ void scale_for_list(cli_options& o) {
   if (o.prefill > 1024) o.prefill = 1024;
 }
 
-}  // namespace
-
-void run_matrix(const char* figure, const cli_options& o, unsigned insert_pct,
-                unsigned remove_pct, unsigned get_pct, bool llsc) {
-  print_csv_header(figure);
-  const workload_config base = base_mix(insert_pct, remove_pct, get_pct);
-
-  cli_options list_o = o;
-  scale_for_list(list_o);
-  if (llsc) {
-    run_llsc_schemes<ds::hm_list>(figure, "list", list_o, base, true);
-    run_llsc_schemes<ds::bonsai_tree>(figure, "bonsai", o, base, false);
-    run_llsc_schemes<ds::michael_hashmap>(figure, "hashmap", o, base, true);
-    run_llsc_schemes<ds::natarajan_tree>(figure, "nmtree", o, base, true);
+/// Workload shaped by the spec's mix (or the --mix override) and the
+/// shared CLI knobs.
+workload_config base_cfg(const figure_spec& spec, const cli_options& o) {
+  workload_config cfg;
+  if (!o.mix.empty()) {
+    cfg.insert_pct = o.mix[0];
+    cfg.remove_pct = o.mix[1];
+    cfg.get_pct = o.mix[2];
   } else {
-    run_all_schemes<ds::hm_list>(figure, "list", list_o, base, true);
-    run_all_schemes<ds::bonsai_tree>(figure, "bonsai", o, base, false);
-    run_all_schemes<ds::michael_hashmap>(figure, "hashmap", o, base, true);
-    run_all_schemes<ds::natarajan_tree>(figure, "nmtree", o, base, true);
+    cfg.insert_pct = spec.insert_pct;
+    cfg.remove_pct = spec.remove_pct;
+    cfg.get_pct = spec.get_pct;
   }
-}
-
-namespace {
-
-/// One robustness data point with explicit scheme parameters (the sweep
-/// needs a slot count that does NOT scale with the stalled-thread count,
-/// so the "ran out of slots" cliff of Figure 10a is reproducible).
-template <class D>
-void run_robustness_point(const char* figure, const char* label,
-                          const cli_options& o, const scheme_params& p,
-                          const workload_config& base) {
-  if (!o.scheme_enabled(label)) return;
-  auto dom = scheme_traits<D>::make(p);
-  ds::michael_hashmap<D> s(*dom);
-  workload_config cfg = base;
   cfg.duration_ms = o.duration_ms;
   cfg.repeats = o.repeats;
   cfg.key_range = o.key_range;
   cfg.prefill = o.prefill;
-  const workload_result r = run_workload(*dom, s, cfg);
-  print_csv_row(figure, "hashmap", label, cfg.threads, cfg.stalled_threads,
-                r.mops, r.unreclaimed_avg);
+  return cfg;
 }
 
-}  // namespace
+/// Every label this figure can plot must cover every name the user asked
+/// for — a typo in --schemes should fail loudly, not produce empty output.
+bool validate_scheme_filter(const cli_options& o,
+                            const std::vector<std::string>& labels) {
+  for (const std::string& want : o.schemes) {
+    bool known = false;
+    for (const std::string& l : labels) {
+      if (l == want) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string valid;
+      for (const std::string& l : labels) {
+        if (!valid.empty()) valid += ", ";
+        valid += l;
+      }
+      std::fprintf(stderr,
+                   "unknown scheme '%s' for this figure; valid here: %s\n",
+                   want.c_str(), valid.c_str());
+      return false;
+    }
+  }
+  return true;
+}
 
-void run_robustness(const char* figure, const cli_options& o,
-                    unsigned active_threads) {
-  print_csv_header(figure);
-  const std::size_t fixed_slots =
-      std::bit_ceil(std::size_t{active_threads}) * 2;
+int run_matrix(const figure_spec& spec, const cli_options& o) {
+  const scheme_registry& reg = scheme_registry::instance();
+
+  std::vector<std::string> labels = matrix_lineup(reg, spec.llsc);
+  // The line-up is only the default plot order: any other registered scheme
+  // (e.g. the Hyaline(dwcas) head-policy variant) runs on demand when named
+  // in --schemes. Exception: on LL/SC figures a scheme whose emulated-LL/SC
+  // twin replaced it in the line-up is NOT appendable under its base name —
+  // silently measuring the packed-CAS head under the LL/SC figure tag would
+  // corrupt the series; validation rejects it and lists the valid labels.
+  for (const std::string& want : o.schemes) {
+    if (std::find(labels.begin(), labels.end(), want) != labels.end()) {
+      continue;
+    }
+    const scheme_registry::entry* e = reg.find(want);
+    if (e == nullptr) continue;  // rejected by validation below
+    if (spec.llsc && !e->llsc_variant.empty()) continue;
+    labels.push_back(want);
+  }
+  if (!validate_scheme_filter(o, labels)) return 2;
+
+  print_csv_header(spec.name);
+  const workload_config base = base_cfg(spec, o);
+
+  struct srow {
+    const char* structure;
+    bool list_scale;
+  };
+  static constexpr srow kStructures[] = {{"list", true},
+                                         {"bonsai", false},
+                                         {"hashmap", false},
+                                         {"nmtree", false}};
+
+  for (const srow& st : kStructures) {
+    cli_options so = o;
+    if (st.list_scale) scale_for_list(so);
+    for (const std::string& scheme : labels) {
+      if (!o.scheme_enabled(scheme)) continue;
+      runner_fn run = reg.runner(scheme, st.structure);
+      if (run == nullptr) continue;  // HP/HE × bonsai, as in the paper
+      for (unsigned t : so.threads) {
+        scheme_params p;
+        p.max_threads = t + base.stalled_threads;
+        workload_config cfg = base;
+        cfg.threads = t;
+        cfg.key_range = so.key_range;
+        cfg.prefill = so.prefill;
+        const workload_result r = run(p, cfg);
+        print_csv_row(spec.name, st.structure, scheme.c_str(), t,
+                      cfg.stalled_threads, r.mops, r.unreclaimed_avg);
+      }
+    }
+  }
+  return 0;
+}
+
+int run_robustness(const figure_spec& spec, const cli_options& o) {
+  const scheme_registry& reg = scheme_registry::instance();
+  const unsigned active = o.threads.empty() ? 4 : o.threads[0];
+
+  /// One row per plotted series. The sweep needs a slot count that does
+  /// NOT scale with the stalled-thread count, so the "ran out of slots"
+  /// cliff of Figure 10a is reproducible; the adaptive series re-runs
+  /// Hyaline-S with §4.3 slot-directory growth enabled.
+  struct rrow {
+    const char* scheme;
+    const char* label;
+    std::size_t max_slots;
+  };
+  static constexpr rrow kRows[] = {
+      {"Epoch", "Epoch", 0},
+      {"Hyaline", "Hyaline", 0},
+      {"Hyaline-1", "Hyaline-1", 0},
+      {"Hyaline-S", "Hyaline-S", 0},
+      {"Hyaline-S", "Hyaline-S(adaptive)", 4096},
+      {"Hyaline-1S", "Hyaline-1S", 0},
+      {"IBR", "IBR", 0},
+      {"HE", "HE", 0},
+      {"HP", "HP", 0},
+  };
+
+  std::vector<std::string> labels;
+  for (const rrow& r : kRows) labels.push_back(r.label);
+  if (!validate_scheme_filter(o, labels)) return 2;
+
+  print_csv_header(spec.name);
+  const std::size_t fixed_slots = std::bit_ceil(std::size_t{active}) * 2;
   for (unsigned stalled : o.stalled) {
-    workload_config base = base_mix(50, 50, 0);
-    base.threads = active_threads;
-    base.stalled_threads = stalled;
-    scheme_params p;
-    p.max_threads = active_threads + stalled;
-    p.slots = fixed_slots;
-    p.ack_threshold = 512;  // scaled to short runs (paper: 8192 over 10 s)
-
-    run_robustness_point<smr::ebr_domain>(figure, "Epoch", o, p, base);
-    run_robustness_point<domain>(figure, "Hyaline", o, p, base);
-    run_robustness_point<domain_1>(figure, "Hyaline-1", o, p, base);
-    run_robustness_point<domain_s>(figure, "Hyaline-S", o, p, base);
-    scheme_params ap = p;
-    ap.max_slots = 4096;  // §4.3 adaptive growth enabled
-    run_robustness_point<domain_s>(figure, "Hyaline-S(adaptive)", o, ap,
-                                   base);
-    run_robustness_point<domain_1s>(figure, "Hyaline-1S", o, p, base);
-    run_robustness_point<smr::ibr_domain>(figure, "IBR", o, p, base);
-    run_robustness_point<smr::he_domain>(figure, "HE", o, p, base);
-    run_robustness_point<smr::hp_domain>(figure, "HP", o, p, base);
+    for (const rrow& row : kRows) {
+      if (!o.scheme_enabled(row.label)) continue;
+      workload_config cfg = base_cfg(spec, o);
+      cfg.threads = active;
+      cfg.stalled_threads = stalled;
+      scheme_params p;
+      p.max_threads = active + stalled;
+      p.slots = fixed_slots;
+      p.max_slots = row.max_slots;   // 0 = capped; §4.3 growth otherwise
+      p.ack_threshold = 512;  // scaled to short runs (paper: 8192 over 10 s)
+      runner_fn run = reg.runner(row.scheme, "hashmap");
+      if (run == nullptr) {  // stale row table vs registry rename
+        std::fprintf(stderr, "skipping %s: no hashmap runner registered\n",
+                     row.label);
+        continue;
+      }
+      const workload_result r = run(p, cfg);
+      print_csv_row(spec.name, "hashmap", row.label, active, stalled, r.mops,
+                    r.unreclaimed_avg);
+    }
   }
+  return 0;
 }
 
-namespace {
+int run_trim(const figure_spec& spec, const cli_options& o) {
+  const scheme_registry& reg = scheme_registry::instance();
 
-template <class D>
-void run_trim_scheme(const char* figure, const cli_options& o,
-                     std::size_t slot_cap, bool use_trim) {
-  const std::string label =
-      std::string(scheme_traits<D>::name) + (use_trim ? "(trim)" : "");
-  if (!o.scheme_enabled(label) && !o.scheme_enabled(scheme_traits<D>::name))
-    return;
-  for (unsigned t : o.threads) {
-    scheme_params p;
-    p.max_threads = t;
-    p.slots = slot_cap;
-    auto dom = scheme_traits<D>::make(p);
-    ds::michael_hashmap<D> s(*dom);
-    workload_config cfg;
-    cfg.insert_pct = 50;
-    cfg.remove_pct = 50;
-    cfg.get_pct = 0;
-    cfg.threads = t;
-    cfg.use_trim = use_trim;
-    cfg.duration_ms = o.duration_ms;
-    cfg.repeats = o.repeats;
-    cfg.key_range = o.key_range;
-    cfg.prefill = o.prefill;
-    const workload_result r = run_workload(*dom, s, cfg);
-    print_csv_row(figure, "hashmap", label.c_str(), t, 0, r.mops,
-                  r.unreclaimed_avg);
+  struct trow {
+    const char* scheme;
+    bool use_trim;
+    const char* label;
+  };
+  static constexpr trow kRows[] = {
+      {"Hyaline", true, "Hyaline(trim)"},
+      {"Hyaline-S", true, "Hyaline-S(trim)"},
+      {"Hyaline", false, "Hyaline"},
+      {"Hyaline-S", false, "Hyaline-S"},
+  };
+
+  std::vector<std::string> labels;
+  for (const trow& r : kRows) labels.push_back(r.label);
+  if (!validate_scheme_filter(o, labels)) return 2;
+
+  print_csv_header(spec.name);
+  for (const trow& row : kRows) {
+    // Accept the exact label or the bare scheme name in --schemes.
+    if (!o.scheme_enabled(row.label) && !o.scheme_enabled(row.scheme)) {
+      continue;
+    }
+    for (unsigned t : o.threads) {
+      workload_config cfg = base_cfg(spec, o);
+      cfg.threads = t;
+      cfg.use_trim = row.use_trim;
+      scheme_params p;
+      p.max_threads = t;
+      p.slots = spec.slot_cap;
+      runner_fn run = reg.runner(row.scheme, "hashmap");
+      if (run == nullptr) {  // stale row table vs registry rename
+        std::fprintf(stderr, "skipping %s: no hashmap runner registered\n",
+                     row.label);
+        continue;
+      }
+      const workload_result r = run(p, cfg);
+      print_csv_row(spec.name, "hashmap", row.label, t, 0, r.mops,
+                    r.unreclaimed_avg);
+    }
   }
+  return 0;
 }
 
 }  // namespace
 
-void run_trim(const char* figure, const cli_options& o,
-              std::size_t slot_cap) {
-  print_csv_header(figure);
-  run_trim_scheme<domain>(figure, o, slot_cap, /*use_trim=*/true);
-  run_trim_scheme<domain_s>(figure, o, slot_cap, /*use_trim=*/true);
-  run_trim_scheme<domain>(figure, o, slot_cap, /*use_trim=*/false);
-  run_trim_scheme<domain_s>(figure, o, slot_cap, /*use_trim=*/false);
+int run_figure(const figure_spec& spec, int argc, char** argv) {
+  cli_options defaults;
+  defaults.threads = spec.default_threads;
+  defaults.stalled = spec.default_stalled;
+  const cli_options o = parse_cli(argc, argv, defaults);
+  switch (spec.kind) {
+    case figure_kind::matrix:
+      return run_matrix(spec, o);
+    case figure_kind::robustness:
+      return run_robustness(spec, o);
+    case figure_kind::trim:
+      return run_trim(spec, o);
+  }
+  return 2;
 }
 
 }  // namespace hyaline::harness

@@ -1,26 +1,48 @@
-// High-level entry points for the paper-figure benchmarks. Each bench
-// binary is a thin main() over one of these; the (large) template matrix
-// of structures × schemes is instantiated once, in figures.cpp.
+// Data-driven entry points for the paper-figure benchmarks.
+//
+// Each bench binary declares a `figure_spec` — a plain data table naming
+// the workload shape — and calls run_figure(). All scheme and structure
+// resolution happens at runtime through harness/registry.hpp, so the
+// binaries contain no template unrolls and `--schemes` selects any
+// registered scheme by name without recompilation.
 #pragma once
+
+#include <cstddef>
+#include <vector>
 
 #include "harness/cli.hpp"
 
 namespace hyaline::harness {
 
-/// Figures 8/9 (write-heavy) and 11/12 (read-mostly), and their LL/SC
-/// twins 13-16: run all four structures over the full scheme line-up.
-/// `insert/remove/get` are the op-mix percentages; `llsc` switches the
-/// Hyaline variants to the emulated LL/SC head policy.
-void run_matrix(const char* figure, const cli_options& o, unsigned insert_pct,
-                unsigned remove_pct, unsigned get_pct, bool llsc);
+enum class figure_kind {
+  /// Four structures × the paper's nine-scheme line-up × thread sweep
+  /// (Figures 8/9, 11/12, and their LL/SC twins 13-16).
+  matrix,
+  /// Hash map, fixed active threads, sweeping stalled threads (Figure 10a).
+  robustness,
+  /// Hash map with a small slot cap, trim() on/off (Figure 10b).
+  trim,
+};
 
-/// Figure 10a: hash map, fixed active threads, sweeping stalled threads;
-/// the interesting column is unreclaimed objects per operation.
-void run_robustness(const char* figure, const cli_options& o,
-                    unsigned active_threads);
+struct figure_spec {
+  const char* name;  ///< CSV header tag, e.g. "fig8-write-throughput"
+  figure_kind kind = figure_kind::matrix;
+  /// Op-mix percentages (overridable with --mix). Paper: write = {50,50,0},
+  /// read-mostly = {5,5,90}.
+  unsigned insert_pct = 50;
+  unsigned remove_pct = 50;
+  unsigned get_pct = 0;
+  /// Matrix figures: run the Hyaline variants over the emulated LL/SC head
+  /// (§4.4; Figures 13-16).
+  bool llsc = false;
+  /// Trim figures: slot cap k (paper: k <= 32).
+  std::size_t slot_cap = 4;
+  std::vector<unsigned> default_threads = {1, 2, 4, 8};
+  std::vector<unsigned> default_stalled = {};
+};
 
-/// Figure 10b: hash map with a small slot cap (k <= 32), Hyaline and
-/// Hyaline-S with and without trim.
-void run_trim(const char* figure, const cli_options& o, std::size_t slot_cap);
+/// Parse argv over the spec's defaults and run the figure. Returns the
+/// process exit status (non-zero on CLI errors such as an unknown scheme).
+int run_figure(const figure_spec& spec, int argc, char** argv);
 
 }  // namespace hyaline::harness

@@ -1,0 +1,133 @@
+// The one translation unit that instantiates the scheme×structure template
+// matrix. Everything downstream (figures, tests, future tools) reaches the
+// pairs through type-erased runner_fn pointers looked up by name.
+#include "harness/registry.hpp"
+
+#include "ds/bonsai_tree.hpp"
+#include "ds/harris_list.hpp"
+#include "ds/hm_list.hpp"
+#include "ds/michael_hashmap.hpp"
+#include "ds/natarajan_tree.hpp"
+
+namespace hyaline::harness {
+namespace {
+
+/// One benchmark run over a concrete (scheme, structure) pair. Teardown
+/// order matters for the trailing leak counters: the structure frees its
+/// live nodes directly, then the quiescent drain flushes every
+/// retired-but-unreclaimed node through the scheme, after which
+/// retired == freed must hold.
+template <class D, template <class> class DS>
+workload_result run_cell(const scheme_params& params,
+                         const workload_config& cfg) {
+  auto dom = scheme_traits<D>::make(params);
+  workload_result r;
+  {
+    DS<D> s(*dom);
+    r = run_workload(*dom, s, cfg);
+  }
+  dom->drain();
+  r.retired = dom->counters().retired.load();
+  r.freed = dom->counters().freed.load();
+  return r;
+}
+
+template <class D>
+scheme_registry::entry make_entry(const char* name, scheme_caps caps,
+                                  const char* llsc_variant = "") {
+  scheme_registry::entry e{name, caps, llsc_variant, {}};
+  e.cells.push_back({"list", &run_cell<D, ds::hm_list>});
+  e.cells.push_back({"hashmap", &run_cell<D, ds::michael_hashmap>});
+  e.cells.push_back({"nmtree", &run_cell<D, ds::natarajan_tree>});
+  // Bonsai lookups walk an immutable snapshot that cannot be
+  // pointer-protected (paper: HP/HE excluded). Harris's original list is
+  // stricter still: traversal crosses marked (logically deleted) segments,
+  // which only guard-lifetime epoch-style schemes pin safely — §2.4's
+  // "basic Hyaline works with [20]; its robust version requires timely
+  // retirement".
+  if (!caps.pointer_publication) {
+    e.cells.push_back({"bonsai", &run_cell<D, ds::bonsai_tree>});
+    if (!caps.robust) {
+      e.cells.push_back({"harris", &run_cell<D, ds::harris_list>});
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+runner_fn scheme_registry::entry::runner_for(
+    std::string_view structure) const {
+  for (const cell& c : cells) {
+    if (c.structure == structure) return c.run;
+  }
+  return nullptr;
+}
+
+scheme_registry::scheme_registry() {
+  using smr::ebr_domain;
+  using smr::he_domain;
+  using smr::hp_domain;
+  using smr::ibr_domain;
+  using smr::leaky_domain;
+
+  // The paper's nine headline schemes, in plotting order. The multi-list
+  // Hyaline variants name their emulated-LL/SC twin for the Figures 13-16
+  // head substitution; the baselines and per-thread-slot variants are
+  // head-agnostic.
+  schemes_.push_back(make_entry<leaky_domain>(
+      "Leaky", {.core_lineup = true}));
+  schemes_.push_back(make_entry<ebr_domain>(
+      "Epoch", {.core_lineup = true}));
+  schemes_.push_back(make_entry<domain>(
+      "Hyaline", {.supports_trim = true, .core_lineup = true},
+      "Hyaline(llsc)"));
+  schemes_.push_back(make_entry<domain_1>(
+      "Hyaline-1", {.supports_trim = true, .core_lineup = true}));
+  schemes_.push_back(make_entry<domain_s>(
+      "Hyaline-S", {.robust = true, .supports_trim = true,
+                    .core_lineup = true},
+      "Hyaline-S(llsc)"));
+  schemes_.push_back(make_entry<domain_1s>(
+      "Hyaline-1S", {.robust = true, .supports_trim = true,
+                     .core_lineup = true}));
+  schemes_.push_back(make_entry<ibr_domain>(
+      "IBR", {.robust = true, .core_lineup = true}));
+  schemes_.push_back(make_entry<he_domain>(
+      "HE", {.pointer_publication = true, .robust = true,
+             .core_lineup = true}));
+  schemes_.push_back(make_entry<hp_domain>(
+      "HP", {.pointer_publication = true, .robust = true,
+             .core_lineup = true}));
+
+  // ...plus the head-policy variants used by the LL/SC figures and the
+  // ablations.
+  schemes_.push_back(make_entry<domain_dw>(
+      "Hyaline(dwcas)", {.supports_trim = true}));
+  schemes_.push_back(make_entry<domain_llsc>(
+      "Hyaline(llsc)", {.llsc_head = true, .supports_trim = true}));
+  schemes_.push_back(make_entry<domain_s_llsc>(
+      "Hyaline-S(llsc)", {.robust = true, .llsc_head = true,
+                          .supports_trim = true}));
+}
+
+const scheme_registry& scheme_registry::instance() {
+  static scheme_registry r;
+  return r;
+}
+
+const scheme_registry::entry* scheme_registry::find(
+    std::string_view scheme) const {
+  for (const entry& e : schemes_) {
+    if (e.name == scheme) return &e;
+  }
+  return nullptr;
+}
+
+runner_fn scheme_registry::runner(std::string_view scheme,
+                                  std::string_view structure) const {
+  const entry* e = find(scheme);
+  return e != nullptr ? e->runner_for(structure) : nullptr;
+}
+
+}  // namespace hyaline::harness

@@ -1,0 +1,82 @@
+// Runtime scheme registry: the type-erased scheme×structure run matrix.
+//
+// The figure benchmarks used to unroll the full template cross-product at
+// every call site; instead, every (scheme, structure) pair is instantiated
+// exactly once — in registry.cpp — behind a plain function pointer, and
+// benchmarks look schemes up *by name at runtime*. `--schemes Hyaline-S`
+// therefore needs no recompilation, and a new scheme or structure lands in
+// the whole benchmark suite by adding one registry entry.
+//
+// Registered scheme names (the paper's nine headline schemes are marked
+// `core_lineup`): Leaky, Epoch, HP, HE, IBR, Hyaline, Hyaline-1, Hyaline-S,
+// Hyaline-1S, plus the head-policy variants Hyaline(dwcas), Hyaline(llsc),
+// Hyaline-S(llsc). Structures: list (Harris–Michael list), harris (Harris
+// list with deferred unlink), hashmap, nmtree, bonsai.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/schemes.hpp"
+#include "harness/workload.hpp"
+
+namespace hyaline::harness {
+
+/// Capability flags a scheme advertises to the benchmark drivers.
+struct scheme_caps {
+  /// HP/HE: protect() publishes pointer addresses; incompatible with
+  /// snapshot-traversal structures (bonsai), as in the paper.
+  bool pointer_publication = false;
+  /// A stalled thread pins a bounded number of nodes.
+  bool robust = false;
+  /// Hyaline over the emulated LL/SC head (§4.4; Figures 13-16).
+  bool llsc_head = false;
+  /// guard::trim() is meaningful (Hyaline family, §3.3).
+  bool supports_trim = false;
+  /// One of the nine schemes the paper's figures plot.
+  bool core_lineup = false;
+};
+
+/// One type-erased benchmark run: construct the scheme from `params`, build
+/// the structure over it, drive `run_workload`, tear down, and report the
+/// result (including the final retired/freed counters for leak checks).
+using runner_fn = workload_result (*)(const scheme_params& params,
+                                      const workload_config& cfg);
+
+class scheme_registry {
+ public:
+  struct cell {
+    std::string structure;
+    runner_fn run;
+  };
+
+  struct entry {
+    std::string name;
+    scheme_caps caps;
+    /// Name of this scheme's emulated-LL/SC twin, if one is registered
+    /// (the Figures 13-16 head substitution); empty otherwise.
+    std::string llsc_variant;
+    std::vector<cell> cells;
+
+    /// Runner for one structure, or nullptr if the pair is not registered
+    /// (e.g. HP/HE × bonsai).
+    runner_fn runner_for(std::string_view structure) const;
+  };
+
+  /// The process-wide registry, built on first use. Entries are in the
+  /// paper's plotting order (`schemes()` drives the figure line-ups).
+  static const scheme_registry& instance();
+
+  const entry* find(std::string_view scheme) const;
+  runner_fn runner(std::string_view scheme, std::string_view structure) const;
+
+  const std::vector<entry>& schemes() const { return schemes_; }
+
+ private:
+  scheme_registry();
+
+  std::vector<entry> schemes_;
+};
+
+}  // namespace hyaline::harness

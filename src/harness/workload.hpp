@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstdint>
 #include <thread>
@@ -48,7 +49,21 @@ struct workload_result {
   double mops = 0;              ///< throughput, million operations / second
   double unreclaimed_avg = 0;   ///< mean retired-not-yet-freed per sample
   std::uint64_t total_ops = 0;  ///< operations completed across all threads
+  /// Final domain counters, captured after structure teardown and a
+  /// quiescent drain (filled in by the registry runners; retired != freed
+  /// means the scheme leaked).
+  std::uint64_t retired = 0;
+  std::uint64_t freed = 0;
 };
+
+/// True iff the op-mix percentages cover exactly the whole dice range.
+/// A mix that does not sum to 100 silently skews the distribution (the
+/// remainder falls through to get), so drivers reject it up front. Summed
+/// in 64 bits so overflowing values cannot wrap back to 100.
+constexpr bool valid_mix(const workload_config& cfg) {
+  return std::uint64_t{cfg.insert_pct} + cfg.remove_pct + cfg.get_pct ==
+         100;
+}
 
 namespace detail {
 
@@ -79,6 +94,7 @@ concept has_trim = requires(G g) { g.trim(); };
 template <class DS, class D>
 workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
   using guard_t = typename D::guard;
+  assert(valid_mix(cfg) && "op-mix percentages must sum to 100");
 
   // --- prefill (quiescent) ---------------------------------------------
   {

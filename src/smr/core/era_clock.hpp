@@ -1,0 +1,64 @@
+// Global era/epoch clock shared by the era-based schemes.
+//
+// EBR's epoch, IBR/HE's era, and Hyaline-S's allocation era are all the
+// same object: a padded global 64-bit counter that threads read with
+// seq_cst and advance either unconditionally (FAA, one bump every
+// `era_freq` allocations) or conditionally (CAS, EBR's all-threads-caught-up
+// rule). The era-validated read loop those schemes share lives here too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+
+namespace hyaline::smr::core {
+
+class era_clock {
+ public:
+  explicit era_clock(std::uint64_t start) : era_(start) {}
+
+  era_clock(const era_clock&) = delete;
+  era_clock& operator=(const era_clock&) = delete;
+
+  std::uint64_t load(std::memory_order mo = std::memory_order_seq_cst) const {
+    return era_->load(mo);
+  }
+
+  /// Unconditional advance (IBR/HE/Hyaline-S allocation clock).
+  void advance() { era_->fetch_add(1, std::memory_order_seq_cst); }
+
+  /// Conditional advance from a known value (EBR: only the thread that
+  /// verified every reservation caught up moves the epoch).
+  bool try_advance(std::uint64_t expected) {
+    return era_->compare_exchange_strong(expected, expected + 1,
+                                         std::memory_order_seq_cst);
+  }
+
+  /// Per-thread allocation tick: advance once every `freq` calls. The
+  /// caller supplies its own (thread-local or per-builder) counter.
+  void tick(std::uint64_t& counter, std::uint64_t freq) {
+    if (++counter % freq == 0) advance();
+  }
+
+ private:
+  padded<std::atomic<std::uint64_t>> era_;
+};
+
+/// Era-validated pointer acquisition (IBR's 2GE read, HE's get_protected,
+/// Hyaline-S's deref): re-read the source until the published reservation
+/// covers the current era. `publish(e)` must make era `e` visible to
+/// scanners and return the reservation now in effect (>= e for CAS-max
+/// publishers).
+template <class T, class Publish>
+T* protect_with_era(const std::atomic<T*>& src, const era_clock& clock,
+                    std::uint64_t reserved, Publish&& publish) {
+  for (;;) {
+    T* p = src.load(std::memory_order_acquire);
+    const std::uint64_t e = clock.load();
+    if (e == reserved) return p;
+    reserved = publish(e);
+  }
+}
+
+}  // namespace hyaline::smr::core

@@ -1,0 +1,46 @@
+// Overridable allocation for SMR node headers.
+//
+// Every scheme's intrusive `node` type derives from `hooked_alloc`, whose
+// class-level operator new/delete route through a process-wide hook pair.
+// With the hooks unset (the default, and the only mode benchmarks use)
+// allocation is exactly `::operator new` / `::operator delete`. The test
+// suite installs `debug_alloc`-backed hooks before spawning threads, which
+// makes every node the data structures allocate — including Hyaline's
+// padding dummies — leak-, double-free- and write-after-free-checked
+// without the structures knowing (see tests/registry_matrix_test.cpp).
+//
+// The hooks are read on every node allocation; install them once, at
+// startup, before any node exists, so allocate/free pairs always agree.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace hyaline::smr::core {
+
+using node_alloc_fn = void* (*)(std::size_t);
+using node_free_fn = void (*)(void*);
+
+inline node_alloc_fn node_alloc_hook = nullptr;  // null = ::operator new
+inline node_free_fn node_free_hook = nullptr;    // null = ::operator delete
+
+/// Empty base class providing the hooked class-level new/delete. Derived
+/// node types keep their layout (empty-base optimization).
+struct hooked_alloc {
+  static void* operator new(std::size_t n) {
+    return node_alloc_hook != nullptr ? node_alloc_hook(n)
+                                      : ::operator new(n);
+  }
+  static void operator delete(void* p) {
+    if (node_free_hook != nullptr) {
+      node_free_hook(p);
+    } else {
+      ::operator delete(p);
+    }
+  }
+  static void operator delete(void* p, std::size_t) {
+    hooked_alloc::operator delete(p);
+  }
+};
+
+}  // namespace hyaline::smr::core

@@ -1,0 +1,40 @@
+// Fixed-capacity per-thread slot registry shared by the baseline SMR
+// schemes (EBR, IBR, HP, HE).
+//
+// Every baseline keeps one record per thread id — a reservation word (or
+// hazard array) that other threads scan, plus owner-private retired-node
+// state. The record type is supplied by the scheme and must be
+// default-constructible and cache-line aligned (`alignas(cache_line_size)`
+// on the record, as in the seed implementations) so adjacent threads never
+// false-share.
+#pragma once
+
+#include <memory>
+
+namespace hyaline::smr::core {
+
+/// Owns `n` default-constructed records indexed by thread id.
+template <class Rec>
+class thread_registry {
+ public:
+  explicit thread_registry(unsigned n) : n_(n), recs_(new Rec[n]) {}
+
+  thread_registry(const thread_registry&) = delete;
+  thread_registry& operator=(const thread_registry&) = delete;
+
+  unsigned size() const { return n_; }
+
+  Rec& operator[](unsigned tid) { return recs_[tid]; }
+  const Rec& operator[](unsigned tid) const { return recs_[tid]; }
+
+  Rec* begin() { return recs_.get(); }
+  Rec* end() { return recs_.get() + n_; }
+  const Rec* begin() const { return recs_.get(); }
+  const Rec* end() const { return recs_.get() + n_; }
+
+ private:
+  unsigned n_;
+  std::unique_ptr<Rec[]> recs_;
+};
+
+}  // namespace hyaline::smr::core

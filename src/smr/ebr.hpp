@@ -14,6 +14,10 @@
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "smr/core/era_clock.hpp"
+#include "smr/core/node_alloc.hpp"
+#include "smr/core/retired_batch.hpp"
+#include "smr/core/thread_registry.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::smr {
@@ -27,7 +31,7 @@ struct ebr_config {
 
 class ebr_domain {
  public:
-  struct node {
+  struct node : core::hooked_alloc {
     node* next = nullptr;
     std::uint64_t retire_epoch = 0;
   };
@@ -35,15 +39,12 @@ class ebr_domain {
   using free_fn_t = void (*)(node*);
 
   explicit ebr_domain(ebr_config cfg = {})
-      : cfg_(cfg), recs_(new rec[cfg.max_threads]) {}
+      : cfg_(cfg), recs_(cfg.max_threads) {}
 
   explicit ebr_domain(unsigned max_threads)
       : ebr_domain(ebr_config{max_threads, 64}) {}
 
-  ~ebr_domain() {
-    drain();
-    delete[] recs_;
-  }
+  ~ebr_domain() { drain(); }
 
   ebr_domain(const ebr_domain&) = delete;
   ebr_domain& operator=(const ebr_domain&) = delete;
@@ -56,10 +57,9 @@ class ebr_domain {
   class guard {
    public:
     guard(ebr_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
-      assert(tid < dom.cfg_.max_threads);
-      dom_.recs_[tid].reservation.store(
-          dom_.epoch_->load(std::memory_order_seq_cst),
-          std::memory_order_seq_cst);
+      assert(tid < dom.recs_.size());
+      dom_.recs_[tid].reservation.store(dom_.epoch_.load(),
+                                        std::memory_order_seq_cst);
     }
 
     ~guard() {
@@ -86,11 +86,11 @@ class ebr_domain {
   /// the epoch twice makes every limbo node reclaimable.
   void drain() {
     for (int i = 0; i < 3; ++i) try_advance();
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) reclaim(t);
+    for (unsigned t = 0; t < recs_.size(); ++t) reclaim(t);
   }
 
   std::uint64_t debug_epoch() const {
-    return epoch_->load(std::memory_order_relaxed);
+    return epoch_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -98,22 +98,15 @@ class ebr_domain {
 
   struct alignas(cache_line_size) rec {
     std::atomic<std::uint64_t> reservation{inactive};
-    node* limbo_head = nullptr;  // owner-thread private
-    node* limbo_tail = nullptr;
+    core::limbo_queue<node> limbo;  // owner-thread private
     std::uint64_t retire_count = 0;
   };
 
   void retire(unsigned tid, node* n) {
     stats_->on_retire();
     rec& r = recs_[tid];
-    n->retire_epoch = epoch_->load(std::memory_order_seq_cst);
-    n->next = nullptr;
-    if (r.limbo_tail == nullptr) {
-      r.limbo_head = r.limbo_tail = n;
-    } else {
-      r.limbo_tail->next = n;
-      r.limbo_tail = n;
-    }
+    n->retire_epoch = epoch_.load();
+    r.limbo.push_back(n);
     if (++r.retire_count % cfg_.advance_freq == 0) {
       try_advance();
     }
@@ -122,37 +115,32 @@ class ebr_domain {
 
   /// Advance the global epoch if every active thread has observed it.
   void try_advance() {
-    const std::uint64_t e = epoch_->load(std::memory_order_seq_cst);
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+    const std::uint64_t e = epoch_.load();
+    for (const rec& r : recs_) {
       const std::uint64_t res =
-          recs_[t].reservation.load(std::memory_order_seq_cst);
+          r.reservation.load(std::memory_order_seq_cst);
       if (res != inactive && res < e) return;  // straggler (or stalled)
     }
-    std::uint64_t expected = e;
-    epoch_->compare_exchange_strong(expected, e + 1,
-                                   std::memory_order_seq_cst);
+    epoch_.try_advance(e);
   }
 
   /// Free this thread's limbo nodes at least two epochs old. The limbo
   /// list is FIFO by retire epoch, so we pop from the head.
   void reclaim(unsigned tid) {
-    rec& r = recs_[tid];
-    const std::uint64_t e = epoch_->load(std::memory_order_seq_cst);
-    while (r.limbo_head != nullptr &&
-           r.limbo_head->retire_epoch + 2 <= e) {
-      node* n = r.limbo_head;
-      r.limbo_head = n->next;
-      if (r.limbo_head == nullptr) r.limbo_tail = nullptr;
-      free_fn_(n);
-      stats_->on_free();
-    }
+    const std::uint64_t e = epoch_.load();
+    recs_[tid].limbo.reclaim_ready(
+        [e](const node* n) { return n->retire_epoch + 2 <= e; },
+        [this](node* n) {
+          free_fn_(n);
+          stats_->on_free();
+        });
   }
 
   static void default_free(node* n) { delete n; }
 
   const ebr_config cfg_;
-  rec* recs_;
-  padded<std::atomic<std::uint64_t>> epoch_{2};
+  core::thread_registry<rec> recs_;
+  core::era_clock epoch_{2};
   free_fn_t free_fn_ = &default_free;
   padded_stats stats_;
 };

@@ -11,8 +11,13 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 
 #include "common/align.hpp"
+#include "smr/core/era_clock.hpp"
+#include "smr/core/node_alloc.hpp"
+#include "smr/core/retired_batch.hpp"
+#include "smr/core/thread_registry.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::smr {
@@ -29,7 +34,12 @@ struct he_config {
 
 class he_domain {
  public:
-  struct node {
+  /// Same per-access reservation discipline as HP: a published era only
+  /// protects nodes not yet retired at publication time, so traversals must
+  /// not cross frozen (flagged/tagged) edges (see ds/natarajan_tree.hpp).
+  static constexpr bool needs_clean_edges = true;
+
+  struct node : core::hooked_alloc {
     node* next = nullptr;
     std::uint64_t birth_era = 0;
     std::uint64_t retire_era = 0;
@@ -37,25 +47,21 @@ class he_domain {
 
   using free_fn_t = void (*)(node*);
 
-  explicit he_domain(he_config cfg = {}) : cfg_(cfg) {
+  explicit he_domain(he_config cfg = {})
+      : cfg_(cfg), recs_(cfg.max_threads) {
     if (cfg_.scan_threshold == 0) {
       cfg_.scan_threshold =
           2 * std::size_t{cfg_.max_threads} * cfg_.eras_per_thread;
     }
-    recs_ = new rec[cfg_.max_threads];
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
-      recs_[t].eras = new std::atomic<std::uint64_t>[cfg_.eras_per_thread] {};
+    for (rec& r : recs_) {
+      r.eras.reset(new std::atomic<std::uint64_t>[cfg_.eras_per_thread]{});
     }
   }
 
   explicit he_domain(unsigned max_threads)
       : he_domain(he_config{max_threads, 8, 64, 0}) {}
 
-  ~he_domain() {
-    drain();
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) delete[] recs_[t].eras;
-    delete[] recs_;
-  }
+  ~he_domain() { drain(); }
 
   he_domain(const he_domain&) = delete;
   he_domain& operator=(const he_domain&) = delete;
@@ -65,10 +71,8 @@ class he_domain {
   void on_alloc(node* n) {
     stats_->on_alloc();
     thread_local std::uint64_t alloc_counter = 0;
-    if (++alloc_counter % cfg_.era_freq == 0) {
-      era_->fetch_add(1, std::memory_order_seq_cst);
-    }
-    n->birth_era = era_->load(std::memory_order_seq_cst);
+    era_.tick(alloc_counter, cfg_.era_freq);
+    n->birth_era = era_.load();
   }
 
   stats& counters() { return *stats_; }
@@ -77,7 +81,7 @@ class he_domain {
   class guard {
    public:
     guard(he_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
-      assert(tid < dom.cfg_.max_threads);
+      assert(tid < dom.recs_.size());
     }
 
     ~guard() {
@@ -96,14 +100,12 @@ class he_domain {
     T* protect(unsigned idx, const std::atomic<T*>& src) {
       assert(idx < dom_.cfg_.eras_per_thread);
       std::atomic<std::uint64_t>& he = dom_.recs_[tid_].eras[idx];
-      std::uint64_t prev = he.load(std::memory_order_relaxed);
-      for (;;) {
-        T* p = src.load(std::memory_order_acquire);
-        const std::uint64_t e = dom_.era_->load(std::memory_order_seq_cst);
-        if (e == prev) return p;
-        he.store(e, std::memory_order_seq_cst);
-        prev = e;
-      }
+      return core::protect_with_era(
+          src, dom_.era_, he.load(std::memory_order_relaxed),
+          [&he](std::uint64_t e) {
+            he.store(e, std::memory_order_seq_cst);
+            return e;
+          });
     }
 
     void retire(node* n) { dom_.retire(tid_, n); }
@@ -114,46 +116,33 @@ class he_domain {
   };
 
   void drain() {
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) scan(t);
+    for (unsigned t = 0; t < recs_.size(); ++t) scan(t);
   }
 
   std::uint64_t debug_era() const {
-    return era_->load(std::memory_order_relaxed);
+    return era_.load(std::memory_order_relaxed);
   }
 
  private:
   struct alignas(cache_line_size) rec {
-    std::atomic<std::uint64_t>* eras = nullptr;
-    node* retired_head = nullptr;  // owner-thread private
-    std::size_t retired_count = 0;
-    std::size_t scan_at = 0;  // adaptive: kept + threshold after each scan
+    std::unique_ptr<std::atomic<std::uint64_t>[]> eras;
+    core::retired_list<node> retired;  // owner-thread private
   };
 
   void retire(unsigned tid, node* n) {
     stats_->on_retire();
-    n->retire_era = era_->load(std::memory_order_seq_cst);
+    n->retire_era = era_.load();
     rec& r = recs_[tid];
-    n->next = r.retired_head;
-    r.retired_head = n;
-    if (r.scan_at == 0) r.scan_at = cfg_.scan_threshold;
-    // Adaptive rescan point: nodes pinned by long-lived reservations stay
-    // on the list; rescanning them on a fixed period would make retire
-    // O(list length). Rescan only once the list grew by a full threshold
-    // beyond what the previous scan could not free.
-    if (++r.retired_count >= r.scan_at) {
+    if (r.retired.push(n, cfg_.scan_threshold)) {
       scan(tid);
-      // Geometric growth keeps retire amortized O(threads) even when most
-      // of the list is pinned: the next scan happens only after the list
-      // doubles (plus a floor of scan_threshold).
-      r.scan_at = 2 * r.retired_count + cfg_.scan_threshold;
+      r.retired.rearm(cfg_.scan_threshold);
     }
   }
 
   bool can_free(const node* n) const {
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+    for (const rec& r : recs_) {
       for (unsigned i = 0; i < cfg_.eras_per_thread; ++i) {
-        const std::uint64_t e =
-            recs_[t].eras[i].load(std::memory_order_seq_cst);
+        const std::uint64_t e = r.eras[i].load(std::memory_order_seq_cst);
         if (e != 0 && n->birth_era <= e && e <= n->retire_era) return false;
       }
     }
@@ -161,31 +150,19 @@ class he_domain {
   }
 
   void scan(unsigned tid) {
-    rec& r = recs_[tid];
-    node* keep = nullptr;
-    std::size_t kept = 0;
-    node* n = r.retired_head;
-    while (n != nullptr) {
-      node* nx = n->next;
-      if (can_free(n)) {
-        free_fn_(n);
-        stats_->on_free();
-      } else {
-        n->next = keep;
-        keep = n;
-        ++kept;
-      }
-      n = nx;
-    }
-    r.retired_head = keep;
-    r.retired_count = kept;
+    recs_[tid].retired.scan(
+        [this](const node* n) { return can_free(n); },
+        [this](node* n) {
+          free_fn_(n);
+          stats_->on_free();
+        });
   }
 
   static void default_free(node* n) { delete n; }
 
   he_config cfg_;
-  rec* recs_ = nullptr;
-  padded<std::atomic<std::uint64_t>> era_{1};
+  core::thread_registry<rec> recs_;
+  core::era_clock era_{1};
   free_fn_t free_fn_ = &default_free;
   padded_stats stats_;
 };

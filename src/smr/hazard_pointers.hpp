@@ -13,10 +13,14 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/align.hpp"
 #include "common/tagged_ptr.hpp"
+#include "smr/core/node_alloc.hpp"
+#include "smr/core/retired_batch.hpp"
+#include "smr/core/thread_registry.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::smr {
@@ -32,33 +36,33 @@ struct hp_config {
 
 class hp_domain {
  public:
-  struct node {
+  /// protect() publishes per-access reservations: data structures must only
+  /// traverse edges whose re-read value is clean (untagged) — a frozen
+  /// (flagged/tagged) edge validates forever and proves nothing about the
+  /// target's retirement (see ds/natarajan_tree.hpp).
+  static constexpr bool needs_clean_edges = true;
+
+  struct node : core::hooked_alloc {
     node* next = nullptr;
   };
 
   using free_fn_t = void (*)(node*);
 
-  explicit hp_domain(hp_config cfg = {}) : cfg_(cfg) {
+  explicit hp_domain(hp_config cfg = {})
+      : cfg_(cfg), recs_(cfg.max_threads) {
     if (cfg_.scan_threshold == 0) {
       cfg_.scan_threshold =
           2 * std::size_t{cfg_.max_threads} * cfg_.hazards_per_thread;
     }
-    recs_ = new rec[cfg_.max_threads];
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
-      recs_[t].hazards = new std::atomic<void*>[cfg_.hazards_per_thread] {};
+    for (rec& r : recs_) {
+      r.hazards.reset(new std::atomic<void*>[cfg_.hazards_per_thread]{});
     }
   }
 
   explicit hp_domain(unsigned max_threads)
       : hp_domain(hp_config{max_threads, 8, 0}) {}
 
-  ~hp_domain() {
-    drain();
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
-      delete[] recs_[t].hazards;
-    }
-    delete[] recs_;
-  }
+  ~hp_domain() { drain(); }
 
   hp_domain(const hp_domain&) = delete;
   hp_domain& operator=(const hp_domain&) = delete;
@@ -71,7 +75,7 @@ class hp_domain {
   class guard {
    public:
     guard(hp_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
-      assert(tid < dom.cfg_.max_threads);
+      assert(tid < dom.recs_.size());
     }
 
     ~guard() {
@@ -110,73 +114,50 @@ class hp_domain {
   /// Quiescent-state cleanup: with all hazards clear, one scan per thread
   /// frees everything.
   void drain() {
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) scan(t);
+    for (unsigned t = 0; t < recs_.size(); ++t) scan(t);
   }
 
  private:
   struct alignas(cache_line_size) rec {
-    std::atomic<void*>* hazards = nullptr;
-    node* retired_head = nullptr;  // owner-thread private
-    std::size_t retired_count = 0;
-    std::size_t scan_at = 0;  // adaptive: kept + threshold after each scan
+    std::unique_ptr<std::atomic<void*>[]> hazards;
+    core::retired_list<node> retired;  // owner-thread private
   };
 
   void retire(unsigned tid, node* n) {
     stats_->on_retire();
     rec& r = recs_[tid];
-    n->next = r.retired_head;
-    r.retired_head = n;
-    if (r.scan_at == 0) r.scan_at = cfg_.scan_threshold;
-    // Adaptive rescan point: nodes pinned by long-lived reservations stay
-    // on the list; rescanning them on a fixed period would make retire
-    // O(list length). Rescan only once the list grew by a full threshold
-    // beyond what the previous scan could not free.
-    if (++r.retired_count >= r.scan_at) {
+    if (r.retired.push(n, cfg_.scan_threshold)) {
       scan(tid);
-      // Geometric growth keeps retire amortized O(threads) even when most
-      // of the list is pinned: the next scan happens only after the list
-      // doubles (plus a floor of scan_threshold).
-      r.scan_at = 2 * r.retired_count + cfg_.scan_threshold;
+      r.retired.rearm(cfg_.scan_threshold);
     }
   }
 
   void scan(unsigned tid) {
-    rec& r = recs_[tid];
     std::vector<void*> snapshot;
-    snapshot.reserve(std::size_t{cfg_.max_threads} *
-                     cfg_.hazards_per_thread);
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+    snapshot.reserve(std::size_t{recs_.size()} * cfg_.hazards_per_thread);
+    for (const rec& r : recs_) {
       for (unsigned i = 0; i < cfg_.hazards_per_thread; ++i) {
-        void* h = recs_[t].hazards[i].load(std::memory_order_seq_cst);
+        void* h = r.hazards[i].load(std::memory_order_seq_cst);
         if (h != nullptr) snapshot.push_back(h);
       }
     }
     std::sort(snapshot.begin(), snapshot.end());
 
-    node* keep = nullptr;
-    std::size_t kept = 0;
-    node* n = r.retired_head;
-    while (n != nullptr) {
-      node* nx = n->next;
-      if (std::binary_search(snapshot.begin(), snapshot.end(),
-                             static_cast<void*>(n))) {
-        n->next = keep;
-        keep = n;
-        ++kept;
-      } else {
-        free_fn_(n);
-        stats_->on_free();
-      }
-      n = nx;
-    }
-    r.retired_head = keep;
-    r.retired_count = kept;
+    recs_[tid].retired.scan(
+        [&snapshot](const node* n) {
+          return !std::binary_search(snapshot.begin(), snapshot.end(),
+                                     static_cast<const void*>(n));
+        },
+        [this](node* n) {
+          free_fn_(n);
+          stats_->on_free();
+        });
   }
 
   static void default_free(node* n) { delete n; }
 
   hp_config cfg_;
-  rec* recs_ = nullptr;
+  core::thread_registry<rec> recs_;
   free_fn_t free_fn_ = &default_free;
   padded_stats stats_;
 };

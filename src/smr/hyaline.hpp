@@ -45,6 +45,8 @@
 #include "common/align.hpp"
 #include "common/head_policy.hpp"
 #include "common/slot_directory.hpp"
+#include "smr/core/era_clock.hpp"
+#include "smr/core/node_alloc.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline {
@@ -109,9 +111,17 @@ inline std::atomic<std::uint64_t>& domain_id_source() {
 template <template <class> class Head, bool Robust>
 class basic_domain {
  public:
+  /// Hyaline-S: batch insertion skips slots whose access era predates
+  /// every node in the batch, so a reader holding frozen (already
+  /// spliced-out) garbage can reach a young node whose batch it was never
+  /// refcounted into. Robust variants therefore require the clean-edge
+  /// traversal discipline (see ds/natarajan_tree.hpp); basic Hyaline pins
+  /// every batch retired during the guard's lifetime and does not.
+  static constexpr bool needs_clean_edges = Robust;
+
   /// Intrusive header every reclaimable object must derive from (three
   /// words, see file comment for the layout).
-  struct node {
+  struct node : smr::core::hooked_alloc {
     std::atomic<std::uintptr_t> w0{0};
     node* w1 = nullptr;
     std::uintptr_t w2 = 0;
@@ -151,11 +161,8 @@ class basic_domain {
     stats_->on_alloc();
     if constexpr (Robust) {
       auto& b = builder_for_thread();
-      if (++b.alloc_counter % cfg_.era_freq == 0) {
-        alloc_era_->fetch_add(1, std::memory_order_seq_cst);
-      }
-      n->w0.store(alloc_era_->load(std::memory_order_seq_cst),
-                  std::memory_order_relaxed);
+      alloc_era_.tick(b.alloc_counter, cfg_.era_freq);
+      n->w0.store(alloc_era_.load(), std::memory_order_relaxed);
     }
   }
 
@@ -200,14 +207,10 @@ class basic_domain {
         return src.load(std::memory_order_acquire);
       } else {
         slot_rec& sl = dom_.slots_.at(slot_);
-        std::uint64_t access = sl.access_era.load(std::memory_order_seq_cst);
-        for (;;) {
-          T* p = src.load(std::memory_order_acquire);
-          const std::uint64_t alloc =
-              dom_.alloc_era_->load(std::memory_order_seq_cst);
-          if (access == alloc) return p;
-          access = dom_.touch(sl, alloc);
-        }
+        return smr::core::protect_with_era(
+            src, dom_.alloc_era_,
+            sl.access_era.load(std::memory_order_seq_cst),
+            [this, &sl](std::uint64_t e) { return dom_.touch(sl, e); });
       }
     }
 
@@ -259,7 +262,7 @@ class basic_domain {
     return slots_.at(slot).ack.load(std::memory_order_relaxed);
   }
   std::uint64_t debug_alloc_era() const {
-    return alloc_era_->load(std::memory_order_relaxed);
+    return alloc_era_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -571,7 +574,7 @@ class basic_domain {
   const config cfg_;
   slot_directory<slot_rec> slots_;
   free_fn_t free_fn_ = &default_free;
-  padded<std::atomic<std::uint64_t>> alloc_era_{1};  // global era clock
+  smr::core::era_clock alloc_era_{1};  // global era clock (Hyaline-S)
   smr::padded_stats stats_;
 
   std::mutex builders_mu_;

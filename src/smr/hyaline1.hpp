@@ -26,6 +26,8 @@
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "smr/core/era_clock.hpp"
+#include "smr/core/node_alloc.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline {
@@ -46,7 +48,11 @@ struct config1 {
 template <bool Robust>
 class basic_domain1 {
  public:
-  struct node {
+  /// Same birth-era skip as Hyaline-S (see basic_domain): robust variants
+  /// need the clean-edge traversal discipline.
+  static constexpr bool needs_clean_edges = Robust;
+
+  struct node : smr::core::hooked_alloc {
     std::atomic<std::uintptr_t> w0{0};
     node* w1 = nullptr;
     std::uintptr_t w2 = 0;
@@ -74,11 +80,8 @@ class basic_domain1 {
     stats_->on_alloc();
     if constexpr (Robust) {
       thread_local std::uint64_t alloc_counter = 0;
-      if (++alloc_counter % cfg_.era_freq == 0) {
-        alloc_era_->fetch_add(1, std::memory_order_seq_cst);
-      }
-      n->w0.store(alloc_era_->load(std::memory_order_seq_cst),
-                  std::memory_order_relaxed);
+      alloc_era_.tick(alloc_counter, cfg_.era_freq);
+      n->w0.store(alloc_era_.load(), std::memory_order_relaxed);
     }
   }
 
@@ -111,19 +114,16 @@ class basic_domain1 {
       if constexpr (!Robust) {
         return src.load(std::memory_order_acquire);
       } else {
+        // 1:1 thread-to-slot mapping: touch is an ordinary store
+        // (Fig. 5 line 21 comment).
         slot_rec& sl = dom_.slots_[slot_];
-        std::uint64_t access =
-            sl.access_era.load(std::memory_order_seq_cst);
-        for (;;) {
-          T* p = src.load(std::memory_order_acquire);
-          const std::uint64_t alloc =
-              dom_.alloc_era_->load(std::memory_order_seq_cst);
-          if (access == alloc) return p;
-          // 1:1 thread-to-slot mapping: touch is an ordinary store
-          // (Fig. 5 line 21 comment).
-          sl.access_era.store(alloc, std::memory_order_seq_cst);
-          access = alloc;
-        }
+        return smr::core::protect_with_era(
+            src, dom_.alloc_era_,
+            sl.access_era.load(std::memory_order_seq_cst),
+            [&sl](std::uint64_t e) {
+              sl.access_era.store(e, std::memory_order_seq_cst);
+              return e;
+            });
       }
     }
 
@@ -163,7 +163,7 @@ class basic_domain1 {
     return slots_[slot].access_era.load(std::memory_order_relaxed);
   }
   std::uint64_t debug_alloc_era() const {
-    return alloc_era_->load(std::memory_order_relaxed);
+    return alloc_era_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -363,7 +363,7 @@ class basic_domain1 {
   slot_rec* slots_;
   padded<batch_builder>* builders_;
   free_fn_t free_fn_ = &default_free;
-  padded<std::atomic<std::uint64_t>> alloc_era_{1};
+  smr::core::era_clock alloc_era_{1};  // global era clock (Hyaline-1S)
   smr::padded_stats stats_;
 };
 

@@ -13,6 +13,10 @@
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "smr/core/era_clock.hpp"
+#include "smr/core/node_alloc.hpp"
+#include "smr/core/retired_batch.hpp"
+#include "smr/core/thread_registry.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::smr {
@@ -28,7 +32,13 @@ struct ibr_config {
 
 class ibr_domain {
  public:
-  struct node {
+  /// A scanner may read this thread's `hi` just before a concurrent
+  /// protect() extends it, and free a freshly-born node the reader is
+  /// about to return through a frozen (already-unlinked) edge — so
+  /// traversals must only cross clean edges (see ds/natarajan_tree.hpp).
+  static constexpr bool needs_clean_edges = true;
+
+  struct node : core::hooked_alloc {
     node* next = nullptr;
     std::uint64_t birth_era = 0;
     std::uint64_t retire_era = 0;
@@ -36,20 +46,17 @@ class ibr_domain {
 
   using free_fn_t = void (*)(node*);
 
-  explicit ibr_domain(ibr_config cfg = {}) : cfg_(cfg) {
+  explicit ibr_domain(ibr_config cfg = {})
+      : cfg_(cfg), recs_(cfg.max_threads) {
     if (cfg_.scan_threshold == 0) {
       cfg_.scan_threshold = 2 * std::size_t{cfg_.max_threads};
     }
-    recs_ = new rec[cfg_.max_threads];
   }
 
   explicit ibr_domain(unsigned max_threads)
       : ibr_domain(ibr_config{max_threads, 64, 0}) {}
 
-  ~ibr_domain() {
-    drain();
-    delete[] recs_;
-  }
+  ~ibr_domain() { drain(); }
 
   ibr_domain(const ibr_domain&) = delete;
   ibr_domain& operator=(const ibr_domain&) = delete;
@@ -59,10 +66,8 @@ class ibr_domain {
   void on_alloc(node* n) {
     stats_->on_alloc();
     thread_local std::uint64_t alloc_counter = 0;
-    if (++alloc_counter % cfg_.era_freq == 0) {
-      era_->fetch_add(1, std::memory_order_seq_cst);
-    }
-    n->birth_era = era_->load(std::memory_order_seq_cst);
+    era_.tick(alloc_counter, cfg_.era_freq);
+    n->birth_era = era_.load();
   }
 
   stats& counters() { return *stats_; }
@@ -71,11 +76,15 @@ class ibr_domain {
   class guard {
    public:
     guard(ibr_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
-      assert(tid < dom.cfg_.max_threads);
-      const std::uint64_t e = dom_.era_->load(std::memory_order_seq_cst);
+      assert(tid < dom.recs_.size());
+      const std::uint64_t e = dom_.era_.load();
       rec& r = dom_.recs_[tid];
-      r.lo.store(e, std::memory_order_seq_cst);
+      // hi before lo: `lo` is the activity flag scanners test first, so it
+      // must become visible last. The reverse order lets can_free observe
+      // {lo = e, hi = 0-from-last-leave} — an empty interval — and free
+      // nodes retired during this (live) reservation.
       r.hi.store(e, std::memory_order_seq_cst);
+      r.lo.store(e, std::memory_order_seq_cst);
     }
 
     ~guard() {
@@ -92,14 +101,12 @@ class ibr_domain {
     template <class T>
     T* protect(unsigned /*idx*/, const std::atomic<T*>& src) {
       rec& r = dom_.recs_[tid_];
-      std::uint64_t cur = r.hi.load(std::memory_order_relaxed);
-      for (;;) {
-        T* p = src.load(std::memory_order_acquire);
-        const std::uint64_t e = dom_.era_->load(std::memory_order_seq_cst);
-        if (e == cur) return p;
-        r.hi.store(e, std::memory_order_seq_cst);
-        cur = e;
-      }
+      return core::protect_with_era(
+          src, dom_.era_, r.hi.load(std::memory_order_relaxed),
+          [&r](std::uint64_t e) {
+            r.hi.store(e, std::memory_order_seq_cst);
+            return e;
+          });
     }
 
     void retire(node* n) { dom_.retire(tid_, n); }
@@ -110,11 +117,11 @@ class ibr_domain {
   };
 
   void drain() {
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) scan(t);
+    for (unsigned t = 0; t < recs_.size(); ++t) scan(t);
   }
 
   std::uint64_t debug_era() const {
-    return era_->load(std::memory_order_relaxed);
+    return era_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -123,36 +130,24 @@ class ibr_domain {
   struct alignas(cache_line_size) rec {
     std::atomic<std::uint64_t> lo{inactive};
     std::atomic<std::uint64_t> hi{0};
-    node* retired_head = nullptr;  // owner-thread private
-    std::size_t retired_count = 0;
-    std::size_t scan_at = 0;  // adaptive: kept + threshold after each scan
+    core::retired_list<node> retired;  // owner-thread private
   };
 
   void retire(unsigned tid, node* n) {
     stats_->on_retire();
-    n->retire_era = era_->load(std::memory_order_seq_cst);
+    n->retire_era = era_.load();
     rec& r = recs_[tid];
-    n->next = r.retired_head;
-    r.retired_head = n;
-    if (r.scan_at == 0) r.scan_at = cfg_.scan_threshold;
-    // Adaptive rescan point: nodes pinned by long-lived reservations stay
-    // on the list; rescanning them on a fixed period would make retire
-    // O(list length). Rescan only once the list grew by a full threshold
-    // beyond what the previous scan could not free.
-    if (++r.retired_count >= r.scan_at) {
+    if (r.retired.push(n, cfg_.scan_threshold)) {
       scan(tid);
-      // Geometric growth keeps retire amortized O(threads) even when most
-      // of the list is pinned: the next scan happens only after the list
-      // doubles (plus a floor of scan_threshold).
-      r.scan_at = 2 * r.retired_count + cfg_.scan_threshold;
+      r.retired.rearm(cfg_.scan_threshold);
     }
   }
 
   bool can_free(const node* n) const {
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
-      const std::uint64_t lo = recs_[t].lo.load(std::memory_order_seq_cst);
+    for (const rec& r : recs_) {
+      const std::uint64_t lo = r.lo.load(std::memory_order_seq_cst);
       if (lo == inactive) continue;
-      const std::uint64_t hi = recs_[t].hi.load(std::memory_order_seq_cst);
+      const std::uint64_t hi = r.hi.load(std::memory_order_seq_cst);
       // Intervals intersect iff birth <= hi && retire >= lo.
       if (n->birth_era <= hi && n->retire_era >= lo) return false;
     }
@@ -160,31 +155,19 @@ class ibr_domain {
   }
 
   void scan(unsigned tid) {
-    rec& r = recs_[tid];
-    node* keep = nullptr;
-    std::size_t kept = 0;
-    node* n = r.retired_head;
-    while (n != nullptr) {
-      node* nx = n->next;
-      if (can_free(n)) {
-        free_fn_(n);
-        stats_->on_free();
-      } else {
-        n->next = keep;
-        keep = n;
-        ++kept;
-      }
-      n = nx;
-    }
-    r.retired_head = keep;
-    r.retired_count = kept;
+    recs_[tid].retired.scan(
+        [this](const node* n) { return can_free(n); },
+        [this](node* n) {
+          free_fn_(n);
+          stats_->on_free();
+        });
   }
 
   static void default_free(node* n) { delete n; }
 
   ibr_config cfg_;
-  rec* recs_ = nullptr;
-  padded<std::atomic<std::uint64_t>> era_{1};
+  core::thread_registry<rec> recs_;
+  core::era_clock era_{1};
   free_fn_t free_fn_ = &default_free;
   padded_stats stats_;
 };

@@ -10,13 +10,15 @@
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "smr/core/node_alloc.hpp"
+#include "smr/core/retired_batch.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::smr {
 
 class leaky_domain {
  public:
-  struct node {
+  struct node : core::hooked_alloc {
     node* next = nullptr;
   };
 
@@ -47,11 +49,7 @@ class leaky_domain {
 
     void retire(node* n) {
       dom_.stats_->on_retire();
-      node* head = dom_.retired_.load(std::memory_order_relaxed);
-      do {
-        n->next = head;
-      } while (!dom_.retired_.compare_exchange_weak(
-          head, n, std::memory_order_release, std::memory_order_relaxed));
+      dom_.retired_.push(n);
     }
 
    private:
@@ -60,7 +58,7 @@ class leaky_domain {
 
   /// Releases every parked node. Quiescent use only.
   void drain() {
-    node* n = retired_.exchange(nullptr, std::memory_order_acquire);
+    node* n = retired_.take_all();
     while (n != nullptr) {
       node* nx = n->next;
       free_fn_(n);
@@ -72,7 +70,7 @@ class leaky_domain {
  private:
   static void default_free(node* n) { delete n; }
 
-  std::atomic<node*> retired_{nullptr};
+  core::treiber_stack<node> retired_;
   free_fn_t free_fn_ = &default_free;
   padded_stats stats_;
 };

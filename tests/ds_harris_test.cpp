@@ -1,7 +1,8 @@
 // Harris's original list (segment snipping, deferred retirement): the
 // §2.4 claim that basic Hyaline handles it without modification. Runs
-// under every epoch/interval-style scheme; HP/HE are excluded (a hazard
-// on a marked node does not protect its successors).
+// under the guard-lifetime epoch-style schemes only — reservation-based
+// schemes (HP/HE/IBR/Hyaline-S) cannot pin nodes reached through marked
+// segments (see the header comment in ds/harris_list.hpp).
 #include "ds/harris_list.hpp"
 
 #include "ds_test_common.hpp"
@@ -9,12 +10,12 @@
 namespace hyaline {
 namespace {
 
-using test_support::SnapshotSafeSchemes;
+using test_support::EpochStyleSchemes;
 
 template <class D>
 class HarrisListTest : public test_support::ds_fixture<D, ds::harris_list> {};
 
-TYPED_TEST_SUITE(HarrisListTest, SnapshotSafeSchemes);
+TYPED_TEST_SUITE(HarrisListTest, EpochStyleSchemes);
 
 TYPED_TEST(HarrisListTest, EmptyListBehaviour) {
   auto g = this->guard();

@@ -94,4 +94,12 @@ using SnapshotSafeSchemes =
                      domain, domain_dw, domain_llsc, domain_s, domain_1,
                      domain_1s>;
 
+/// Guard-lifetime epoch-style schemes: the only ones that may traverse
+/// structures with deferred unlinking (Harris's original list) — a robust
+/// scheme's reservation does not pin nodes reached through marked
+/// segments. See ds/harris_list.hpp.
+using EpochStyleSchemes =
+    ::testing::Types<smr::leaky_domain, smr::ebr_domain, domain, domain_dw,
+                     domain_llsc, domain_1>;
+
 }  // namespace hyaline::test_support

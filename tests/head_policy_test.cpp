@@ -135,7 +135,14 @@ TEST(HeadLlsc, LeaveLastClaimedByConcurrentEnter) {
     }
   });
   int nulled = 0, claimed = 0, retry = 0;
-  for (int i = 0; i < 2000; ++i) {
+  // Keep polling until at least one terminal transition was attempted:
+  // under adverse scheduling the claimer can park with ref stuck at 2 for
+  // an arbitrary number of iterations, so a small fixed poll count is
+  // flaky. The rescue phase is still bounded (a few seconds of polling)
+  // so a genuinely wedged head fails the assertion instead of spinning.
+  for (long i = 0;
+       i < 2000 || (nulled + claimed + retry == 0 && i < 200'000'000L);
+       ++i) {
     auto w = head.load();
     if (w.ref != 1) continue;
     switch (head.cas_leave_last(w)) {
