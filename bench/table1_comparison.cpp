@@ -28,7 +28,7 @@ void bm_enter_leave(benchmark::State& state) {
   p.slots = 8;
   auto dom = scheme_traits<D>::make(p);
   for (auto _ : state) {
-    typename D::guard g(*dom, 0);
+    typename D::guard g(*dom);
     benchmark::DoNotOptimize(&g);
   }
 }
@@ -42,9 +42,11 @@ void bm_protect(benchmark::State& state) {
   struct pnode : D::node {};
   pnode target;
   std::atomic<pnode*> src{&target};
-  typename D::guard g(*dom, 0);
+  typename D::guard g(*dom);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(g.protect(0, src));
+    // Includes the slot lease/release for pointer-publication schemes —
+    // that RAII round-trip is the honest per-acquisition cost of API v2.
+    benchmark::DoNotOptimize(g.protect(src).get());
   }
 }
 
@@ -55,16 +57,13 @@ void bm_retire(benchmark::State& state) {
   p.slots = 8;
   auto dom = scheme_traits<D>::make(p);
   struct pnode : D::node {};
-  dom->set_free_fn([](typename D::node* n) {
-    delete static_cast<pnode*>(n);
-  });
   for (auto _ : state) {
     state.PauseTiming();
     auto* n = new pnode;
     dom->on_alloc(n);
     state.ResumeTiming();
-    typename D::guard g(*dom, 0);
-    g.retire(n);
+    typename D::guard g(*dom);
+    g.retire(n);  // typed retire: the pnode deleter rides on the node
   }
 }
 

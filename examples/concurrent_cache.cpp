@@ -26,7 +26,7 @@ int main() {
 
   // Warm the cache.
   {
-    hyaline::domain::guard g(dom, 0);
+    hyaline::domain::guard g(dom);
     hyaline::xoshiro256 rng(1);
     for (std::uint64_t i = 0; i < kRange / 2; ++i) {
       cache.insert(g, rng.below(kRange), i);
@@ -42,7 +42,7 @@ int main() {
       std::uint64_t h = 0, m = 0;
       // One guard per batch of operations; trim() after each op keeps
       // reclamation timely while avoiding per-op enter/leave.
-      hyaline::domain::guard g(dom, t);
+      hyaline::domain::guard g(dom);
       for (unsigned i = 0; i < kOpsPerThread; ++i) {
         const std::uint64_t key = rng.below(kRange);
         const std::uint64_t dice = rng.below(100);

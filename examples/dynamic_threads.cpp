@@ -33,8 +33,9 @@ int main() {
       ts.emplace_back([&, wave, t] {
         hyaline::xoshiro256 rng(wave * 1000 + t);
         for (unsigned i = 0; i < kOpsPerThread; ++i) {
-          // Slot hint: anything goes — thread id, random, round-robin.
-          hyaline::domain::guard g(dom, t);
+          // Transparent enter: no thread id, no registration — the guard
+          // picks a slot from a per-thread hint.
+          hyaline::domain::guard g(dom);
           const std::uint64_t key = rng.below(512);
           if (rng.below(2) == 0) {
             tree.insert(g, key, key);

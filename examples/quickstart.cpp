@@ -1,10 +1,13 @@
 // Quickstart: a concurrent hash map reclaimed by Hyaline.
 //
-// Shows the whole public API surface in one place:
+// Shows the whole public API (v2) surface in one place:
 //   1. create a reclamation domain (hyaline::domain),
 //   2. build a data structure over it,
-//   3. wrap every operation in a guard (enter/leave),
-//   4. let the structure retire unlinked nodes through the guard,
+//   3. wrap every operation in a guard (enter/leave) — guards take only
+//      the domain; thread identity is leased transparently,
+//   4. let the structure retire unlinked nodes through the guard (typed
+//      retire captures each node type's deleter, so any number of
+//      structures can share one domain),
 //   5. flush + drain at shutdown.
 //
 // Build: cmake --build build && ./build/examples/quickstart
@@ -30,11 +33,11 @@ int main() {
     threads.emplace_back([&, t] {
       // Insert a disjoint slice of keys, read some back, delete half.
       for (std::uint64_t k = t; k < kKeys; k += kThreads) {
-        hyaline::domain::guard g(dom, t);  // enter
+        hyaline::domain::guard g(dom);  // enter
         map.insert(g, k, k * k);
       }  // leave (guard destructor)
       for (std::uint64_t k = t; k < kKeys; k += kThreads) {
-        hyaline::domain::guard g(dom, t);
+        hyaline::domain::guard g(dom);
         std::uint64_t v = 0;
         if (!map.get(g, k, v) || v != k * k) {
           std::fprintf(stderr, "lost key %llu!\n",
@@ -42,7 +45,7 @@ int main() {
         }
       }
       for (std::uint64_t k = t; k < kKeys; k += 2 * kThreads) {
-        hyaline::domain::guard g(dom, t);
+        hyaline::domain::guard g(dom);
         map.remove(g, k);  // unlinked nodes are retired, then freed by
                            // whichever thread drops the last reference
       }

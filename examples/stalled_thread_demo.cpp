@@ -31,14 +31,14 @@ void demo(const char* name, MakeDom make_dom) {
 
   // Prefill.
   {
-    typename D::guard g(*dom, 0);
+    typename D::guard g(*dom);
     for (std::uint64_t k = 0; k < 4096; ++k) map.insert(g, k, k);
   }
 
   // The stalled thread: enters, touches a node, then blocks inside the
   // critical section until the demo ends.
   std::thread stalled([&] {
-    typename D::guard g(*dom, 1);
+    typename D::guard g(*dom);
     map.contains(g, 7);
     stalled_ready.store(true);
     while (!stop.load()) {
@@ -54,7 +54,7 @@ void demo(const char* name, MakeDom make_dom) {
     workers.emplace_back([&, t] {
       hyaline::xoshiro256 rng(t + 42);
       while (!stop.load()) {
-        typename D::guard g(*dom, 2 + t);
+        typename D::guard g(*dom);
         const std::uint64_t k = rng.below(4096);
         if (rng.below(2) == 0) {
           map.insert(g, k, k);

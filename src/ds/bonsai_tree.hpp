@@ -25,21 +25,25 @@
 
 #include <atomic>
 
+#include "smr/domain.hpp"
+
 namespace hyaline::ds {
 
 template <class D>
 class bonsai_tree {
  public:
+  static_assert(smr::Domain<D>,
+                "bonsai_tree requires an smr::Domain scheme");
+  static_assert(!D::caps.pointer_publication,
+                "bonsai_tree readers traverse an unbounded immutable "
+                "snapshot, which pointer-publication schemes (HP, HE) "
+                "cannot protect — the paper omits them from the Bonsai "
+                "figures for the same reason");
+
   using domain_type = D;
   using guard = typename D::guard;
 
-  static constexpr unsigned hazards_needed = 1;
-
-  explicit bonsai_tree(D& dom) : dom_(dom) {
-    dom_.set_free_fn([](typename D::node* n) {
-      delete static_cast<bnode*>(n);
-    });
-  }
+  explicit bonsai_tree(D& dom) : dom_(dom) {}
 
   ~bonsai_tree() { free_rec(root_.load(std::memory_order_relaxed)); }
 
@@ -49,7 +53,7 @@ class bonsai_tree {
   bool insert(guard& g, std::uint64_t key, std::uint64_t value) {
     op_ctx ctx;
     for (;;) {
-      bnode* old_root = g.protect(0, root_);
+      bnode* old_root = g.protect(root_).get();
       if (lookup(old_root, key) != nullptr) return false;
       ctx.reset();
       bnode* new_root = insert_rec(ctx, old_root, key, value);
@@ -67,7 +71,7 @@ class bonsai_tree {
   bool remove(guard& g, std::uint64_t key) {
     op_ctx ctx;
     for (;;) {
-      bnode* old_root = g.protect(0, root_);
+      bnode* old_root = g.protect(root_).get();
       if (lookup(old_root, key) == nullptr) return false;
       ctx.reset();
       bnode* new_root = remove_rec(ctx, old_root, key);
@@ -83,11 +87,11 @@ class bonsai_tree {
   }
 
   bool contains(guard& g, std::uint64_t key) {
-    return lookup(g.protect(0, root_), key) != nullptr;
+    return lookup(g.protect(root_).get(), key) != nullptr;
   }
 
   bool get(guard& g, std::uint64_t key, std::uint64_t& out) {
-    const bnode* n = lookup(g.protect(0, root_), key);
+    const bnode* n = lookup(g.protect(root_).get(), key);
     if (n == nullptr) return false;
     out = n->value;
     return true;

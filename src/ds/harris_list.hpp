@@ -22,21 +22,26 @@
 #include <cstdint>
 
 #include "common/tagged_ptr.hpp"
+#include "smr/domain.hpp"
 
 namespace hyaline::ds {
 
 template <class D>
 class harris_list {
  public:
+  static_assert(smr::Domain<D>,
+                "harris_list requires an smr::Domain scheme");
+  static_assert(!D::caps.pointer_publication && !D::caps.robust,
+                "Harris's original list defers unlinking past logical "
+                "deletion, so only guard-lifetime epoch-style schemes "
+                "(Leaky, EBR, basic Hyaline, Hyaline-1) may traverse it; "
+                "robust and pointer-publication schemes need Michael's "
+                "timely-retirement variant (ds/hm_list.hpp, paper §2.4)");
+
   using domain_type = D;
   using guard = typename D::guard;
 
-  static constexpr unsigned hazards_needed = 0;  // epoch-style schemes only
-
   explicit harris_list(D& dom) : dom_(dom) {
-    dom_.set_free_fn([](typename D::node* n) {
-      delete static_cast<lnode*>(n);
-    });
     // Sentinels simplify Harris's search invariants (head is never marked,
     // tail is never removed).
     head_ = new lnode{0, 0};
@@ -147,7 +152,9 @@ class harris_list {
   retry:
     for (;;) {
       lnode* t = head_;
-      lnode* t_next = g.protect(0, head_->next);
+      // Guard-lifetime schemes only (see static_assert): protect() is the
+      // zero-cost wrapper, so handles are unwrapped immediately.
+      lnode* t_next = g.protect(head_->next).get();
       lnode* left_next = t_next;
       left = head_;
       // Phase 1: advance until right = first unmarked node with key >= key.
@@ -158,7 +165,7 @@ class harris_list {
         }
         t = untag(t_next);
         if (t == tail_) break;
-        t_next = g.protect(0, t->next);
+        t_next = g.protect(t->next).get();
         if (has_tag(t_next, 1) || t->key < key) continue;
         break;
       }

@@ -7,31 +7,34 @@
 // passes and retires them through the SMR domain, which is the "timely
 // retirement" discipline the robust schemes require (§2.4).
 //
-// Template parameter D is any smr::Domain. Pointer-publication schemes (HP,
-// HE) need two rotating hazard indices for curr/prev plus index 2 during
-// unlink; `hazards_needed` documents that.
+// Template parameter D is any smr::Domain. Protection is expressed through
+// RAII handles (API v2): the search window carries a handle for curr and
+// one for the node owning prev, and advancing the window moves them —
+// pointer-publication schemes (HP, HE) lease one extra slot while the new
+// curr is protected before the old handle is released, so the peak is
+// three simultaneous protections.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "common/tagged_ptr.hpp"
+#include "smr/domain.hpp"
 
 namespace hyaline::ds {
 
 template <class D>
 class hm_list {
  public:
+  static_assert(smr::Domain<D>, "hm_list requires an smr::Domain scheme");
+  static_assert(smr::max_hazards_v<D> >= 3,
+                "hm_list holds up to 3 simultaneous protections "
+                "(prev-node, curr, and the transient re-protect)");
+
   using domain_type = D;
   using guard = typename D::guard;
 
-  static constexpr unsigned hazards_needed = 3;
-
-  explicit hm_list(D& dom) : dom_(dom) {
-    dom_.set_free_fn([](typename D::node* n) {
-      delete static_cast<lnode*>(n);
-    });
-  }
+  explicit hm_list(D& dom) : dom_(dom) {}
 
   ~hm_list() {
     // Quiescent teardown: free every remaining node directly.
@@ -86,6 +89,7 @@ class hm_list {
                                           std::memory_order_seq_cst)) {
         g.retire(w.curr);
       } else {
+        w.release();  // drop our protections before the helping find
         window dummy;
         find(g, key, dummy);  // help unlink
       }
@@ -128,23 +132,36 @@ class hm_list {
     lnode(std::uint64_t k, std::uint64_t v) : key(k), value(v) {}
   };
 
+  using handle = typename D::template protected_ptr<lnode>;
+
   struct window {
     std::atomic<lnode*>* prev = nullptr;
     lnode* curr = nullptr;  // first node with key >= search key (or null)
     lnode* next = nullptr;  // curr's successor at inspection time
+    handle curr_h;          // protection for curr
+    handle prev_h;          // protection for the node owning prev
+
+    void release() {
+      curr_h.reset();
+      prev_h.reset();
+    }
   };
 
   /// Michael's find: positions the window at the first node with
-  /// key >= `key`, unlinking marked nodes along the way. On return, `curr`
-  /// (if non-null) and the node owning `prev` are hazard-protected.
+  /// key >= `key`, unlinking marked nodes along the way. On return, the
+  /// window's handles keep `curr` (if non-null) and the node owning `prev`
+  /// protected until the window dies.
   bool find(guard& g, std::uint64_t key, window& w) {
   retry:
+    w.release();
     std::atomic<lnode*>* prev = &head_;
-    unsigned ci = 0;  // hazard index for curr; prev-node holds the other
-    lnode* curr = g.protect(ci, *prev);
+    w.curr_h = g.protect(*prev);
+    lnode* curr = w.curr_h.get();
     for (;;) {
       if (curr == nullptr) {
-        w = {prev, nullptr, nullptr};
+        w.prev = prev;
+        w.curr = nullptr;
+        w.next = nullptr;
         return false;
       }
       lnode* next_raw = curr->next.load(std::memory_order_acquire);
@@ -157,17 +174,21 @@ class hm_list {
           goto retry;
         }
         g.retire(curr);
-        curr = g.protect(ci, *prev);
+        w.curr_h = g.protect(*prev);  // transient third protection
+        curr = w.curr_h.get();
         continue;
       }
       if (prev->load(std::memory_order_seq_cst) != curr) goto retry;
       if (curr->key >= key) {
-        w = {prev, curr, next_raw};
+        w.prev = prev;
+        w.curr = curr;
+        w.next = next_raw;
         return curr->key == key;
       }
       prev = &curr->next;
-      ci ^= 1;  // keep the old curr (the new prev-node) protected
-      curr = g.protect(ci, *prev);
+      w.prev_h = std::move(w.curr_h);  // keep the new prev-node protected
+      w.curr_h = g.protect(*prev);
+      curr = w.curr_h.get();
       // A marked prev-node makes *prev's raw value tagged; protect returns
       // it tagged and the validation above (or the tag check) restarts us.
       if (has_tag(curr, 1)) goto retry;

@@ -21,8 +21,6 @@ class michael_hashmap {
   using domain_type = D;
   using guard = typename D::guard;
 
-  static constexpr unsigned hazards_needed = hm_list<D>::hazards_needed;
-
   /// `buckets` should be sized for the expected element count; the paper's
   /// workload holds ~50k live keys.
   explicit michael_hashmap(D& dom, std::size_t buckets = 16384) {

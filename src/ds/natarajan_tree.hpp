@@ -11,7 +11,7 @@
 // immutable. Hence the fragment a successful splice removes is frozen: the
 // winner of the ancestor CAS walks it and retires every internal node and
 // flagged leaf exactly once. This also gives reservation-based schemes
-// (D::needs_clean_edges: HP/HE/IBR/Hyaline-S/-1S) their validation rule: a
+// (D::caps.needs_clean_edges: HP/HE/IBR/Hyaline-S/-1S) their validation rule: a
 // re-read *clean* edge proves the target was not yet spliced when the
 // reservation was published. A frozen edge, by contrast, validates forever
 // — its target may already be retired and reclaimed — so under those
@@ -29,24 +29,27 @@
 #include <cstdint>
 
 #include "common/tagged_ptr.hpp"
+#include "smr/domain.hpp"
 
 namespace hyaline::ds {
 
 template <class D>
 class natarajan_tree {
  public:
+  static_assert(smr::Domain<D>,
+                "natarajan_tree requires an smr::Domain scheme");
+  static_assert(smr::max_hazards_v<D> >= 5,
+                "natarajan_tree holds up to 5 simultaneous protections "
+                "(ancestor, successor, parent, leaf, and the child being "
+                "acquired)");
+
   using domain_type = D;
   using guard = typename D::guard;
-
-  static constexpr unsigned hazards_needed = 5;
 
   /// Largest key a user may insert.
   static constexpr std::uint64_t max_key = ~std::uint64_t{0} - 3;
 
   explicit natarajan_tree(D& dom) : dom_(dom) {
-    dom_.set_free_fn([](typename D::node* n) {
-      delete static_cast<tnode*>(n);
-    });
     root_ = new tnode{inf2, 0};
     s_ = new tnode{inf1, 0};
     root_->left.store(s_, std::memory_order_relaxed);
@@ -163,48 +166,53 @@ class natarajan_tree {
     tnode(std::uint64_t k, std::uint64_t v) : key(k), value(v) {}
   };
 
+  using handle = typename D::template protected_ptr<tnode>;
+
   struct seek_record {
     tnode* ancestor = nullptr;   // deepest node with an untagged path edge
     tnode* successor = nullptr;  // ancestor's child on the path
     tnode* parent = nullptr;     // leaf's parent
     tnode* leaf = nullptr;       // terminal leaf
+    // Protections for the window roles. parent_h may be empty while the
+    // parent aliases the successor (the role handoff below); the sentinel
+    // nodes R and S are permanent and carry no handle.
+    handle ancestor_h;
+    handle successor_h;
+    handle parent_h;
+    handle leaf_h;
+
+    void release() {
+      ancestor_h.reset();
+      successor_h.reset();
+      parent_h.reset();
+      leaf_h.reset();
+    }
   };
 
-  /// True if D cannot guarantee that a node reached through a frozen
-  /// (already spliced-out) edge is still allocated: HP/HE pin only the
-  /// published pointer/era, and the era-robust schemes (IBR, Hyaline-S,
-  /// Hyaline-1S) may skip young batches a stale-edge holder was never
-  /// refcounted into. Such schemes must not cross frozen edges; see the
-  /// header comment. Guard-lifetime schemes (Leaky/EBR/basic Hyaline)
-  /// pin everything retired while the guard is live and may.
+  /// D::caps.needs_clean_edges: D cannot guarantee that a node reached
+  /// through a frozen (already spliced-out) edge is still allocated —
+  /// HP/HE pin only the published pointer/era, and the era-robust schemes
+  /// (IBR, Hyaline-S, Hyaline-1S) may skip young batches a stale-edge
+  /// holder was never refcounted into. Such schemes must not cross frozen
+  /// edges; see the header comment. Guard-lifetime schemes (Leaky/EBR/
+  /// basic Hyaline/Hyaline-1) pin everything retired while the guard is
+  /// live and may.
   static constexpr bool needs_clean_edges() {
-    if constexpr (requires { D::needs_clean_edges; }) {
-      return D::needs_clean_edges;
-    } else {
-      return false;
-    }
+    return D::caps.needs_clean_edges;
   }
 
   /// Descend to the leaf for `key`, maintaining the four-node window. The
-  /// five hazard indices rotate between the window roles; R and S are
-  /// permanent and need no protection.
+  /// window roles carry RAII protection handles that move as the roles
+  /// advance; R and S are permanent and need no protection. Peak: four
+  /// role handles plus the child being acquired.
   void seek(guard& g, std::uint64_t key, seek_record& r) {
   retry:
-    constexpr unsigned none = 99;
-    unsigned free_slots[5] = {0, 1, 2, 3, 4};
-    int nfree = 5;
-    auto pop = [&] { return free_slots[--nfree]; };
-    auto push = [&](unsigned s) {
-      if (s != none) free_slots[nfree++] = s;
-    };
-
-    unsigned ia = none, is2 = none, ip = none, il = none;
-
+    r.release();
     r.ancestor = root_;
     r.successor = s_;
     r.parent = s_;
-    il = pop();
-    tnode* parent_field = g.protect(il, s_->left);
+    r.leaf_h = g.protect(s_->left);
+    tnode* parent_field = r.leaf_h.get();
     if constexpr (needs_clean_edges()) {
       if (tag_of(parent_field) != 0) {
         // Defensive: the sentinel structure keeps S's left edge clean (the
@@ -219,20 +227,23 @@ class natarajan_tree {
     for (;;) {
       std::atomic<tnode*>& edge =
           key < r.leaf->key ? r.leaf->left : r.leaf->right;
-      const unsigned it = pop();
-      tnode* cur_raw = g.protect(it, edge);
+      handle cur_h = g.protect(edge);
+      tnode* cur_raw = cur_h.get();
       tnode* cur = untag(cur_raw);
       if (cur == nullptr) {
-        push(it);
         return;
       }
-      if (!has_tag(parent_field, tag_bit)) {
-        push(ia);
-        if (is2 != ip) push(is2);
-        ia = ip;
-        is2 = il;
+      const bool path_edge_clean = !has_tag(parent_field, tag_bit);
+      if (path_edge_clean) {
+        // Role handoff: the old parent becomes the ancestor and the old
+        // leaf becomes the successor. When the parent aliased the
+        // successor (parent_h empty), the successor's handle is the one
+        // protecting the node that is now the ancestor.
         r.ancestor = r.parent;
+        r.ancestor_h = r.parent_h ? std::move(r.parent_h)
+                                  : std::move(r.successor_h);
         r.successor = r.leaf;
+        r.successor_h = std::move(r.leaf_h);
       }
       if constexpr (needs_clean_edges()) {
         if (tag_of(cur_raw) != 0) {
@@ -250,11 +261,15 @@ class natarajan_tree {
           goto retry;
         }
       }
-      if (ip != none && ip != ia && ip != is2) push(ip);
-      ip = il;
       r.parent = r.leaf;
-      il = it;
+      if (path_edge_clean) {
+        // parent aliases successor: protection lives in successor_h.
+        r.parent_h.reset();
+      } else {
+        r.parent_h = std::move(r.leaf_h);
+      }
       r.leaf = cur;
+      r.leaf_h = std::move(cur_h);
       parent_field = cur_raw;
     }
   }

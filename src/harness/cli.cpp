@@ -42,7 +42,7 @@ std::vector<std::string> parse_names(const char* s) {
                "usage: %s [--threads a,b,...] [--stalled a,b,...]\n"
                "          [--duration ms] [--repeats n] [--prefill n]\n"
                "          [--range n] [--schemes name,...]\n"
-               "          [--mix insert,remove,get] [--full]\n",
+               "          [--mix insert,remove,get] [--json path] [--full]\n",
                prog);
   std::exit(2);
 }
@@ -98,6 +98,8 @@ cli_options parse_cli(int argc, char** argv, cli_options defaults) {
                      o.mix.size(), sum);
         usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      o.json = need_val("--json");
     } else if (std::strcmp(argv[i], "--full") == 0) {
       o.full = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {

@@ -12,6 +12,8 @@
 //                        runtime scheme registry by the figure drivers)
 //   --mix i,r,g          op-mix percentages (insert,remove,get); rejected
 //                        unless they sum to exactly 100
+//   --json <path>        also write the run as machine-readable JSON
+//                        (per-scheme throughput + unreclaimed series)
 //   --full               paper-scale settings (duration 10s, repeats 5)
 #pragma once
 
@@ -32,6 +34,8 @@ struct cli_options {
   /// Op-mix override {insert,remove,get}; empty = the figure's default.
   /// parse_cli guarantees: empty, or exactly 3 values summing to 100.
   std::vector<unsigned> mix;
+  /// Path for the machine-readable JSON trajectory file (empty = none).
+  std::string json;
   bool full = false;
 
   /// True if `name` should run under the --schemes filter.

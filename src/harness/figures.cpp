@@ -5,11 +5,96 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "harness/registry.hpp"
 
 namespace hyaline::harness {
 namespace {
+
+/// Collects every data point of a figure run and mirrors it to the CSV
+/// stream, so the same run can be written out as a machine-readable JSON
+/// trajectory file (--json): per-(structure, scheme) series of throughput
+/// and unreclaimed-node counts.
+class figure_sink {
+ public:
+  explicit figure_sink(const char* figure) : figure_(figure) {}
+
+  /// Emit the CSV header. Called by the figure runners only after the
+  /// --schemes filter validated, so a rejected filter produces no stdout
+  /// (scripts may capture stdout straight into a .csv).
+  void header() { print_csv_header(figure_); }
+
+  void row(const char* structure, const char* scheme, unsigned threads,
+           unsigned stalled, const workload_result& r) {
+    print_csv_row(figure_, structure, scheme, threads, stalled, r.mops,
+                  r.unreclaimed_avg);
+    rows_.push_back(
+        {structure, scheme, threads, stalled, r.mops, r.unreclaimed_avg});
+  }
+
+  /// Group the rows into per-(structure, scheme) series and write them as
+  /// JSON. Returns false (with a message on stderr) if the file cannot be
+  /// written.
+  bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "--json: cannot open '%s' for writing\n",
+                   path.c_str());
+      return false;
+    }
+    // Series keys in first-appearance order; rows from interleaved sweeps
+    // (the robustness figure iterates stalled counts outermost) regroup
+    // cleanly.
+    std::vector<std::pair<std::string, std::string>> keys;
+    for (const row_t& r : rows_) {
+      std::pair<std::string, std::string> k{r.structure, r.scheme};
+      if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+        keys.push_back(k);
+      }
+    }
+    std::fprintf(f, "{\n  \"figure\": \"%s\",\n  \"series\": [", figure_);
+    bool first_series = true;
+    for (const auto& [structure, scheme] : keys) {
+      std::fprintf(f, "%s\n    {\"structure\": \"%s\", \"scheme\": \"%s\",",
+                   first_series ? "" : ",", structure.c_str(),
+                   scheme.c_str());
+      first_series = false;
+      std::fprintf(f, " \"points\": [");
+      bool first_point = true;
+      for (const row_t& r : rows_) {
+        if (r.structure != structure || r.scheme != scheme) continue;
+        std::fprintf(f,
+                     "%s\n      {\"threads\": %u, \"stalled\": %u, "
+                     "\"mops\": %.6f, \"unreclaimed\": %.3f}",
+                     first_point ? "" : ",", r.threads, r.stalled, r.mops,
+                     r.unreclaimed);
+        first_point = false;
+      }
+      std::fprintf(f, "\n    ]}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!ok) {
+      std::fprintf(stderr, "--json: error writing '%s'\n", path.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  struct row_t {
+    std::string structure;
+    std::string scheme;
+    unsigned threads;
+    unsigned stalled;
+    double mops;
+    double unreclaimed;
+  };
+
+  const char* figure_;
+  std::vector<row_t> rows_;
+};
 
 /// The paper's scheme line-up, straight from the registry (entries are in
 /// plotting order). Under the LL/SC figures, schemes with a registered
@@ -83,7 +168,8 @@ bool validate_scheme_filter(const cli_options& o,
   return true;
 }
 
-int run_matrix(const figure_spec& spec, const cli_options& o) {
+int run_matrix(const figure_spec& spec, const cli_options& o,
+               figure_sink& sink) {
   const scheme_registry& reg = scheme_registry::instance();
 
   std::vector<std::string> labels = matrix_lineup(reg, spec.llsc);
@@ -103,8 +189,8 @@ int run_matrix(const figure_spec& spec, const cli_options& o) {
     labels.push_back(want);
   }
   if (!validate_scheme_filter(o, labels)) return 2;
+  sink.header();
 
-  print_csv_header(spec.name);
   const workload_config base = base_cfg(spec, o);
 
   struct srow {
@@ -131,15 +217,15 @@ int run_matrix(const figure_spec& spec, const cli_options& o) {
         cfg.key_range = so.key_range;
         cfg.prefill = so.prefill;
         const workload_result r = run(p, cfg);
-        print_csv_row(spec.name, st.structure, scheme.c_str(), t,
-                      cfg.stalled_threads, r.mops, r.unreclaimed_avg);
+        sink.row(st.structure, scheme.c_str(), t, cfg.stalled_threads, r);
       }
     }
   }
   return 0;
 }
 
-int run_robustness(const figure_spec& spec, const cli_options& o) {
+int run_robustness(const figure_spec& spec, const cli_options& o,
+                   figure_sink& sink) {
   const scheme_registry& reg = scheme_registry::instance();
   const unsigned active = o.threads.empty() ? 4 : o.threads[0];
 
@@ -167,8 +253,8 @@ int run_robustness(const figure_spec& spec, const cli_options& o) {
   std::vector<std::string> labels;
   for (const rrow& r : kRows) labels.push_back(r.label);
   if (!validate_scheme_filter(o, labels)) return 2;
+  sink.header();
 
-  print_csv_header(spec.name);
   const std::size_t fixed_slots = std::bit_ceil(std::size_t{active}) * 2;
   for (unsigned stalled : o.stalled) {
     for (const rrow& row : kRows) {
@@ -188,14 +274,14 @@ int run_robustness(const figure_spec& spec, const cli_options& o) {
         continue;
       }
       const workload_result r = run(p, cfg);
-      print_csv_row(spec.name, "hashmap", row.label, active, stalled, r.mops,
-                    r.unreclaimed_avg);
+      sink.row("hashmap", row.label, active, stalled, r);
     }
   }
   return 0;
 }
 
-int run_trim(const figure_spec& spec, const cli_options& o) {
+int run_trim(const figure_spec& spec, const cli_options& o,
+             figure_sink& sink) {
   const scheme_registry& reg = scheme_registry::instance();
 
   struct trow {
@@ -213,8 +299,8 @@ int run_trim(const figure_spec& spec, const cli_options& o) {
   std::vector<std::string> labels;
   for (const trow& r : kRows) labels.push_back(r.label);
   if (!validate_scheme_filter(o, labels)) return 2;
+  sink.header();
 
-  print_csv_header(spec.name);
   for (const trow& row : kRows) {
     // Accept the exact label or the bare scheme name in --schemes.
     if (!o.scheme_enabled(row.label) && !o.scheme_enabled(row.scheme)) {
@@ -234,8 +320,7 @@ int run_trim(const figure_spec& spec, const cli_options& o) {
         continue;
       }
       const workload_result r = run(p, cfg);
-      print_csv_row(spec.name, "hashmap", row.label, t, 0, r.mops,
-                    r.unreclaimed_avg);
+      sink.row("hashmap", row.label, t, 0, r);
     }
   }
   return 0;
@@ -248,15 +333,23 @@ int run_figure(const figure_spec& spec, int argc, char** argv) {
   defaults.threads = spec.default_threads;
   defaults.stalled = spec.default_stalled;
   const cli_options o = parse_cli(argc, argv, defaults);
+  figure_sink sink(spec.name);
+  int status = 2;
   switch (spec.kind) {
     case figure_kind::matrix:
-      return run_matrix(spec, o);
+      status = run_matrix(spec, o, sink);
+      break;
     case figure_kind::robustness:
-      return run_robustness(spec, o);
+      status = run_robustness(spec, o, sink);
+      break;
     case figure_kind::trim:
-      return run_trim(spec, o);
+      status = run_trim(spec, o, sink);
+      break;
   }
-  return 2;
+  if (status == 0 && !o.json.empty() && !sink.write_json(o.json)) {
+    status = 2;
+  }
+  return status;
 }
 
 }  // namespace hyaline::harness

@@ -3,13 +3,33 @@
 // pairs through type-erased runner_fn pointers looked up by name.
 #include "harness/registry.hpp"
 
+#include <algorithm>
+
 #include "ds/bonsai_tree.hpp"
 #include "ds/harris_list.hpp"
 #include "ds/hm_list.hpp"
 #include "ds/michael_hashmap.hpp"
 #include "ds/natarajan_tree.hpp"
+#include "smr/domain.hpp"
 
 namespace hyaline::harness {
+
+// Every registered scheme satisfies the v2 facade — enforced here, at the
+// single point all of them are instantiated, rather than documented.
+static_assert(smr::Domain<smr::leaky_domain>);
+static_assert(smr::Domain<smr::ebr_domain>);
+static_assert(smr::Domain<smr::hp_domain>);
+static_assert(smr::Domain<smr::he_domain>);
+static_assert(smr::Domain<smr::ibr_domain>);
+static_assert(smr::Domain<domain>);
+static_assert(smr::Domain<domain_dw>);
+static_assert(smr::Domain<domain_llsc>);
+static_assert(smr::Domain<domain_s>);
+static_assert(smr::Domain<domain_s_dw>);
+static_assert(smr::Domain<domain_s_llsc>);
+static_assert(smr::Domain<domain_1>);
+static_assert(smr::Domain<domain_1s>);
+
 namespace {
 
 /// One benchmark run over a concrete (scheme, structure) pair. Teardown
@@ -20,7 +40,13 @@ namespace {
 template <class D, template <class> class DS>
 workload_result run_cell(const scheme_params& params,
                          const workload_config& cfg) {
-  auto dom = scheme_traits<D>::make(params);
+  // Transparent thread identity (API v2) leases tids first-come: the
+  // calling thread prefills, so the pool must cover it alongside the
+  // workers and stalled threads.
+  scheme_params p = params;
+  p.max_threads = std::max(p.max_threads,
+                           cfg.threads + cfg.stalled_threads + 1);
+  auto dom = scheme_traits<D>::make(p);
   workload_result r;
   {
     DS<D> s(*dom);
@@ -32,22 +58,38 @@ workload_result run_cell(const scheme_params& params,
   return r;
 }
 
+/// Presentation-level knobs the registry adds on top of D::caps.
+struct entry_opts {
+  bool core_lineup = false;   ///< one of the paper's nine plotted schemes
+  bool llsc_head = false;     ///< emulated-LL/SC head variant (§4.4)
+  const char* llsc_variant = "";  ///< this scheme's LL/SC twin, if any
+};
+
+/// Build one registry entry for scheme D. The structure cells follow the
+/// compile-time capability tags (smr/caps.hpp): Bonsai lookups walk an
+/// immutable snapshot that cannot be pointer-protected (paper: HP/HE
+/// excluded), and Harris's original list is stricter still — traversal
+/// crosses marked (logically deleted) segments, which only guard-lifetime
+/// epoch-style schemes pin safely (§2.4's "basic Hyaline works with [20];
+/// its robust version requires timely retirement"). The same tags gate the
+/// structures' own static_asserts, so an entry the registry would refuse
+/// cannot even be compiled by hand.
 template <class D>
-scheme_registry::entry make_entry(const char* name, scheme_caps caps,
-                                  const char* llsc_variant = "") {
-  scheme_registry::entry e{name, caps, llsc_variant, {}};
+scheme_registry::entry make_entry(const char* name, entry_opts opts = {}) {
+  scheme_caps caps;
+  caps.pointer_publication = D::caps.pointer_publication;
+  caps.robust = D::caps.robust;
+  caps.llsc_head = opts.llsc_head;
+  caps.supports_trim = D::caps.supports_trim;
+  caps.core_lineup = opts.core_lineup;
+
+  scheme_registry::entry e{name, caps, opts.llsc_variant, {}};
   e.cells.push_back({"list", &run_cell<D, ds::hm_list>});
   e.cells.push_back({"hashmap", &run_cell<D, ds::michael_hashmap>});
   e.cells.push_back({"nmtree", &run_cell<D, ds::natarajan_tree>});
-  // Bonsai lookups walk an immutable snapshot that cannot be
-  // pointer-protected (paper: HP/HE excluded). Harris's original list is
-  // stricter still: traversal crosses marked (logically deleted) segments,
-  // which only guard-lifetime epoch-style schemes pin safely — §2.4's
-  // "basic Hyaline works with [20]; its robust version requires timely
-  // retirement".
-  if (!caps.pointer_publication) {
+  if constexpr (!D::caps.pointer_publication) {
     e.cells.push_back({"bonsai", &run_cell<D, ds::bonsai_tree>});
-    if (!caps.robust) {
+    if constexpr (!D::caps.robust) {
       e.cells.push_back({"harris", &run_cell<D, ds::harris_list>});
     }
   }
@@ -75,40 +117,27 @@ scheme_registry::scheme_registry() {
   // Hyaline variants name their emulated-LL/SC twin for the Figures 13-16
   // head substitution; the baselines and per-thread-slot variants are
   // head-agnostic.
-  schemes_.push_back(make_entry<leaky_domain>(
-      "Leaky", {.core_lineup = true}));
-  schemes_.push_back(make_entry<ebr_domain>(
-      "Epoch", {.core_lineup = true}));
+  schemes_.push_back(make_entry<leaky_domain>("Leaky", {.core_lineup = true}));
+  schemes_.push_back(make_entry<ebr_domain>("Epoch", {.core_lineup = true}));
   schemes_.push_back(make_entry<domain>(
-      "Hyaline", {.supports_trim = true, .core_lineup = true},
-      "Hyaline(llsc)"));
-  schemes_.push_back(make_entry<domain_1>(
-      "Hyaline-1", {.supports_trim = true, .core_lineup = true}));
+      "Hyaline", {.core_lineup = true, .llsc_variant = "Hyaline(llsc)"}));
+  schemes_.push_back(
+      make_entry<domain_1>("Hyaline-1", {.core_lineup = true}));
   schemes_.push_back(make_entry<domain_s>(
-      "Hyaline-S", {.robust = true, .supports_trim = true,
-                    .core_lineup = true},
-      "Hyaline-S(llsc)"));
-  schemes_.push_back(make_entry<domain_1s>(
-      "Hyaline-1S", {.robust = true, .supports_trim = true,
-                     .core_lineup = true}));
-  schemes_.push_back(make_entry<ibr_domain>(
-      "IBR", {.robust = true, .core_lineup = true}));
-  schemes_.push_back(make_entry<he_domain>(
-      "HE", {.pointer_publication = true, .robust = true,
-             .core_lineup = true}));
-  schemes_.push_back(make_entry<hp_domain>(
-      "HP", {.pointer_publication = true, .robust = true,
-             .core_lineup = true}));
+      "Hyaline-S", {.core_lineup = true, .llsc_variant = "Hyaline-S(llsc)"}));
+  schemes_.push_back(
+      make_entry<domain_1s>("Hyaline-1S", {.core_lineup = true}));
+  schemes_.push_back(make_entry<ibr_domain>("IBR", {.core_lineup = true}));
+  schemes_.push_back(make_entry<he_domain>("HE", {.core_lineup = true}));
+  schemes_.push_back(make_entry<hp_domain>("HP", {.core_lineup = true}));
 
   // ...plus the head-policy variants used by the LL/SC figures and the
   // ablations.
-  schemes_.push_back(make_entry<domain_dw>(
-      "Hyaline(dwcas)", {.supports_trim = true}));
-  schemes_.push_back(make_entry<domain_llsc>(
-      "Hyaline(llsc)", {.llsc_head = true, .supports_trim = true}));
-  schemes_.push_back(make_entry<domain_s_llsc>(
-      "Hyaline-S(llsc)", {.robust = true, .llsc_head = true,
-                          .supports_trim = true}));
+  schemes_.push_back(make_entry<domain_dw>("Hyaline(dwcas)"));
+  schemes_.push_back(
+      make_entry<domain_llsc>("Hyaline(llsc)", {.llsc_head = true}));
+  schemes_.push_back(
+      make_entry<domain_s_llsc>("Hyaline-S(llsc)", {.llsc_head = true}));
 }
 
 const scheme_registry& scheme_registry::instance() {

@@ -23,7 +23,9 @@ namespace hyaline::harness {
 
 /// Knobs shared by all scheme factories for one benchmark data point.
 struct scheme_params {
-  unsigned max_threads = 8;   ///< active + stalled threads
+  unsigned max_threads = 8;   ///< active + stalled threads (the registry
+                              ///< runners add headroom for the prefilling
+                              ///< thread's transparent tid lease)
   std::size_t slots = 0;      ///< Hyaline k (0 = 2*next_pow2(threads), capped
                               ///< at 128 like the paper's evaluation)
   std::size_t max_slots = 0;  ///< Hyaline-S adaptive growth cap (0 = off)

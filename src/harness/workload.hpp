@@ -68,19 +68,16 @@ constexpr bool valid_mix(const workload_config& cfg) {
 namespace detail {
 
 template <class D>
-concept has_global_flush = requires(D d) { d.flush(); };
-template <class D>
-concept has_tid_flush = requires(D d) { d.flush(0u); };
+concept has_flush = requires(D d) { d.flush(); };
 
+/// Finalize the calling thread's partial retirement batch, for schemes
+/// that batch (the Hyaline family). No-op elsewhere.
 template <class D>
-void flush_thread(D& dom, unsigned tid) {
-  if constexpr (has_tid_flush<D>) {
-    dom.flush(tid);
-  } else if constexpr (has_global_flush<D>) {
+void flush_thread(D& dom) {
+  if constexpr (has_flush<D>) {
     dom.flush();
   } else {
     (void)dom;
-    (void)tid;
   }
 }
 
@@ -101,7 +98,7 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
     xoshiro256 rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
     std::size_t live = 0;
     while (live < cfg.prefill) {
-      guard_t g(dom, 0);
+      guard_t g(dom);
       if (s.insert(g, rng.below(cfg.key_range), 1)) ++live;
     }
   }
@@ -127,7 +124,7 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
           const std::uint64_t key = rng.below(cfg.key_range);
           const std::uint64_t dice = rng.below(100);
           {
-            guard_t g(dom, tid);
+            guard_t g(dom);
             if (dice < cfg.insert_pct) {
               s.insert(g, key, key);
             } else if (dice < cfg.insert_pct + cfg.remove_pct) {
@@ -149,7 +146,7 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
         // periodically to bound the retirement sublists.
         constexpr std::uint64_t regrip_every = 1024;
         while (!stop.load(std::memory_order_relaxed)) {
-          guard_t g(dom, tid);
+          guard_t g(dom);
           for (std::uint64_t i = 0;
                i < regrip_every && !stop.load(std::memory_order_relaxed);
                ++i) {
@@ -173,7 +170,7 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
         }
       }
       ops.fetch_add(local_ops, std::memory_order_relaxed);
-      detail::flush_thread(dom, tid);
+      detail::flush_thread(dom);
     };
 
     // A stalled thread enters, dereferences one node, then blocks until
@@ -183,13 +180,13 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
       while (!start.load(std::memory_order_acquire)) {
       }
       {
-        guard_t g(dom, tid);
+        guard_t g(dom);
         s.contains(g, rng.below(cfg.key_range));
         while (!stop.load(std::memory_order_relaxed)) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
       }
-      detail::flush_thread(dom, tid);
+      detail::flush_thread(dom);
     };
 
     std::vector<std::thread> ts;

@@ -1,20 +1,33 @@
-// Overridable allocation for SMR node headers.
+// Overridable allocation + typed destruction for SMR node headers.
 //
-// Every scheme's intrusive `node` type derives from `hooked_alloc`, whose
-// class-level operator new/delete route through a process-wide hook pair.
-// With the hooks unset (the default, and the only mode benchmarks use)
-// allocation is exactly `::operator new` / `::operator delete`. The test
-// suite installs `debug_alloc`-backed hooks before spawning threads, which
-// makes every node the data structures allocate — including Hyaline's
-// padding dummies — leak-, double-free- and write-after-free-checked
-// without the structures knowing (see tests/registry_matrix_test.cpp).
+// Every scheme's intrusive `node` type derives from `reclaimable`, which
+// provides two services:
+//
+//   1. Hooked allocation (`hooked_alloc`): class-level operator new/delete
+//      route through a process-wide hook pair. With the hooks unset (the
+//      default, and the only mode benchmarks use) allocation is exactly
+//      `::operator new` / `::operator delete`. The test suite installs
+//      `debug_alloc`-backed hooks before spawning threads, which makes every
+//      node the data structures allocate — including Hyaline's padding
+//      dummies — leak-, double-free- and write-after-free-checked without
+//      the structures knowing (see tests/registry_matrix_test.cpp).
+//
+//   2. Typed destruction (`smr_dtor`): a type-erased destroy thunk that
+//      `guard::retire<T>()` installs at retirement time. Deallocation may
+//      run much later, on another thread, long after the retiring call
+//      frame is gone — the thunk carries the concrete node type across
+//      that gap, so one domain can reclaim any mix of node types (API v2's
+//      shared-domain guarantee; the v1 per-domain `set_free_fn` supported
+//      exactly one type and was silently overwritten by a second).
 //
 // The hooks are read on every node allocation; install them once, at
 // startup, before any node exists, so allocate/free pairs always agree.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <new>
+#include <type_traits>
 
 namespace hyaline::smr::core {
 
@@ -42,5 +55,31 @@ struct hooked_alloc {
     hooked_alloc::operator delete(p);
   }
 };
+
+/// Base of every scheme's node header: hooked allocation plus the typed
+/// destroy thunk. One extra word per node buys N node types per domain.
+struct reclaimable : hooked_alloc {
+  void (*smr_dtor)(reclaimable*) = nullptr;
+};
+
+/// The type-erased destroy thunk for a concrete node type `T` (any type
+/// derived from a scheme's node header). Installed by guard::retire<T>().
+template <class T>
+inline void (*dtor_thunk())(reclaimable*) {
+  static_assert(std::is_base_of_v<reclaimable, T>,
+                "retired objects must derive from the scheme's node type");
+  return +[](reclaimable* base) { delete static_cast<T*>(base); };
+}
+
+/// Destroy a retired node through its thunk. Every retire path installs
+/// one (guard::retire<T>), so a null thunk here means a node reached
+/// reclamation without going through retire — fail loudly rather than
+/// silently running the wrong destructor.
+template <class Node>
+inline void destroy(Node* n) {
+  assert(n->smr_dtor != nullptr &&
+         "retired node missing its typed destroy thunk");
+  n->smr_dtor(n);
+}
 
 }  // namespace hyaline::smr::core

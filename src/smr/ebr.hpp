@@ -10,14 +10,16 @@
 #pragma once
 
 #include <atomic>
-#include <cassert>
 #include <cstdint>
+#include <stdexcept>
 
 #include "common/align.hpp"
+#include "smr/caps.hpp"
 #include "smr/core/era_clock.hpp"
 #include "smr/core/node_alloc.hpp"
 #include "smr/core/retired_batch.hpp"
 #include "smr/core/thread_registry.hpp"
+#include "smr/protected_ptr.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::smr {
@@ -31,15 +33,18 @@ struct ebr_config {
 
 class ebr_domain {
  public:
-  struct node : core::hooked_alloc {
+  static constexpr smr::caps caps{};
+
+  struct node : core::reclaimable {
     node* next = nullptr;
     std::uint64_t retire_epoch = 0;
   };
 
-  using free_fn_t = void (*)(node*);
+  template <class T>
+  using protected_ptr = raw_handle<T>;
 
   explicit ebr_domain(ebr_config cfg = {})
-      : cfg_(cfg), recs_(cfg.max_threads) {}
+      : cfg_(validated(cfg)), recs_(cfg_.max_threads) {}
 
   explicit ebr_domain(unsigned max_threads)
       : ebr_domain(ebr_config{max_threads, 64}) {}
@@ -49,37 +54,39 @@ class ebr_domain {
   ebr_domain(const ebr_domain&) = delete;
   ebr_domain& operator=(const ebr_domain&) = delete;
 
-  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
   void on_alloc(node*) { stats_->on_alloc(); }
   stats& counters() { return *stats_; }
   const stats& counters() const { return *stats_; }
 
   class guard {
    public:
-    guard(ebr_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
-      assert(tid < dom.recs_.size());
-      dom_.recs_[tid].reservation.store(dom_.epoch_.load(),
-                                        std::memory_order_seq_cst);
+    explicit guard(ebr_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {
+      dom_.recs_[lease_.tid()].reservation.store(dom_.epoch_.load(),
+                                                 std::memory_order_seq_cst);
     }
 
     ~guard() {
-      dom_.recs_[tid_].reservation.store(inactive,
-                                         std::memory_order_seq_cst);
+      dom_.recs_[lease_.tid()].reservation.store(inactive,
+                                                 std::memory_order_seq_cst);
     }
 
     guard(const guard&) = delete;
     guard& operator=(const guard&) = delete;
 
     template <class T>
-    T* protect(unsigned /*idx*/, const std::atomic<T*>& src) {
-      return src.load(std::memory_order_acquire);
+    raw_handle<T> protect(const std::atomic<T*>& src) {
+      return raw_handle<T>(src.load(std::memory_order_acquire));
     }
 
-    void retire(node* n) { dom_.retire(tid_, n); }
+    template <class T>
+    void retire(T* n) {
+      n->smr_dtor = core::dtor_thunk<T>();
+      dom_.retire(lease_.tid(), static_cast<node*>(n));
+    }
 
    private:
     ebr_domain& dom_;
-    unsigned tid_;
+    core::tid_lease lease_;
   };
 
   /// Quiescent-state cleanup: with every reservation inactive, advancing
@@ -95,6 +102,16 @@ class ebr_domain {
 
  private:
   static constexpr std::uint64_t inactive = ~std::uint64_t{0};
+
+  static ebr_config validated(ebr_config cfg) {
+    if (cfg.max_threads == 0) {
+      throw std::invalid_argument("ebr_config: max_threads must be nonzero");
+    }
+    if (cfg.advance_freq == 0) {
+      throw std::invalid_argument("ebr_config: advance_freq must be nonzero");
+    }
+    return cfg;
+  }
 
   struct alignas(cache_line_size) rec {
     std::atomic<std::uint64_t> reservation{inactive};
@@ -131,17 +148,14 @@ class ebr_domain {
     recs_[tid].limbo.reclaim_ready(
         [e](const node* n) { return n->retire_epoch + 2 <= e; },
         [this](node* n) {
-          free_fn_(n);
+          core::destroy(n);
           stats_->on_free();
         });
   }
 
-  static void default_free(node* n) { delete n; }
-
   const ebr_config cfg_;
   core::thread_registry<rec> recs_;
   core::era_clock epoch_{2};
-  free_fn_t free_fn_ = &default_free;
   padded_stats stats_;
 };
 

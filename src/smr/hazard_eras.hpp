@@ -1,23 +1,24 @@
 // Hazard Eras (HE) baseline — Ramalhete & Correia [31].
 //
 // Reconciles EBR's speed with HP's robustness: instead of publishing
-// pointer *addresses*, a thread publishes the current *era* into a hazard
-// index. Every node records its birth era at allocation and its retire era
-// at retirement; a retired node is freed only when no published era falls
-// inside [birth, retire]. Robust: a stalled thread pins only nodes whose
-// lifetime overlaps its published eras.
+// pointer *addresses*, a thread publishes the current *era* into a leased
+// hazard slot. Every node records its birth era at allocation and its
+// retire era at retirement; a retired node is freed only when no published
+// era falls inside [birth, retire]. Robust: a stalled thread pins only
+// nodes whose lifetime overlaps its published eras.
 #pragma once
 
 #include <atomic>
-#include <cassert>
 #include <cstdint>
-#include <memory>
+#include <stdexcept>
 
 #include "common/align.hpp"
+#include "smr/caps.hpp"
 #include "smr/core/era_clock.hpp"
 #include "smr/core/node_alloc.hpp"
 #include "smr/core/retired_batch.hpp"
 #include "smr/core/thread_registry.hpp"
+#include "smr/protected_ptr.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::smr {
@@ -25,7 +26,6 @@ namespace hyaline::smr {
 /// Tuning knobs for the HE domain.
 struct he_config {
   unsigned max_threads = 144;
-  unsigned eras_per_thread = 8;
   /// Bump the global era clock every `era_freq` allocations.
   std::uint64_t era_freq = 64;
   /// Scan this thread's retired list at this size (0 = auto).
@@ -37,36 +37,38 @@ class he_domain {
   /// Same per-access reservation discipline as HP: a published era only
   /// protects nodes not yet retired at publication time, so traversals must
   /// not cross frozen (flagged/tagged) edges (see ds/natarajan_tree.hpp).
-  static constexpr bool needs_clean_edges = true;
+  static constexpr smr::caps caps{.pointer_publication = true,
+                                  .robust = true,
+                                  .needs_clean_edges = true};
 
-  struct node : core::hooked_alloc {
+  /// Era slots per guard; the most protection handles live at once.
+  static constexpr unsigned max_hazards = 8;
+
+  struct node : core::reclaimable {
     node* next = nullptr;
     std::uint64_t birth_era = 0;
     std::uint64_t retire_era = 0;
   };
 
-  using free_fn_t = void (*)(node*);
+  class guard;
+
+  template <class T>
+  using protected_ptr = slot_handle<guard, T>;
 
   explicit he_domain(he_config cfg = {})
-      : cfg_(cfg), recs_(cfg.max_threads) {
+      : cfg_(validated(cfg)), recs_(cfg_.max_threads) {
     if (cfg_.scan_threshold == 0) {
-      cfg_.scan_threshold =
-          2 * std::size_t{cfg_.max_threads} * cfg_.eras_per_thread;
-    }
-    for (rec& r : recs_) {
-      r.eras.reset(new std::atomic<std::uint64_t>[cfg_.eras_per_thread]{});
+      cfg_.scan_threshold = 2 * std::size_t{cfg_.max_threads} * max_hazards;
     }
   }
 
   explicit he_domain(unsigned max_threads)
-      : he_domain(he_config{max_threads, 8, 64, 0}) {}
+      : he_domain(he_config{max_threads, 64, 0}) {}
 
   ~he_domain() { drain(); }
 
   he_domain(const he_domain&) = delete;
   he_domain& operator=(const he_domain&) = delete;
-
-  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
 
   void on_alloc(node* n) {
     stats_->on_alloc();
@@ -80,13 +82,11 @@ class he_domain {
 
   class guard {
    public:
-    guard(he_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
-      assert(tid < dom.recs_.size());
-    }
+    explicit guard(he_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {}
 
     ~guard() {
-      rec& r = dom_.recs_[tid_];
-      for (unsigned i = 0; i < dom_.cfg_.eras_per_thread; ++i) {
+      rec& r = dom_.recs_[lease_.tid()];
+      for (unsigned i = 0; i < max_hazards; ++i) {
         r.eras[i].store(0, std::memory_order_release);
       }
     }
@@ -94,25 +94,38 @@ class he_domain {
     guard(const guard&) = delete;
     guard& operator=(const guard&) = delete;
 
-    /// HE get_protected: publish the current era in index `idx` and
+    /// HE get_protected: publish the current era in a leased slot and
     /// re-read until the era is stable across the load.
     template <class T>
-    T* protect(unsigned idx, const std::atomic<T*>& src) {
-      assert(idx < dom_.cfg_.eras_per_thread);
-      std::atomic<std::uint64_t>& he = dom_.recs_[tid_].eras[idx];
-      return core::protect_with_era(
+    slot_handle<guard, T> protect(const std::atomic<T*>& src) {
+      const unsigned idx = slots_.lease("he_domain");
+      std::atomic<std::uint64_t>& he = dom_.recs_[lease_.tid()].eras[idx];
+      T* p = core::protect_with_era(
           src, dom_.era_, he.load(std::memory_order_relaxed),
           [&he](std::uint64_t e) {
             he.store(e, std::memory_order_seq_cst);
             return e;
           });
+      return {this, idx, p};
     }
 
-    void retire(node* n) { dom_.retire(tid_, n); }
+    template <class T>
+    void retire(T* n) {
+      n->smr_dtor = core::dtor_thunk<T>();
+      dom_.retire(lease_.tid(), static_cast<node*>(n));
+    }
+
+    /// Internal: slot_handle check-in (clear the era, return the slot).
+    void release_protection_slot(unsigned idx) {
+      dom_.recs_[lease_.tid()].eras[idx].store(0,
+                                               std::memory_order_release);
+      slots_.unlease(idx);
+    }
 
    private:
     he_domain& dom_;
-    unsigned tid_;
+    core::tid_lease lease_;
+    slot_allocator<max_hazards> slots_;
   };
 
   void drain() {
@@ -124,8 +137,18 @@ class he_domain {
   }
 
  private:
+  static he_config validated(he_config cfg) {
+    if (cfg.max_threads == 0) {
+      throw std::invalid_argument("he_config: max_threads must be nonzero");
+    }
+    if (cfg.era_freq == 0) {
+      throw std::invalid_argument("he_config: era_freq must be nonzero");
+    }
+    return cfg;
+  }
+
   struct alignas(cache_line_size) rec {
-    std::unique_ptr<std::atomic<std::uint64_t>[]> eras;
+    std::atomic<std::uint64_t> eras[max_hazards] = {};
     core::retired_list<node> retired;  // owner-thread private
   };
 
@@ -141,7 +164,7 @@ class he_domain {
 
   bool can_free(const node* n) const {
     for (const rec& r : recs_) {
-      for (unsigned i = 0; i < cfg_.eras_per_thread; ++i) {
+      for (unsigned i = 0; i < max_hazards; ++i) {
         const std::uint64_t e = r.eras[i].load(std::memory_order_seq_cst);
         if (e != 0 && n->birth_era <= e && e <= n->retire_era) return false;
       }
@@ -153,17 +176,14 @@ class he_domain {
     recs_[tid].retired.scan(
         [this](const node* n) { return can_free(n); },
         [this](node* n) {
-          free_fn_(n);
+          core::destroy(n);
           stats_->on_free();
         });
   }
 
-  static void default_free(node* n) { delete n; }
-
   he_config cfg_;
   core::thread_registry<rec> recs_;
   core::era_clock era_{1};
-  free_fn_t free_fn_ = &default_free;
   padded_stats stats_;
 };
 

@@ -1,26 +1,28 @@
 // Hazard Pointers (HP) baseline — Michael [26].
 //
-// Per-thread array of hazard slots; `protect` publishes the (untagged)
-// pointer and validates by re-reading the source. Retired nodes collect in
-// a per-thread list; once the list exceeds the scan threshold, the thread
-// snapshots all hazards and frees every retired node not present in the
-// snapshot. Robust (a stalled thread pins at most its own K hazards) but
-// pays a store+fence per pointer acquisition — the slowness the paper's
-// figures show.
+// Per-thread array of hazard slots; `protect` leases a slot from the
+// guard, publishes the (untagged) pointer, validates by re-reading the
+// source, and returns an RAII handle that clears the slot when it dies.
+// Retired nodes collect in a per-thread list; once the list exceeds the
+// scan threshold, the thread snapshots all hazards and frees every retired
+// node not present in the snapshot. Robust (a stalled thread pins at most
+// its own K hazards) but pays a store+fence per pointer acquisition — the
+// slowness the paper's figures show.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <cstdint>
-#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "common/align.hpp"
 #include "common/tagged_ptr.hpp"
+#include "smr/caps.hpp"
 #include "smr/core/node_alloc.hpp"
 #include "smr/core/retired_batch.hpp"
 #include "smr/core/thread_registry.hpp"
+#include "smr/protected_ptr.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::smr {
@@ -28,9 +30,8 @@ namespace hyaline::smr {
 /// Tuning knobs for the HP domain.
 struct hp_config {
   unsigned max_threads = 144;
-  unsigned hazards_per_thread = 8;
   /// Scan when a thread's retired list reaches this size (0 = auto:
-  /// 2 * max_threads * hazards_per_thread, the classic H·R rule).
+  /// 2 * max_threads * max_hazards, the classic H·R rule).
   std::size_t scan_threshold = 0;
 };
 
@@ -40,48 +41,51 @@ class hp_domain {
   /// traverse edges whose re-read value is clean (untagged) — a frozen
   /// (flagged/tagged) edge validates forever and proves nothing about the
   /// target's retirement (see ds/natarajan_tree.hpp).
-  static constexpr bool needs_clean_edges = true;
+  static constexpr smr::caps caps{.pointer_publication = true,
+                                  .robust = true,
+                                  .needs_clean_edges = true};
 
-  struct node : core::hooked_alloc {
+  /// Hazard slots per guard; the most protection handles that may be live
+  /// at once. Structures static_assert their peak against this.
+  static constexpr unsigned max_hazards = 8;
+
+  struct node : core::reclaimable {
     node* next = nullptr;
   };
 
-  using free_fn_t = void (*)(node*);
+  class guard;
+
+  template <class T>
+  using protected_ptr = slot_handle<guard, T>;
 
   explicit hp_domain(hp_config cfg = {})
-      : cfg_(cfg), recs_(cfg.max_threads) {
+      : cfg_(validated(cfg)), recs_(cfg_.max_threads) {
     if (cfg_.scan_threshold == 0) {
-      cfg_.scan_threshold =
-          2 * std::size_t{cfg_.max_threads} * cfg_.hazards_per_thread;
-    }
-    for (rec& r : recs_) {
-      r.hazards.reset(new std::atomic<void*>[cfg_.hazards_per_thread]{});
+      cfg_.scan_threshold = 2 * std::size_t{cfg_.max_threads} * max_hazards;
     }
   }
 
   explicit hp_domain(unsigned max_threads)
-      : hp_domain(hp_config{max_threads, 8, 0}) {}
+      : hp_domain(hp_config{max_threads, 0}) {}
 
   ~hp_domain() { drain(); }
 
   hp_domain(const hp_domain&) = delete;
   hp_domain& operator=(const hp_domain&) = delete;
 
-  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
   void on_alloc(node*) { stats_->on_alloc(); }
   stats& counters() { return *stats_; }
   const stats& counters() const { return *stats_; }
 
   class guard {
    public:
-    guard(hp_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
-      assert(tid < dom.recs_.size());
-    }
+    explicit guard(hp_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {}
 
     ~guard() {
-      // Clear this thread's hazards (leave).
-      rec& r = dom_.recs_[tid_];
-      for (unsigned i = 0; i < dom_.cfg_.hazards_per_thread; ++i) {
+      // Clear this thread's hazards (leave). Handles normally cleared each
+      // slot already; this covers any still-leased slot.
+      rec& r = dom_.recs_[lease_.tid()];
+      for (unsigned i = 0; i < max_hazards; ++i) {
         r.hazards[i].store(nullptr, std::memory_order_release);
       }
     }
@@ -89,26 +93,39 @@ class hp_domain {
     guard(const guard&) = delete;
     guard& operator=(const guard&) = delete;
 
-    /// Publish-and-validate loop. The published value is stripped of tag
-    /// bits so it compares equal to the pointer later passed to retire().
+    /// Publish-and-validate loop in a freshly leased slot. The published
+    /// value is stripped of tag bits so it compares equal to the pointer
+    /// later passed to retire().
     template <class T>
-    T* protect(unsigned idx, const std::atomic<T*>& src) {
-      assert(idx < dom_.cfg_.hazards_per_thread);
-      std::atomic<void*>& hp = dom_.recs_[tid_].hazards[idx];
+    slot_handle<guard, T> protect(const std::atomic<T*>& src) {
+      const unsigned idx = slots_.lease("hp_domain");
+      std::atomic<void*>& hp = dom_.recs_[lease_.tid()].hazards[idx];
       T* p = src.load(std::memory_order_acquire);
       for (;;) {
         hp.store(untag(p), std::memory_order_seq_cst);
         T* q = src.load(std::memory_order_seq_cst);
-        if (q == p) return p;
+        if (q == p) return {this, idx, p};
         p = q;
       }
     }
 
-    void retire(node* n) { dom_.retire(tid_, n); }
+    template <class T>
+    void retire(T* n) {
+      n->smr_dtor = core::dtor_thunk<T>();
+      dom_.retire(lease_.tid(), static_cast<node*>(n));
+    }
+
+    /// Internal: slot_handle check-in (clear the hazard, return the slot).
+    void release_protection_slot(unsigned idx) {
+      dom_.recs_[lease_.tid()].hazards[idx].store(
+          nullptr, std::memory_order_release);
+      slots_.unlease(idx);
+    }
 
    private:
     hp_domain& dom_;
-    unsigned tid_;
+    core::tid_lease lease_;
+    slot_allocator<max_hazards> slots_;
   };
 
   /// Quiescent-state cleanup: with all hazards clear, one scan per thread
@@ -118,8 +135,15 @@ class hp_domain {
   }
 
  private:
+  static hp_config validated(hp_config cfg) {
+    if (cfg.max_threads == 0) {
+      throw std::invalid_argument("hp_config: max_threads must be nonzero");
+    }
+    return cfg;
+  }
+
   struct alignas(cache_line_size) rec {
-    std::unique_ptr<std::atomic<void*>[]> hazards;
+    std::atomic<void*> hazards[max_hazards] = {};
     core::retired_list<node> retired;  // owner-thread private
   };
 
@@ -134,9 +158,9 @@ class hp_domain {
 
   void scan(unsigned tid) {
     std::vector<void*> snapshot;
-    snapshot.reserve(std::size_t{recs_.size()} * cfg_.hazards_per_thread);
+    snapshot.reserve(std::size_t{recs_.size()} * max_hazards);
     for (const rec& r : recs_) {
-      for (unsigned i = 0; i < cfg_.hazards_per_thread; ++i) {
+      for (unsigned i = 0; i < max_hazards; ++i) {
         void* h = r.hazards[i].load(std::memory_order_seq_cst);
         if (h != nullptr) snapshot.push_back(h);
       }
@@ -149,16 +173,13 @@ class hp_domain {
                                      static_cast<const void*>(n));
         },
         [this](node* n) {
-          free_fn_(n);
+          core::destroy(n);
           stats_->on_free();
         });
   }
 
-  static void default_free(node* n) { delete n; }
-
   hp_config cfg_;
   core::thread_registry<rec> recs_;
-  free_fn_t free_fn_ = &default_free;
   padded_stats stats_;
 };
 

@@ -38,15 +38,17 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
-#include <mutex>
+#include <stdexcept>
 #include <thread>
-#include <vector>
 
 #include "common/align.hpp"
 #include "common/head_policy.hpp"
 #include "common/slot_directory.hpp"
+#include "smr/caps.hpp"
 #include "smr/core/era_clock.hpp"
 #include "smr/core/node_alloc.hpp"
+#include "smr/core/thread_registry.hpp"
+#include "smr/protected_ptr.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline {
@@ -91,37 +93,27 @@ inline constexpr std::uint64_t adjs_for(std::size_t k) {
   return ~std::uint64_t{0} / k + 1;  // k == 1 -> wraps to 0 (simple version)
 }
 
-/// Per-(thread, domain) handle cache: maps a domain's unique id to its
-/// thread-local batch builder. Linear scan; a thread rarely touches more
-/// than a couple of domains.
-struct tls_slot {
-  std::uint64_t domain_id;
-  void* builder;
-};
-inline thread_local std::vector<tls_slot> tls_builders;
-
-inline std::atomic<std::uint64_t>& domain_id_source() {
-  static std::atomic<std::uint64_t> ids{1};
-  return ids;
-}
-
 }  // namespace detail
 
 /// A Hyaline / Hyaline-S reclamation domain.
 template <template <class> class Head, bool Robust>
 class basic_domain {
  public:
-  /// Hyaline-S: batch insertion skips slots whose access era predates
-  /// every node in the batch, so a reader holding frozen (already
-  /// spliced-out) garbage can reach a young node whose batch it was never
-  /// refcounted into. Robust variants therefore require the clean-edge
-  /// traversal discipline (see ds/natarajan_tree.hpp); basic Hyaline pins
-  /// every batch retired during the guard's lifetime and does not.
-  static constexpr bool needs_clean_edges = Robust;
+  /// Hyaline-S (needs_clean_edges): batch insertion skips slots whose
+  /// access era predates every node in the batch, so a reader holding
+  /// frozen (already spliced-out) garbage can reach a young node whose
+  /// batch it was never refcounted into. Robust variants therefore require
+  /// the clean-edge traversal discipline (see ds/natarajan_tree.hpp);
+  /// basic Hyaline pins every batch retired during the guard's lifetime
+  /// and does not.
+  static constexpr smr::caps caps{.robust = Robust,
+                                  .needs_clean_edges = Robust,
+                                  .supports_trim = true};
 
   /// Intrusive header every reclaimable object must derive from (three
-  /// words, see file comment for the layout).
-  struct node : smr::core::hooked_alloc {
+  /// algorithm words — see file comment for the layout — plus the typed
+  /// destroy thunk of the shared `reclaimable` base).
+  struct node : smr::core::reclaimable {
     std::atomic<std::uintptr_t> w0{0};
     node* w1 = nullptr;
     std::uintptr_t w2 = 0;
@@ -129,30 +121,21 @@ class basic_domain {
 
   using head_policy = Head<node>;
   using head_val = typename head_policy::val;
-  using free_fn_t = void (*)(node*);
+
+  template <class T>
+  using protected_ptr = smr::raw_handle<T>;
 
   explicit basic_domain(config cfg = {})
-      : id_(detail::domain_id_source().fetch_add(1, std::memory_order_relaxed)),
-        cfg_(cfg),
-        slots_(normalize_k(cfg.slots),
-               Robust && cfg.max_slots > normalize_k(cfg.slots)
-                   ? std::bit_ceil(cfg.max_slots)
-                   : normalize_k(cfg.slots)) {}
+      : cfg_(validated(cfg)),
+        slots_(normalize_k(cfg_.slots),
+               Robust && cfg_.max_slots > normalize_k(cfg_.slots)
+                   ? std::bit_ceil(cfg_.max_slots)
+                   : normalize_k(cfg_.slots)) {}
 
-  ~basic_domain() {
-    drain();
-    std::lock_guard<std::mutex> lk(builders_mu_);
-    for (auto* b : builders_) delete b;
-  }
+  ~basic_domain() { drain(); }
 
   basic_domain(const basic_domain&) = delete;
   basic_domain& operator=(const basic_domain&) = delete;
-
-  /// How the domain destroys a reclaimed object. Must be set before the
-  /// first retire unless nodes are plain `node` instances. The function
-  /// receives the node header pointer; the typical deleter downcasts:
-  ///   d.set_free_fn([](D::node* n) { delete static_cast<my_node*>(n); });
-  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
 
   /// Birth-era hook (Fig. 5 init_node). Call right after allocating any
   /// object that will be retired through this domain. No-op for basic
@@ -160,7 +143,7 @@ class basic_domain {
   void on_alloc(node* n) {
     stats_->on_alloc();
     if constexpr (Robust) {
-      auto& b = builder_for_thread();
+      auto& b = builders_.local();
       alloc_era_.tick(b.alloc_counter, cfg_.era_freq);
       n->w0.store(alloc_era_.load(), std::memory_order_relaxed);
     }
@@ -181,13 +164,20 @@ class basic_domain {
   /// RAII critical section: enter on construction, leave on destruction.
   class guard {
    public:
-    /// `slot_hint` picks the slot (mod k); Hyaline supports any number of
-    /// threads per slot, so a thread id, a random number, or anything else
-    /// works (§3.2: "a thread chooses randomly or based on its ID").
+    /// Transparent enter: the slot is picked from a per-thread hint
+    /// (threads never register — the paper's transparency property).
+    explicit guard(basic_domain& dom)
+        : guard(dom, smr::core::thread_hint()) {}
+
+    /// Explicit placement: `slot_hint` picks the slot (mod k); Hyaline
+    /// supports any number of threads per slot, so a thread id, a random
+    /// number, or anything else works (§3.2: "a thread chooses randomly or
+    /// based on its ID"). White-box tests use this to stage interleavings
+    /// deterministically.
     guard(basic_domain& dom, unsigned slot_hint) : dom_(dom) {
       slot_ = dom_.choose_slot(slot_hint);
       handle_ = dom_.enter(slot_);
-      builder_ = &dom_.builder_for_thread();
+      builder_ = &dom_.builders_.local();
     }
 
     ~guard() {
@@ -200,25 +190,29 @@ class basic_domain {
     /// Acquire a pointer for safe traversal. Basic Hyaline: plain acquire
     /// load (no per-access cost — the paper's transparency/performance
     /// claim). Hyaline-S: the Fig. 5 deref loop, keeping this slot's
-    /// access era in sync with the global era clock.
+    /// access era in sync with the global era clock. The handle is the
+    /// zero-cost wrapper: protection is guard-lifetime / era based.
     template <class T>
-    T* protect(unsigned /*idx*/, const std::atomic<T*>& src) {
+    smr::raw_handle<T> protect(const std::atomic<T*>& src) {
       if constexpr (!Robust) {
-        return src.load(std::memory_order_acquire);
+        return smr::raw_handle<T>(src.load(std::memory_order_acquire));
       } else {
         slot_rec& sl = dom_.slots_.at(slot_);
-        return smr::core::protect_with_era(
+        return smr::raw_handle<T>(smr::core::protect_with_era(
             src, dom_.alloc_era_,
             sl.access_era.load(std::memory_order_seq_cst),
-            [this, &sl](std::uint64_t e) { return dom_.touch(sl, e); });
+            [this, &sl](std::uint64_t e) { return dom_.touch(sl, e); }));
       }
     }
 
-    /// Retire a node unlinked from the data structure. O(1): appends to the
-    /// thread-local batch; every batch_size() retires the batch is inserted
-    /// into the k slot lists (amortized O(1) per retire, Theorem 3).
-    void retire(node* n) {
-      dom_.retire_into(*builder_, n);
+    /// Retire a node unlinked from the data structure, capturing T's
+    /// deleter. O(1): appends to the thread-local batch; every
+    /// batch_size() retires the batch is inserted into the k slot lists
+    /// (amortized O(1) per retire, Theorem 3).
+    template <class T>
+    void retire(T* n) {
+      n->smr_dtor = smr::core::dtor_thunk<T>();
+      dom_.retire_into(*builder_, static_cast<node*>(n));
     }
 
     /// §3.3 trimming: logically leave-then-enter without touching Head.
@@ -241,15 +235,14 @@ class basic_domain {
   /// Finalize the calling thread's partially filled batch by padding it
   /// with dummy nodes (§2.4's finalization trick) and retiring it. After
   /// this, the thread is fully "off the hook" — it may exit immediately.
-  void flush() { flush_builder(builder_for_thread()); }
+  void flush() { flush_builder(builders_.local()); }
 
   /// Quiescent-state cleanup: flush every thread's builder. Callable only
   /// when no guards are live anywhere (tests, shutdown). With HRef == 0 in
   /// every slot, each flushed batch is freed immediately (all k per-slot
   /// contributions arrive as Empty adjustments).
   void drain() {
-    std::lock_guard<std::mutex> lk(builders_mu_);
-    for (auto* b : builders_) flush_builder(*b);
+    builders_.for_each([this](batch_builder& b) { flush_builder(b); });
   }
 
   /// Introspection for tests: head tuple of a slot.
@@ -272,12 +265,36 @@ class basic_domain {
     std::atomic<std::int64_t> ack{0};          // Hyaline-S only
   };
 
-  struct batch_builder {
+  // Cache-line aligned: builders are heap-allocated per thread by the TLS
+  // cache and written on every retire; two threads' builders must not
+  // share a line.
+  struct alignas(cache_line_size) batch_builder {
     node* refs = nullptr;  // chain head == REFS node of the batch in progress
     std::size_t count = 0;
     std::uint64_t min_birth = ~std::uint64_t{0};
     std::uint64_t alloc_counter = 0;
   };
+
+  /// Constructor-time validation (API v2): malformed configs fail loudly
+  /// here instead of corrupting the Adjs arithmetic downstream.
+  static config validated(config cfg) {
+    if (cfg.slots != 0 && !std::has_single_bit(cfg.slots)) {
+      throw std::invalid_argument(
+          "hyaline::config: slots must be a power of two (the Adjs "
+          "reference-count arithmetic requires k * Adjs == 0 mod 2^64)");
+    }
+    if (Robust && cfg.max_slots != 0 &&
+        cfg.max_slots < normalize_k(cfg.slots)) {
+      throw std::invalid_argument(
+          "hyaline::config: max_slots must be >= slots (it caps the "
+          "adaptive slot-directory growth of §4.3)");
+    }
+    if (Robust && cfg.era_freq == 0) {
+      throw std::invalid_argument(
+          "hyaline::config: era_freq must be nonzero");
+    }
+    return cfg;
+  }
 
   static std::size_t normalize_k(std::size_t requested) {
     std::size_t k = requested ? requested : detail::default_slot_count();
@@ -529,14 +546,14 @@ class basic_domain {
 
   void free_batch(node* refs) {
     node* c = refs->w1;
-    free_fn_(refs);
+    smr::core::destroy(refs);
     stats_->on_free();
     while (c != nullptr) {
       node* nx = c->w1;
       if (is_dummy(c)) {
-        delete c;
+        delete c;  // padding dummy: a plain node, never user-retired
       } else {
-        free_fn_(c);
+        smr::core::destroy(c);
         stats_->on_free();
       }
       c = nx;
@@ -555,30 +572,13 @@ class basic_domain {
     return access;
   }
 
-  batch_builder& builder_for_thread() {
-    for (auto& e : detail::tls_builders) {
-      if (e.domain_id == id_) return *static_cast<batch_builder*>(e.builder);
-    }
-    auto* b = new batch_builder;
-    {
-      std::lock_guard<std::mutex> lk(builders_mu_);
-      builders_.push_back(b);
-    }
-    detail::tls_builders.push_back({id_, b});
-    return *b;
-  }
-
-  static void default_free(node* n) { delete n; }
-
-  const std::uint64_t id_;
   const config cfg_;
   slot_directory<slot_rec> slots_;
-  free_fn_t free_fn_ = &default_free;
   smr::core::era_clock alloc_era_{1};  // global era clock (Hyaline-S)
   smr::padded_stats stats_;
 
-  std::mutex builders_mu_;
-  std::vector<batch_builder*> builders_;
+  /// Per-(thread, domain) batch builders (core/thread_registry.hpp).
+  smr::core::tls_cache<batch_builder> builders_;
 };
 
 /// Basic Hyaline with the packed single-word head (fastest on x86-64).

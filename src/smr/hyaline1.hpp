@@ -22,12 +22,16 @@
 #pragma once
 
 #include <atomic>
-#include <cassert>
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 
 #include "common/align.hpp"
+#include "smr/caps.hpp"
 #include "smr/core/era_clock.hpp"
 #include "smr/core/node_alloc.hpp"
+#include "smr/core/thread_registry.hpp"
+#include "smr/protected_ptr.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline {
@@ -50,37 +54,33 @@ class basic_domain1 {
  public:
   /// Same birth-era skip as Hyaline-S (see basic_domain): robust variants
   /// need the clean-edge traversal discipline.
-  static constexpr bool needs_clean_edges = Robust;
+  static constexpr smr::caps caps{.robust = Robust,
+                                  .needs_clean_edges = Robust,
+                                  .supports_trim = true};
 
-  struct node : smr::core::hooked_alloc {
+  struct node : smr::core::reclaimable {
     std::atomic<std::uintptr_t> w0{0};
     node* w1 = nullptr;
     std::uintptr_t w2 = 0;
   };
 
-  using free_fn_t = void (*)(node*);
+  template <class T>
+  using protected_ptr = smr::raw_handle<T>;
 
   explicit basic_domain1(config1 cfg = {})
-      : cfg_(cfg),
-        slots_(new slot_rec[cfg.max_threads]),
-        builders_(new padded<batch_builder>[cfg.max_threads]) {}
+      : cfg_(validated(cfg)),
+        slots_(static_cast<unsigned>(cfg_.max_threads)) {}
 
-  ~basic_domain1() {
-    drain();
-    delete[] builders_;
-    delete[] slots_;
-  }
+  ~basic_domain1() { drain(); }
 
   basic_domain1(const basic_domain1&) = delete;
   basic_domain1& operator=(const basic_domain1&) = delete;
 
-  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
-
   void on_alloc(node* n) {
     stats_->on_alloc();
     if constexpr (Robust) {
-      thread_local std::uint64_t alloc_counter = 0;
-      alloc_era_.tick(alloc_counter, cfg_.era_freq);
+      auto& b = builders_.local();
+      alloc_era_.tick(b.alloc_counter, cfg_.era_freq);
       n->w0.store(alloc_era_.load(), std::memory_order_relaxed);
     }
   }
@@ -96,12 +96,14 @@ class basic_domain1 {
 
   class guard {
    public:
-    /// `tid` must be a unique live thread index < max_threads.
-    guard(basic_domain1& dom, unsigned tid) : dom_(dom), slot_(tid) {
-      assert(tid < dom.cfg_.max_threads);
+    /// Transparent enter: the guard leases its dedicated slot (the 1:1
+    /// thread-to-slot mapping of Fig. 4) from the domain's pool; nested
+    /// guards on one thread lease distinct slots.
+    explicit guard(basic_domain1& dom)
+        : dom_(dom), lease_(dom.slots_.pool()), slot_(lease_.tid()) {
       dom_.enter(slot_);
       handle_ = nullptr;  // Fig. 4: enter returns Null
-      builder_ = &dom_.builder_for_slot(slot_);
+      builder_ = &dom_.builders_.local();
     }
 
     ~guard() { dom_.leave(slot_, handle_); }
@@ -110,24 +112,28 @@ class basic_domain1 {
     guard& operator=(const guard&) = delete;
 
     template <class T>
-    T* protect(unsigned /*idx*/, const std::atomic<T*>& src) {
+    smr::raw_handle<T> protect(const std::atomic<T*>& src) {
       if constexpr (!Robust) {
-        return src.load(std::memory_order_acquire);
+        return smr::raw_handle<T>(src.load(std::memory_order_acquire));
       } else {
         // 1:1 thread-to-slot mapping: touch is an ordinary store
         // (Fig. 5 line 21 comment).
         slot_rec& sl = dom_.slots_[slot_];
-        return smr::core::protect_with_era(
+        return smr::raw_handle<T>(smr::core::protect_with_era(
             src, dom_.alloc_era_,
             sl.access_era.load(std::memory_order_seq_cst),
             [&sl](std::uint64_t e) {
               sl.access_era.store(e, std::memory_order_seq_cst);
               return e;
-            });
+            }));
       }
     }
 
-    void retire(node* n) { dom_.retire_into(*builder_, n); }
+    template <class T>
+    void retire(T* n) {
+      n->smr_dtor = smr::core::dtor_thunk<T>();
+      dom_.retire_into(*builder_, static_cast<node*>(n));
+    }
 
     /// §3.3 trimming (handles in Hyaline-1 exist only for this).
     void trim() { handle_ = dom_.trim(slot_, handle_); }
@@ -136,20 +142,19 @@ class basic_domain1 {
 
    private:
     basic_domain1& dom_;
+    smr::core::tid_lease lease_;
     std::size_t slot_;
     node* handle_;
     typename basic_domain1::batch_builder* builder_;
   };
 
-  /// Finalize the calling thread's batch for slot `tid` (pads with dummy
-  /// nodes). Call before a thread is destroyed/recycled.
-  void flush(unsigned tid) { flush_builder(builder_for_slot(tid)); }
+  /// Finalize the calling thread's partial batch (pads with dummy nodes).
+  /// Call before a thread is destroyed/recycled.
+  void flush() { flush_builder(builders_.local()); }
 
   /// Quiescent-state cleanup (no live guards anywhere).
   void drain() {
-    for (std::size_t i = 0; i < cfg_.max_threads; ++i) {
-      flush_builder(*builders_[i]);
-    }
+    builders_.for_each([this](batch_builder& b) { flush_builder(b); });
   }
 
   /// Introspection for tests.
@@ -173,11 +178,27 @@ class basic_domain1 {
     std::atomic<std::uint64_t> access_era{0};  // Hyaline-1S only
   };
 
-  struct batch_builder {
+  // Cache-line aligned: heap-allocated per thread by the TLS cache and
+  // written on every retire (see basic_domain::batch_builder).
+  struct alignas(cache_line_size) batch_builder {
     node* refs = nullptr;
     std::size_t count = 0;
     std::uint64_t min_birth = ~std::uint64_t{0};
+    std::uint64_t alloc_counter = 0;
   };
+
+  static config1 validated(config1 cfg) {
+    if (cfg.max_threads == 0) {
+      throw std::invalid_argument(
+          "hyaline::config1: max_threads must be nonzero (it is the slot "
+          "count of the 1:1 thread-to-slot mapping)");
+    }
+    if (Robust && cfg.era_freq == 0) {
+      throw std::invalid_argument(
+          "hyaline::config1: era_freq must be nonzero");
+    }
+    return cfg;
+  }
 
   static node* decode_ptr(std::uintptr_t w) {
     return reinterpret_cast<node*>(w & ~std::uintptr_t{1});
@@ -339,32 +360,29 @@ class basic_domain1 {
 
   void free_batch(node* refs) {
     node* c = refs->w1;
-    free_fn_(refs);
+    smr::core::destroy(refs);
     stats_->on_free();
     while (c != nullptr) {
       node* nx = c->w1;
       if (is_dummy(c)) {
-        delete c;
+        delete c;  // padding dummy: a plain node, never user-retired
       } else {
-        free_fn_(c);
+        smr::core::destroy(c);
         stats_->on_free();
       }
       c = nx;
     }
   }
 
-  batch_builder& builder_for_slot(std::size_t slot) {
-    return *builders_[slot];
-  }
-
-  static void default_free(node* n) { delete n; }
-
   const config1 cfg_;
-  slot_rec* slots_;
-  padded<batch_builder>* builders_;
-  free_fn_t free_fn_ = &default_free;
+  /// Per-slot records plus the lease pool guards check their slot out of
+  /// (the 1:1 mapping shares the baselines' registry machinery).
+  smr::core::thread_registry<slot_rec> slots_;
   smr::core::era_clock alloc_era_{1};  // global era clock (Hyaline-1S)
   smr::padded_stats stats_;
+
+  /// Per-(thread, domain) batch builders (core/thread_registry.hpp).
+  smr::core::tls_cache<batch_builder> builders_;
 };
 
 /// Hyaline-1: single-width CAS, wait-free enter/leave, per-thread slots.

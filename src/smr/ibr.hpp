@@ -9,14 +9,16 @@
 #pragma once
 
 #include <atomic>
-#include <cassert>
 #include <cstdint>
+#include <stdexcept>
 
 #include "common/align.hpp"
+#include "smr/caps.hpp"
 #include "smr/core/era_clock.hpp"
 #include "smr/core/node_alloc.hpp"
 #include "smr/core/retired_batch.hpp"
 #include "smr/core/thread_registry.hpp"
+#include "smr/protected_ptr.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::smr {
@@ -32,22 +34,23 @@ struct ibr_config {
 
 class ibr_domain {
  public:
-  /// A scanner may read this thread's `hi` just before a concurrent
-  /// protect() extends it, and free a freshly-born node the reader is
-  /// about to return through a frozen (already-unlinked) edge — so
-  /// traversals must only cross clean edges (see ds/natarajan_tree.hpp).
-  static constexpr bool needs_clean_edges = true;
+  /// needs_clean_edges: a scanner may read this thread's `hi` just before a
+  /// concurrent protect() extends it, and free a freshly-born node the
+  /// reader is about to return through a frozen (already-unlinked) edge —
+  /// so traversals must only cross clean edges (ds/natarajan_tree.hpp).
+  static constexpr smr::caps caps{.robust = true, .needs_clean_edges = true};
 
-  struct node : core::hooked_alloc {
+  struct node : core::reclaimable {
     node* next = nullptr;
     std::uint64_t birth_era = 0;
     std::uint64_t retire_era = 0;
   };
 
-  using free_fn_t = void (*)(node*);
+  template <class T>
+  using protected_ptr = raw_handle<T>;
 
   explicit ibr_domain(ibr_config cfg = {})
-      : cfg_(cfg), recs_(cfg.max_threads) {
+      : cfg_(validated(cfg)), recs_(cfg_.max_threads) {
     if (cfg_.scan_threshold == 0) {
       cfg_.scan_threshold = 2 * std::size_t{cfg_.max_threads};
     }
@@ -61,8 +64,6 @@ class ibr_domain {
   ibr_domain(const ibr_domain&) = delete;
   ibr_domain& operator=(const ibr_domain&) = delete;
 
-  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
-
   void on_alloc(node* n) {
     stats_->on_alloc();
     thread_local std::uint64_t alloc_counter = 0;
@@ -75,10 +76,9 @@ class ibr_domain {
 
   class guard {
    public:
-    guard(ibr_domain& dom, unsigned tid) : dom_(dom), tid_(tid) {
-      assert(tid < dom.recs_.size());
+    explicit guard(ibr_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {
       const std::uint64_t e = dom_.era_.load();
-      rec& r = dom_.recs_[tid];
+      rec& r = dom_.recs_[lease_.tid()];
       // hi before lo: `lo` is the activity flag scanners test first, so it
       // must become visible last. The reverse order lets can_free observe
       // {lo = e, hi = 0-from-last-leave} — an empty interval — and free
@@ -88,7 +88,7 @@ class ibr_domain {
     }
 
     ~guard() {
-      rec& r = dom_.recs_[tid_];
+      rec& r = dom_.recs_[lease_.tid()];
       r.lo.store(inactive, std::memory_order_release);
       r.hi.store(0, std::memory_order_release);
     }
@@ -99,21 +99,25 @@ class ibr_domain {
     /// 2GE-IBR read: extend the reservation's upper bound to the current
     /// era, re-reading the pointer until the era is stable.
     template <class T>
-    T* protect(unsigned /*idx*/, const std::atomic<T*>& src) {
-      rec& r = dom_.recs_[tid_];
-      return core::protect_with_era(
+    raw_handle<T> protect(const std::atomic<T*>& src) {
+      rec& r = dom_.recs_[lease_.tid()];
+      return raw_handle<T>(core::protect_with_era(
           src, dom_.era_, r.hi.load(std::memory_order_relaxed),
           [&r](std::uint64_t e) {
             r.hi.store(e, std::memory_order_seq_cst);
             return e;
-          });
+          }));
     }
 
-    void retire(node* n) { dom_.retire(tid_, n); }
+    template <class T>
+    void retire(T* n) {
+      n->smr_dtor = core::dtor_thunk<T>();
+      dom_.retire(lease_.tid(), static_cast<node*>(n));
+    }
 
    private:
     ibr_domain& dom_;
-    unsigned tid_;
+    core::tid_lease lease_;
   };
 
   void drain() {
@@ -126,6 +130,16 @@ class ibr_domain {
 
  private:
   static constexpr std::uint64_t inactive = ~std::uint64_t{0};
+
+  static ibr_config validated(ibr_config cfg) {
+    if (cfg.max_threads == 0) {
+      throw std::invalid_argument("ibr_config: max_threads must be nonzero");
+    }
+    if (cfg.era_freq == 0) {
+      throw std::invalid_argument("ibr_config: era_freq must be nonzero");
+    }
+    return cfg;
+  }
 
   struct alignas(cache_line_size) rec {
     std::atomic<std::uint64_t> lo{inactive};
@@ -158,17 +172,14 @@ class ibr_domain {
     recs_[tid].retired.scan(
         [this](const node* n) { return can_free(n); },
         [this](node* n) {
-          free_fn_(n);
+          core::destroy(n);
           stats_->on_free();
         });
   }
 
-  static void default_free(node* n) { delete n; }
-
   ibr_config cfg_;
   core::thread_registry<rec> recs_;
   core::era_clock era_{1};
-  free_fn_t free_fn_ = &default_free;
   padded_stats stats_;
 };
 

@@ -10,19 +10,24 @@
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "smr/caps.hpp"
 #include "smr/core/node_alloc.hpp"
 #include "smr/core/retired_batch.hpp"
+#include "smr/protected_ptr.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::smr {
 
 class leaky_domain {
  public:
-  struct node : core::hooked_alloc {
+  static constexpr smr::caps caps{};
+
+  struct node : core::reclaimable {
     node* next = nullptr;
   };
 
-  using free_fn_t = void (*)(node*);
+  template <class T>
+  using protected_ptr = raw_handle<T>;
 
   explicit leaky_domain(unsigned /*max_threads*/ = 0) {}
 
@@ -31,25 +36,26 @@ class leaky_domain {
   leaky_domain(const leaky_domain&) = delete;
   leaky_domain& operator=(const leaky_domain&) = delete;
 
-  void set_free_fn(free_fn_t fn) { free_fn_ = fn; }
   void on_alloc(node*) { stats_->on_alloc(); }
   stats& counters() { return *stats_; }
   const stats& counters() const { return *stats_; }
 
   class guard {
    public:
-    guard(leaky_domain& dom, unsigned /*tid*/) : dom_(dom) {}
+    explicit guard(leaky_domain& dom) : dom_(dom) {}
     guard(const guard&) = delete;
     guard& operator=(const guard&) = delete;
 
     template <class T>
-    T* protect(unsigned /*idx*/, const std::atomic<T*>& src) {
-      return src.load(std::memory_order_acquire);
+    raw_handle<T> protect(const std::atomic<T*>& src) {
+      return raw_handle<T>(src.load(std::memory_order_acquire));
     }
 
-    void retire(node* n) {
+    template <class T>
+    void retire(T* n) {
+      n->smr_dtor = core::dtor_thunk<T>();
       dom_.stats_->on_retire();
-      dom_.retired_.push(n);
+      dom_.retired_.push(static_cast<node*>(n));
     }
 
    private:
@@ -61,17 +67,14 @@ class leaky_domain {
     node* n = retired_.take_all();
     while (n != nullptr) {
       node* nx = n->next;
-      free_fn_(n);
+      core::destroy(n);
       stats_->on_free();
       n = nx;
     }
   }
 
  private:
-  static void default_free(node* n) { delete n; }
-
   core::treiber_stack<node> retired_;
-  free_fn_t free_fn_ = &default_free;
   padded_stats stats_;
 };
 

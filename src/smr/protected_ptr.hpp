@@ -1,0 +1,143 @@
+// RAII protection handles returned by guard::protect() (API v2).
+//
+// v1 exposed the pointer-publication machinery at every call site: data
+// structures hand-numbered hazard indices (`protect(idx, src)`) and had to
+// know each scheme's slot budget. v2 hands back a handle that *owns* its
+// protection: schemes that publish pointers (HP, HE) lease a hazard slot
+// from the guard and release it when the handle dies or is reassigned;
+// every other scheme returns the zero-cost `raw_handle` wrapper, so the
+// abstraction costs nothing where protection is guard-lifetime or
+// era-based.
+//
+// Both handle types are move-only with identical surface (get / operator*
+// / operator-> / operator bool / reset), so generic data-structure code is
+// written once against `typename D::template protected_ptr<T>`.
+//
+// Tag bits: `get()` returns the raw loaded value, which may carry low tag
+// bits (mark/flag/tag) — exactly what traversal code needs to inspect.
+// Slot-leasing schemes publish the *untagged* address; retire() is always
+// called on untagged pointers, so publication and scan compare cleanly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hyaline::smr {
+
+/// Fixed-size free-list of hazard slot indices, shared by the
+/// pointer-publication guards (HP, HE). Leases the lowest-numbered free
+/// slot; throws — instead of corrupting a neighbouring slot — when more
+/// than `N` protection handles are live at once.
+template <unsigned N>
+class slot_allocator {
+ public:
+  slot_allocator() {
+    for (unsigned i = 0; i < N; ++i) free_[i] = N - 1 - i;  // lease 0, 1, …
+    nfree_ = N;
+  }
+
+  unsigned lease(const char* scheme) {
+    if (nfree_ == 0) {
+      throw std::runtime_error(
+          std::string(scheme) + ": live protections exceed max_hazards (" +
+          std::to_string(N) +
+          "); release protected_ptr handles before acquiring more");
+    }
+    return free_[--nfree_];
+  }
+
+  void unlease(unsigned idx) { free_[nfree_++] = idx; }
+
+ private:
+  unsigned free_[N];
+  unsigned nfree_;
+};
+
+/// Zero-cost handle for schemes whose protection does not need per-pointer
+/// release (guard-lifetime pinning or era reservations). Move-only so its
+/// semantics match slot_handle exactly.
+template <class T>
+class raw_handle {
+ public:
+  raw_handle() = default;
+  explicit raw_handle(T* p) : p_(p) {}
+
+  raw_handle(raw_handle&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  raw_handle& operator=(raw_handle&& o) noexcept {
+    if (this != &o) {
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+
+  raw_handle(const raw_handle&) = delete;
+  raw_handle& operator=(const raw_handle&) = delete;
+
+  T* get() const { return p_; }
+  T& operator*() const { return *p_; }
+  T* operator->() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+  void reset() { p_ = nullptr; }
+
+ private:
+  T* p_ = nullptr;
+};
+
+/// Handle owning one leased hazard slot of `Guard` (HP/HE). Destruction or
+/// reassignment clears the published value and returns the slot to the
+/// guard's free list. Must not outlive its guard.
+template <class Guard, class T>
+class slot_handle {
+ public:
+  slot_handle() = default;
+  slot_handle(Guard* g, unsigned slot, T* p) : g_(g), slot_(slot), p_(p) {}
+
+  slot_handle(slot_handle&& o) noexcept
+      : g_(o.g_), slot_(o.slot_), p_(o.p_) {
+    o.g_ = nullptr;
+    o.p_ = nullptr;
+  }
+
+  slot_handle& operator=(slot_handle&& o) noexcept {
+    if (this != &o) {
+      release();
+      g_ = o.g_;
+      slot_ = o.slot_;
+      p_ = o.p_;
+      o.g_ = nullptr;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+
+  slot_handle(const slot_handle&) = delete;
+  slot_handle& operator=(const slot_handle&) = delete;
+
+  ~slot_handle() { release(); }
+
+  T* get() const { return p_; }
+  T& operator*() const { return *p_; }
+  T* operator->() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+  void reset() {
+    release();
+    p_ = nullptr;
+  }
+
+ private:
+  void release() {
+    if (g_ != nullptr) {
+      g_->release_protection_slot(slot_);
+      g_ = nullptr;
+    }
+  }
+
+  Guard* g_ = nullptr;
+  unsigned slot_ = 0;
+  T* p_ = nullptr;
+};
+
+}  // namespace hyaline::smr

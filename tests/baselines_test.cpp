@@ -1,4 +1,6 @@
-// Unit tests for the baseline SMR schemes: Leaky, EBR, HP, HE, IBR.
+// Unit tests for the baseline SMR schemes: Leaky, EBR, HP, HE, IBR —
+// through the v2 facade (transparent guards, RAII protection handles,
+// typed retire).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -17,7 +19,7 @@
 namespace hyaline::smr {
 namespace {
 
-// Compile-time: every scheme satisfies the uniform facade.
+// Compile-time: every scheme satisfies the v2 facade...
 static_assert(Domain<leaky_domain>);
 static_assert(Domain<ebr_domain>);
 static_assert(Domain<hp_domain>);
@@ -29,6 +31,24 @@ static_assert(Domain<hyaline::domain_llsc>);
 static_assert(Domain<hyaline::domain_s>);
 static_assert(Domain<hyaline::domain_1>);
 static_assert(Domain<hyaline::domain_1s>);
+
+// ...and the capability tags match the paper's taxonomy.
+static_assert(!ebr_domain::caps.robust && !ebr_domain::caps.pointer_publication);
+static_assert(hp_domain::caps.robust && hp_domain::caps.pointer_publication);
+static_assert(he_domain::caps.robust && he_domain::caps.pointer_publication);
+static_assert(ibr_domain::caps.robust && !ibr_domain::caps.pointer_publication);
+static_assert(ibr_domain::caps.needs_clean_edges);
+static_assert(hyaline::domain::caps.supports_trim &&
+              !hyaline::domain::caps.robust);
+static_assert(hyaline::domain_s::caps.robust &&
+              hyaline::domain_s::caps.needs_clean_edges);
+static_assert(hyaline::domain_1s::caps.robust);
+
+// Finite hazard budgets only where pointers are published.
+static_assert(max_hazards_v<hp_domain> == hp_domain::max_hazards);
+static_assert(max_hazards_v<he_domain> == he_domain::max_hazards);
+static_assert(max_hazards_v<ebr_domain> == ~0u);
+static_assert(max_hazards_v<hyaline::domain> == ~0u);
 
 template <class D>
 typename D::node* make_node(D& dom) {
@@ -42,7 +62,7 @@ typename D::node* make_node(D& dom) {
 TEST(Leaky, NeverFreesDuringRun) {
   leaky_domain dom;
   {
-    leaky_domain::guard g(dom, 0);
+    leaky_domain::guard g(dom);
     for (int i = 0; i < 100; ++i) g.retire(make_node(dom));
   }
   EXPECT_EQ(dom.counters().freed.load(), 0u);
@@ -57,7 +77,7 @@ TEST(Ebr, EpochAdvancesWhenQuiescent) {
   ebr_domain dom(ebr_config{2, /*advance_freq=*/1});
   const auto e0 = dom.debug_epoch();
   {
-    ebr_domain::guard g(dom, 0);
+    ebr_domain::guard g(dom);
     for (int i = 0; i < 10; ++i) g.retire(make_node(dom));
   }
   EXPECT_GT(dom.debug_epoch(), e0);
@@ -66,13 +86,13 @@ TEST(Ebr, EpochAdvancesWhenQuiescent) {
 TEST(Ebr, NodesFreeAfterTwoEpochs) {
   ebr_domain dom(ebr_config{2, 1});
   {
-    ebr_domain::guard g(dom, 0);
+    ebr_domain::guard g(dom);
     g.retire(make_node(dom));
     // Churn more retires so the epoch advances and reclamation triggers.
     for (int i = 0; i < 8; ++i) g.retire(make_node(dom));
   }
   {
-    ebr_domain::guard g(dom, 0);
+    ebr_domain::guard g(dom);
     for (int i = 0; i < 8; ++i) g.retire(make_node(dom));
   }
   EXPECT_GT(dom.counters().freed.load(), 0u);
@@ -82,10 +102,12 @@ TEST(Ebr, NodesFreeAfterTwoEpochs) {
 
 TEST(Ebr, StalledReaderPinsTheEpoch) {
   ebr_domain dom(ebr_config{2, 1});
-  auto* pinned = new ebr_domain::guard(dom, 1);  // enters and never leaves
+  // Nested guards on one thread lease distinct tids, so the pinned guard
+  // keeps its reservation while the churn loop enters and leaves.
+  auto* pinned = new ebr_domain::guard(dom);  // enters and never leaves
   const auto e0 = dom.debug_epoch();
   {
-    ebr_domain::guard g(dom, 0);
+    ebr_domain::guard g(dom);
     for (int i = 0; i < 50; ++i) g.retire(make_node(dom));
   }
   EXPECT_LE(dom.debug_epoch(), e0 + 1)
@@ -100,46 +122,63 @@ TEST(Ebr, StalledReaderPinsTheEpoch) {
 // ------------------------------------------------------------------- HP --
 
 TEST(Hp, HazardProtectsNodeFromScan) {
-  hp_domain dom(hp_config{2, 2, /*scan_threshold=*/1});
+  hp_domain dom(hp_config{2, /*scan_threshold=*/1});
   auto* victim = make_node(dom);
   std::atomic<hp_domain::node*> src{victim};
 
-  hp_domain::guard reader(dom, 0);
-  EXPECT_EQ(reader.protect(0, src), victim);
+  hp_domain::guard reader(dom);
+  auto h = reader.protect(src);
+  EXPECT_EQ(h.get(), victim);
   {
-    hp_domain::guard writer(dom, 1);
+    hp_domain::guard writer(dom);     // nested: its own tid and hazards
     src.store(nullptr);
-    writer.retire(victim);          // threshold 1: scan runs immediately
-    for (int i = 0; i < 10; ++i) {  // more retires, more scans
+    writer.retire(victim);            // threshold 1: scan runs immediately
+    for (int i = 0; i < 10; ++i) {    // more retires, more scans
       writer.retire(make_node(dom));
     }
   }
   EXPECT_LT(dom.counters().freed.load(), dom.counters().retired.load())
       << "the hazarded victim must survive every scan";
-  // Reader drops its hazard; now the victim is reclaimable.
-  reader.~guard();
-  new (&reader) hp_domain::guard(dom, 0);
+  // The handle dies; the hazard slot clears and the victim is reclaimable.
+  h.reset();
   dom.drain();
   EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
 }
 
 TEST(Hp, ProtectReloadsUntilStable) {
-  hp_domain dom(hp_config{1, 1, 100});
+  hp_domain dom(hp_config{1, 100});
   auto* a = make_node(dom);
   auto* b = make_node(dom);
   std::atomic<hp_domain::node*> src{a};
-  hp_domain::guard g(dom, 0);
-  EXPECT_EQ(g.protect(0, src), a);
+  hp_domain::guard g(dom);
+  EXPECT_EQ(g.protect(src).get(), a);
   src.store(b);
-  EXPECT_EQ(g.protect(0, src), b);
+  EXPECT_EQ(g.protect(src).get(), b);
   delete a;
   delete b;
 }
 
+TEST(Hp, HandlesRecycleSlots) {
+  // max_hazards slots support arbitrarily many sequential protections as
+  // long as at most max_hazards handles are live at once.
+  hp_domain dom(hp_config{1, 100});
+  auto* n = make_node(dom);
+  std::atomic<hp_domain::node*> src{n};
+  hp_domain::guard g(dom);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<hp_domain::protected_ptr<hp_domain::node>> held;
+    for (unsigned i = 0; i < hp_domain::max_hazards; ++i) {
+      held.push_back(g.protect(src));
+      EXPECT_EQ(held.back().get(), n);
+    }
+  }  // all slots released; next round leases them again
+  delete n;
+}
+
 TEST(Hp, ScanThresholdBoundsRetiredList) {
-  hp_domain dom(hp_config{1, 1, /*scan_threshold=*/8});
+  hp_domain dom(hp_config{1, /*scan_threshold=*/8});
   {
-    hp_domain::guard g(dom, 0);
+    hp_domain::guard g(dom);
     for (int i = 0; i < 64; ++i) g.retire(make_node(dom));
   }
   // No hazards held: every scan frees the whole list.
@@ -151,39 +190,40 @@ TEST(Hp, ScanThresholdBoundsRetiredList) {
 // ------------------------------------------------------------------- HE --
 
 TEST(He, BirthAndRetireErasBracketLifetimes) {
-  he_domain dom(he_config{2, 2, /*era_freq=*/1, /*scan_threshold=*/1});
+  he_domain dom(he_config{2, /*era_freq=*/1, /*scan_threshold=*/1});
   auto* victim = make_node(dom);
   std::atomic<he_domain::node*> src{victim};
-  hyaline::smr::he_domain::guard reader(dom, 0);
-  EXPECT_EQ(reader.protect(0, src), victim);
+  he_domain::guard reader(dom);
+  auto h = reader.protect(src);
+  EXPECT_EQ(h.get(), victim);
   {
-    he_domain::guard writer(dom, 1);
+    he_domain::guard writer(dom);
     writer.retire(victim);
     for (int i = 0; i < 10; ++i) writer.retire(make_node(dom));
   }
   EXPECT_LT(dom.counters().freed.load(), dom.counters().retired.load())
       << "reader's published era lies inside the victim's interval";
-  reader.~guard();
-  new (&reader) he_domain::guard(dom, 0);
+  h.reset();
   dom.drain();
   EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
 }
 
 TEST(He, OldReservationDoesNotPinNewNodes) {
-  he_domain dom(he_config{2, 2, 1, /*scan_threshold=*/4});
+  he_domain dom(he_config{2, 1, /*scan_threshold=*/4});
   auto* early = make_node(dom);
   std::atomic<he_domain::node*> src{early};
-  he_domain::guard reader(dom, 0);
-  reader.protect(0, src);  // era reserved "early"
+  he_domain::guard reader(dom);
+  auto h = reader.protect(src);  // era reserved "early"
   std::uint64_t freed_before;
   {
-    he_domain::guard writer(dom, 1);
+    he_domain::guard writer(dom);
     // Nodes born after the reader's reservation are reclaimable.
     for (int i = 0; i < 32; ++i) writer.retire(make_node(dom));
     freed_before = dom.counters().freed.load();
   }
   EXPECT_GT(freed_before, 0u)
       << "robust: a parked era only pins its own interval";
+  h.reset();
   delete early;
 }
 
@@ -193,25 +233,24 @@ TEST(Ibr, IntervalOverlapBlocksJustThatNode) {
   ibr_domain dom(ibr_config{2, /*era_freq=*/1, /*scan_threshold=*/1});
   auto* victim = make_node(dom);
   std::atomic<ibr_domain::node*> src{victim};
-  ibr_domain::guard reader(dom, 0);
-  EXPECT_EQ(reader.protect(0, src), victim);
+  ibr_domain::guard* reader = new ibr_domain::guard(dom);
+  EXPECT_EQ(reader->protect(src).get(), victim);
   {
-    ibr_domain::guard writer(dom, 1);
+    ibr_domain::guard writer(dom);
     writer.retire(victim);
     for (int i = 0; i < 10; ++i) writer.retire(make_node(dom));
   }
   EXPECT_LT(dom.counters().freed.load(), dom.counters().retired.load());
-  reader.~guard();
-  new (&reader) ibr_domain::guard(dom, 0);
+  delete reader;  // reservation interval closes
   dom.drain();
   EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
 }
 
 TEST(Ibr, StalledReaderPinsOnlyItsInterval) {
   ibr_domain dom(ibr_config{2, 1, 4});
-  auto* parked_guard = new ibr_domain::guard(dom, 0);  // reserves [e, e]
+  auto* parked_guard = new ibr_domain::guard(dom);  // reserves [e, e]
   {
-    ibr_domain::guard writer(dom, 1);
+    ibr_domain::guard writer(dom);
     for (int i = 0; i < 64; ++i) writer.retire(make_node(dom));
   }
   EXPECT_GT(dom.counters().freed.load(), 0u)
@@ -224,11 +263,28 @@ TEST(Ibr, StalledReaderPinsOnlyItsInterval) {
 TEST(Ibr, ProtectExtendsUpperBound) {
   ibr_domain dom(ibr_config{1, 1, 100});
   std::atomic<ibr_domain::node*> src{nullptr};
-  ibr_domain::guard g(dom, 0);
+  ibr_domain::guard g(dom);
   std::vector<ibr_domain::node*> nodes;
   for (int i = 0; i < 8; ++i) nodes.push_back(make_node(dom));  // era moves
-  EXPECT_EQ(g.protect(0, src), nullptr);  // must not loop forever
+  EXPECT_EQ(g.protect(src).get(), nullptr);  // must not loop forever
   for (auto* n : nodes) delete n;
+}
+
+// ----------------------------------------------- config validation -------
+
+TEST(ConfigValidation, ZeroMaxThreadsIsRejected) {
+  EXPECT_THROW(ebr_domain(ebr_config{0, 64}), std::invalid_argument);
+  EXPECT_THROW(hp_domain(hp_config{0, 0}), std::invalid_argument);
+  EXPECT_THROW(he_domain(he_config{0, 64, 0}), std::invalid_argument);
+  EXPECT_THROW(ibr_domain(ibr_config{0, 64, 0}), std::invalid_argument);
+}
+
+TEST(ConfigValidation, PoolExhaustionThrowsInsteadOfCorrupting) {
+  ebr_domain dom(ebr_config{2, 64});
+  ebr_domain::guard g0(dom);
+  ebr_domain::guard g1(dom);  // nested: second tid
+  EXPECT_THROW(ebr_domain::guard g2(dom), std::runtime_error)
+      << "three live guards on a 2-thread domain must fail loudly";
 }
 
 // --------------------------------------------------- cross-scheme churn --
@@ -248,10 +304,10 @@ TYPED_TEST(BaselineChurnTest, ConcurrentChurnReclaimsEverything) {
   std::vector<std::thread> ts;
   std::atomic<typename TypeParam::node*> shared{nullptr};
   for (unsigned t = 0; t < kThreads; ++t) {
-    ts.emplace_back([&, t] {
+    ts.emplace_back([&] {
       for (int i = 0; i < kOps; ++i) {
-        typename TypeParam::guard g(dom, t);
-        g.protect(0, shared);
+        typename TypeParam::guard g(dom);
+        g.protect(shared);
         g.retire(make_node(dom));
       }
     });

@@ -103,19 +103,19 @@ TYPED_TEST(BonsaiTest, ReadersSeeConsistentSnapshots) {
   std::thread writer([&] {
     for (int i = 0; i < 4000; ++i) {
       {
-        typename TypeParam::guard g(*this->dom_, 0);
+        typename TypeParam::guard g(*this->dom_);
         this->ds_->insert(g, 1, i);
       }
       {
-        typename TypeParam::guard g(*this->dom_, 0);
+        typename TypeParam::guard g(*this->dom_);
         this->ds_->insert(g, 2, i);
       }
       {
-        typename TypeParam::guard g(*this->dom_, 0);
+        typename TypeParam::guard g(*this->dom_);
         this->ds_->remove(g, 2);
       }
       {
-        typename TypeParam::guard g(*this->dom_, 0);
+        typename TypeParam::guard g(*this->dom_);
         this->ds_->remove(g, 1);
       }
     }
@@ -123,7 +123,7 @@ TYPED_TEST(BonsaiTest, ReadersSeeConsistentSnapshots) {
   });
   std::thread reader([&] {
     while (!stop.load()) {
-      typename TypeParam::guard g(*this->dom_, 1);
+      typename TypeParam::guard g(*this->dom_);
       std::uint64_t v2 = 0, v1 = 0;
       const bool has2 = this->ds_->get(g, 2, v2);
       const bool has1 = this->ds_->get(g, 1, v1);

@@ -81,7 +81,7 @@ TYPED_TEST(HarrisListTest, ContendedSingleKey) {
     ts.emplace_back([&, t] {
       long local = 0;
       for (int i = 0; i < 4000; ++i) {
-        typename TypeParam::guard g(*this->dom_, t);
+        typename TypeParam::guard g(*this->dom_);
         if (i % 2 == 0) {
           if (this->ds_->insert(g, 42, t)) ++local;
         } else {

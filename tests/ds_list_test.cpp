@@ -96,11 +96,11 @@ TYPED_TEST(ListTest, DisjointKeyRangesParallel) {
   for (unsigned t = 0; t < kThreads; ++t) {
     ts.emplace_back([&, t] {
       for (std::uint64_t i = 0; i < kPerThread; ++i) {
-        typename TypeParam::guard g(*this->dom_, t);
+        typename TypeParam::guard g(*this->dom_);
         ASSERT_TRUE(this->ds_->insert(g, t * kPerThread + i, i));
       }
       for (std::uint64_t i = 0; i < kPerThread; i += 2) {
-        typename TypeParam::guard g(*this->dom_, t);
+        typename TypeParam::guard g(*this->dom_);
         ASSERT_TRUE(this->ds_->remove(g, t * kPerThread + i));
       }
     });
@@ -117,7 +117,7 @@ TYPED_TEST(ListTest, ContendedSingleKey) {
     ts.emplace_back([&, t] {
       long local = 0;
       for (int i = 0; i < 4000; ++i) {
-        typename TypeParam::guard g(*this->dom_, t);
+        typename TypeParam::guard g(*this->dom_);
         if (i % 2 == 0) {
           if (this->ds_->insert(g, 42, t)) ++local;
         } else {

@@ -101,7 +101,7 @@ TYPED_TEST(NmTreeTest, ContendedNeighborKeys) {
       xoshiro256 rng(t + 17);
       long local = 0;
       for (int i = 0; i < 5000; ++i) {
-        typename TypeParam::guard g(*this->dom_, t);
+        typename TypeParam::guard g(*this->dom_);
         const std::uint64_t k = rng.below(8);  // tiny range: max contention
         if (rng.below(2) == 0) {
           if (this->ds_->insert(g, k, t)) ++local;

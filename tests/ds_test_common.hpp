@@ -10,10 +10,25 @@
 #include <thread>
 #include <vector>
 
+#include "common/debug_alloc.hpp"
 #include "common/rng.hpp"
 #include "harness/schemes.hpp"
+#include "smr/core/node_alloc.hpp"
 
 namespace hyaline::test_support {
+
+/// Route every node allocation through debug_alloc so leaks, double frees
+/// and writes-after-free become deterministic failures. Install at
+/// static-initialization time, before any node exists, so allocate/free
+/// pairs always agree (see smr/core/node_alloc.hpp):
+///   const bool hooks_installed = test_support::install_debug_alloc_hooks();
+inline bool install_debug_alloc_hooks() {
+  smr::core::node_alloc_hook = [](std::size_t n) {
+    return debug_alloc::allocate(n);
+  };
+  smr::core::node_free_hook = [](void* p) { debug_alloc::deallocate(p); };
+  return true;
+}
 
 inline harness::scheme_params small_params() {
   harness::scheme_params p;
@@ -38,9 +53,7 @@ class ds_fixture : public ::testing::Test {
         << "leak: retired nodes were never freed";
   }
 
-  typename D::guard guard(unsigned tid = 0) {
-    return typename D::guard(*dom_, tid);
-  }
+  typename D::guard guard() { return typename D::guard(*dom_); }
 
   std::unique_ptr<D> dom_;
   std::unique_ptr<DS<D>> ds_;
@@ -59,7 +72,7 @@ void run_mixed_stress(D& dom, DS<D>& s, unsigned threads, int ops,
       xoshiro256 rng(t * 92821 + 3);
       long local = 0;
       for (int i = 0; i < ops; ++i) {
-        typename D::guard g(dom, t);
+        typename D::guard g(dom);
         const std::uint64_t k = rng.below(range);
         switch (rng.below(4)) {
           case 0:

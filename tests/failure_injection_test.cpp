@@ -7,6 +7,10 @@
 //   - double free (two threads both claiming the "last reference")
 //     -> double-free counter;
 //   - lost nodes -> live counter != 0 after drain.
+//
+// All nodes route through the smr::core allocation hooks (installed at
+// static-initialization time, before any node exists), and destruction
+// rides on the v2 typed retire — no per-domain deleter to configure.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -16,9 +20,12 @@
 #include "common/debug_alloc.hpp"
 #include "ds_test_common.hpp"
 #include "harness/workload.hpp"
+#include "smr/core/node_alloc.hpp"
 
 namespace hyaline {
 namespace {
+
+const bool hooks_installed = test_support::install_debug_alloc_hooks();
 
 // A fat node: extra payload makes poison corruption detectable even if a
 // stray write lands past the header.
@@ -35,13 +42,11 @@ TYPED_TEST_SUITE(FailureInjectionTest, AllSchemes);
 
 TYPED_TEST(FailureInjectionTest, ChurnHasNoUafDoubleFreeOrLeak) {
   using node_t = fat_node<typename TypeParam::node>;
+  ASSERT_TRUE(hooks_installed);
   debug_alloc::reset();
   {
     auto dom =
         harness::scheme_traits<TypeParam>::make(test_support::small_params());
-    dom->set_free_fn([](typename TypeParam::node* n) {
-      debug_delete(static_cast<node_t*>(n));
-    });
     constexpr unsigned kThreads = 4;
     constexpr int kOps = 5000;
     std::atomic<typename TypeParam::node*> shared{nullptr};
@@ -49,14 +54,14 @@ TYPED_TEST(FailureInjectionTest, ChurnHasNoUafDoubleFreeOrLeak) {
     for (unsigned t = 0; t < kThreads; ++t) {
       ts.emplace_back([&, t] {
         for (int i = 0; i < kOps; ++i) {
-          typename TypeParam::guard g(*dom, t);
-          g.protect(0, shared);
-          auto* n = debug_new<node_t>();
+          typename TypeParam::guard g(*dom);
+          g.protect(shared);
+          auto* n = new node_t;  // hooked: lands in debug_alloc
           dom->on_alloc(n);
           n->payload[3] = t;  // write before retire is fine
-          g.retire(n);
+          g.retire(n);        // typed: freed as node_t, checked by hooks
         }
-        harness::detail::flush_thread(*dom, t);
+        harness::detail::flush_thread(*dom);
       });
     }
     for (auto& th : ts) th.join();
@@ -74,31 +79,29 @@ TYPED_TEST(FailureInjectionTest, GuardChurnWithLongHolders) {
   // Interleave short-lived guards with a long-lived one that forces
   // batches to stay referenced while the churn proceeds.
   using node_t = fat_node<typename TypeParam::node>;
+  ASSERT_TRUE(hooks_installed);
   debug_alloc::reset();
   {
     auto dom =
         harness::scheme_traits<TypeParam>::make(test_support::small_params());
-    dom->set_free_fn([](typename TypeParam::node* n) {
-      debug_delete(static_cast<node_t*>(n));
-    });
     std::atomic<bool> stop{false};
     std::atomic<typename TypeParam::node*> shared{nullptr};
     std::thread holder([&] {
       while (!stop.load()) {
-        typename TypeParam::guard g(*dom, 0);
-        g.protect(0, shared);
+        typename TypeParam::guard g(*dom);
+        g.protect(shared);
         std::this_thread::yield();
       }
     });
     std::thread churner([&] {
       for (int i = 0; i < 8000; ++i) {
-        typename TypeParam::guard g(*dom, 1);
-        g.protect(0, shared);
-        auto* n = debug_new<node_t>();
+        typename TypeParam::guard g(*dom);
+        g.protect(shared);
+        auto* n = new node_t;
         dom->on_alloc(n);
         g.retire(n);
       }
-      harness::detail::flush_thread(*dom, 1);
+      harness::detail::flush_thread(*dom);
     });
     churner.join();
     stop.store(true);

@@ -12,9 +12,10 @@
 namespace hyaline {
 namespace {
 
-// Default era_freq is effectively "never": the 1S era counter is
-// thread-local across domains, so deterministic reclamation tests pin the
-// era clock; era-specific tests pass a small freq explicitly.
+// Default era_freq here is effectively "never" so deterministic
+// reclamation tests pin the era clock; era-specific tests pass a small
+// freq explicitly. Guards lease their dedicated slot transparently
+// (lowest free id first), so nested guards land in slots 0, 1, 2, ...
 config1 cfg1(std::size_t threads, std::size_t batch_min = 1,
              std::uint64_t era_freq = std::uint64_t{1} << 30) {
   config1 c;
@@ -41,7 +42,7 @@ TYPED_TEST(Hyaline1Test, EnterSetsAndLeaveClearsSlotBit) {
   TypeParam dom(cfg1(2));
   EXPECT_FALSE(dom.debug_slot_active(0));
   {
-    typename TypeParam::guard g(dom, 0);
+    typename TypeParam::guard g(dom);
     EXPECT_TRUE(dom.debug_slot_active(0));
     EXPECT_FALSE(dom.debug_slot_active(1));
   }
@@ -57,13 +58,13 @@ TYPED_TEST(Hyaline1Test, BatchSizeIsThreadsPlusOne) {
 TYPED_TEST(Hyaline1Test, SoleOwnerFreesOnLeave) {
   TypeParam dom(cfg1(2));
   {
-    typename TypeParam::guard g(dom, 0);
+    typename TypeParam::guard g(dom);
     if constexpr (std::is_same_v<TypeParam, domain_1s>) {
       // 1S: freshen our slot era so the batch is not skipped (a skipped
       // slot frees even earlier, which is also correct but less
       // interesting here).
       std::atomic<typename TypeParam::node*> src{nullptr};
-      g.protect(0, src);
+      g.protect(src);
     }
     for (int i = 0; i < 3; ++i) g.retire(make_node(dom));
     EXPECT_EQ(dom.counters().freed.load(), 0u);
@@ -77,11 +78,11 @@ TYPED_TEST(Hyaline1Test, EachOwnerMustReleaseItsSlotList) {
   // owner leaves (NRef == Inserts).
   TypeParam dom(cfg1(2));
   std::atomic<typename TypeParam::node*> src{nullptr};
-  auto* g0 = new typename TypeParam::guard(dom, 0);
-  auto* g1 = new typename TypeParam::guard(dom, 1);
+  auto* g0 = new typename TypeParam::guard(dom);
+  auto* g1 = new typename TypeParam::guard(dom);
   if constexpr (std::is_same_v<TypeParam, domain_1s>) {
-    g0->protect(0, src);
-    g1->protect(0, src);
+    g0->protect(src);
+    g1->protect(src);
   }
   for (int i = 0; i < 3; ++i) g0->retire(make_node(dom));
   delete g0;
@@ -94,10 +95,10 @@ TYPED_TEST(Hyaline1Test, EachOwnerMustReleaseItsSlotList) {
 TYPED_TEST(Hyaline1Test, InactiveSlotsAreSkipped) {
   TypeParam dom(cfg1(8));  // 7 slots never activated
   {
-    typename TypeParam::guard g(dom, 3);
+    typename TypeParam::guard g(dom);
     if constexpr (std::is_same_v<TypeParam, domain_1s>) {
       std::atomic<typename TypeParam::node*> src{nullptr};
-      g.protect(0, src);
+      g.protect(src);
     }
     for (int i = 0; i < 9; ++i) g.retire(make_node(dom));
   }
@@ -107,9 +108,9 @@ TYPED_TEST(Hyaline1Test, InactiveSlotsAreSkipped) {
 TYPED_TEST(Hyaline1Test, FlushPadsWithDummies) {
   TypeParam dom(cfg1(2));
   {
-    typename TypeParam::guard g(dom, 0);
+    typename TypeParam::guard g(dom);
     g.retire(make_node(dom));
-    dom.flush(0);
+    dom.flush();
   }
   EXPECT_EQ(dom.counters().retired.load(), 1u);
   EXPECT_EQ(dom.counters().freed.load(), 1u);
@@ -117,10 +118,10 @@ TYPED_TEST(Hyaline1Test, FlushPadsWithDummies) {
 
 TYPED_TEST(Hyaline1Test, TrimReclaimsOlderBatches) {
   TypeParam dom(cfg1(2, 1));
-  typename TypeParam::guard g(dom, 0);
+  typename TypeParam::guard g(dom);
   if constexpr (std::is_same_v<TypeParam, domain_1s>) {
     std::atomic<typename TypeParam::node*> src{nullptr};
-    g.protect(0, src);
+    g.protect(src);
   }
   for (int i = 0; i < 3; ++i) g.retire(make_node(dom));  // batch 1
   for (int i = 0; i < 3; ++i) g.retire(make_node(dom));  // batch 2 (head)
@@ -139,11 +140,11 @@ TYPED_TEST(Hyaline1Test, ConcurrentChurnReclaimsEverything) {
   for (int t = 0; t < kThreads; ++t) {
     ts.emplace_back([&, t] {
       for (int i = 0; i < kOps; ++i) {
-        typename TypeParam::guard g(dom, t);
-        g.protect(0, shared);
+        typename TypeParam::guard g(dom);
+        g.protect(shared);
         g.retire(make_node(dom));
       }
-      dom.flush(t);
+      dom.flush();
     });
   }
   for (auto& th : ts) th.join();
@@ -158,10 +159,10 @@ TEST(Hyaline1S, EraAdvancesAndSlotErasTrack) {
   for (int i = 0; i < 8; ++i) nodes.push_back(make_node(dom));
   EXPECT_EQ(dom.debug_alloc_era(), before + 2);
   {
-    domain_1s::guard g(dom, 0);
+    domain_1s::guard g(dom);
     std::atomic<domain_1s::node*> src{nodes[0]};
-    g.protect(0, src);
-    EXPECT_EQ(dom.debug_access_era(0), dom.debug_alloc_era());
+    g.protect(src);
+    EXPECT_EQ(dom.debug_access_era(g.slot()), dom.debug_alloc_era());
   }
   for (auto* n : nodes) delete n;
 }
@@ -171,13 +172,13 @@ TEST(Hyaline1S, StalledThreadWithStaleEraIsSkipped) {
   std::atomic<bool> hold{true};
   std::atomic<bool> ready{false};
   std::thread parked([&] {
-    domain_1s::guard g(dom, 1);  // active but never dereferences
+    domain_1s::guard g(dom);  // active but never dereferences
     ready.store(true);
     while (hold.load()) std::this_thread::yield();
   });
   while (!ready.load()) std::this_thread::yield();
   {
-    domain_1s::guard g(dom, 0);
+    domain_1s::guard g(dom);
     for (int i = 0; i < 3; ++i) g.retire(make_node(dom));
   }
   EXPECT_EQ(dom.counters().freed.load(), 3u)
@@ -189,7 +190,7 @@ TEST(Hyaline1S, StalledThreadWithStaleEraIsSkipped) {
 TEST(Hyaline1, EnterAfterLeaveReusesSlotSafely) {
   domain_1 dom(cfg1(1, 1));
   for (int round = 0; round < 100; ++round) {
-    domain_1::guard g(dom, 0);
+    domain_1::guard g(dom);
     g.retire(make_node(dom));
     g.retire(make_node(dom));
   }

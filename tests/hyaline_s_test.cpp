@@ -48,7 +48,7 @@ TEST(HyalineS, ProtectUpdatesSlotAccessEra) {
   {
     domain_s::guard g(dom, 0);
     std::atomic<domain_s::node*> src{nodes[0]};
-    EXPECT_EQ(g.protect(0, src), nodes[0]);
+    EXPECT_EQ(g.protect(src).get(), nodes[0]);
     EXPECT_EQ(dom.debug_access_era(0), dom.debug_alloc_era())
         << "deref must bring the slot era up to the clock";
     EXPECT_EQ(dom.debug_access_era(1), 0u) << "other slots untouched";
@@ -90,7 +90,7 @@ TEST(HyalineS, FreshEraSlotIsCoveredAndBlocksReclamation) {
   std::atomic<domain_s::node*> src{seen};
   std::thread parked([&] {
     domain_s::guard g(dom, 1);
-    g.protect(0, src);  // slot 1 era becomes current
+    g.protect(src);  // slot 1 era becomes current
     ready.store(true);
     while (hold.load()) std::this_thread::yield();
   });
@@ -115,14 +115,14 @@ TEST(HyalineS, AckReflectsInsertionsAndTraversals) {
   {
     domain_s::guard g(dom, 0);
     std::atomic<domain_s::node*> src{nullptr};
-    g.protect(0, src);  // freshen our own slot era
+    g.protect(src);  // freshen our own slot era
     for (int i = 0; i < 3; ++i) g.retire(make_node(dom));  // batch 1
     EXPECT_EQ(dom.debug_ack(0), 1) << "+HRef (=1) on insertion";
     // Allocate batch 2 first, then deref (so our slot era covers the
     // batch's min birth era), then retire.
     domain_s::node* batch2[3];
     for (auto*& n : batch2) n = make_node(dom);
-    g.protect(0, src);
+    g.protect(src);
     for (auto* n : batch2) g.retire(n);
     EXPECT_EQ(dom.debug_ack(0), 2);
   }
@@ -143,7 +143,7 @@ TEST(HyalineS, EnterHopsPastAckedOutSlot) {
   std::atomic<domain_s::node*> src{seen};
   std::thread parked([&] {
     domain_s::guard g(dom, 0);
-    g.protect(0, src);
+    g.protect(src);
     ready.store(true);
     while (hold.load()) std::this_thread::yield();
   });
@@ -173,7 +173,7 @@ TEST(HyalineS, AdaptiveGrowthWhenAllSlotsStalled) {
   std::atomic<domain_s::node*> src{seen};
   std::thread parked([&] {
     domain_s::guard g(dom, 0);
-    g.protect(0, src);
+    g.protect(src);
     ready.store(true);
     while (hold.load()) std::this_thread::yield();
   });
@@ -203,7 +203,7 @@ TEST(HyalineS, NoGrowthWithoutMaxSlots) {
   std::atomic<domain_s::node*> src{seen};
   std::thread parked([&] {
     domain_s::guard g(dom, 0);
-    g.protect(0, src);
+    g.protect(src);
     ready.store(true);
     while (hold.load()) std::this_thread::yield();
   });
@@ -235,7 +235,7 @@ TEST(HyalineS, StalledThreadDoesNotStopActiveReclamation) {
   std::atomic<domain_s::node*> src{seen};
   std::thread stalled([&] {
     domain_s::guard g(dom, 1);
-    g.protect(0, src);
+    g.protect(src);
     ready.store(true);
     while (hold.load()) std::this_thread::yield();
   });
@@ -265,7 +265,7 @@ TEST(HyalineS, ConcurrentChurnWithDerefs) {
     ts.emplace_back([&, t] {
       for (int i = 0; i < kOps; ++i) {
         domain_s::guard g(dom, t);
-        g.protect(0, shared);
+        g.protect(shared);
         g.retire(make_node(dom));
       }
       dom.flush();

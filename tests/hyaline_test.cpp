@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -226,14 +227,17 @@ TYPED_TEST(HyalineTest, ConcurrentChurnReclaimsEverything) {
   EXPECT_EQ(dom.counters().freed.load(), std::uint64_t{kThreads} * kOps);
 }
 
-TYPED_TEST(HyalineTest, CustomFreeFunctionIsUsed) {
-  struct counting_node : TypeParam::node {};
+TYPED_TEST(HyalineTest, TypedRetireRunsEachTypesDestructor) {
+  // API v2: retire<T> captures T's deleter per node, so one domain can
+  // reclaim a mix of node types — and each gets its own destructor.
+  struct counting_node : TypeParam::node {
+    ~counting_node() { g_destroy_count.fetch_add(1); }
+  };
+  struct other_node : TypeParam::node {
+    ~other_node() { g_destroy_count.fetch_add(100); }
+  };
   g_destroy_count.store(0);
   TypeParam dom(this->small_cfg());
-  dom.set_free_fn([](typename TypeParam::node* n) {
-    g_destroy_count.fetch_add(1);
-    delete static_cast<counting_node*>(n);
-  });
   {
     typename TypeParam::guard g(dom, 0);
     for (int i = 0; i < 3; ++i) {
@@ -241,8 +245,39 @@ TYPED_TEST(HyalineTest, CustomFreeFunctionIsUsed) {
       dom.on_alloc(n);
       g.retire(n);
     }
+    auto* o = new other_node;
+    dom.on_alloc(o);
+    g.retire(o);
+    for (int i = 0; i < 2; ++i) g.retire(this->make_node(dom));  // plain
   }
-  EXPECT_EQ(g_destroy_count.load(), 3);
+  dom.drain();
+  EXPECT_EQ(dom.counters().freed.load(), 6u);
+  EXPECT_EQ(g_destroy_count.load(), 103) << "3 counting + 1 other node";
+}
+
+TYPED_TEST(HyalineTest, TransparentGuardNeedsNoHint) {
+  TypeParam dom(this->small_cfg());
+  {
+    typename TypeParam::guard g(dom);  // slot chosen from the thread hint
+    EXPECT_LT(g.slot(), dom.slot_count());
+    for (int i = 0; i < 3; ++i) g.retire(this->make_node(dom));
+  }
+  EXPECT_EQ(dom.counters().freed.load(), 3u);
+}
+
+TEST(HyalineConfig, RejectsNonPowerOfTwoSlots) {
+  config c;
+  c.slots = 3;
+  EXPECT_THROW(domain{c}, std::invalid_argument);
+}
+
+TEST(HyalineConfig, RejectsMaxSlotsBelowSlots) {
+  config c;
+  c.slots = 8;
+  c.max_slots = 4;
+  EXPECT_THROW(domain_s{c}, std::invalid_argument);
+  // Non-robust Hyaline ignores max_slots (no adaptive growth to cap).
+  EXPECT_NO_THROW(domain{c});
 }
 
 TYPED_TEST(HyalineTest, MultipleDomainsAreIsolated) {

@@ -26,7 +26,7 @@ void model_check(std::uint64_t seed, int ops, std::uint64_t range) {
   xoshiro256 rng(seed);
 
   for (int i = 0; i < ops; ++i) {
-    typename D::guard g(*dom, 0);
+    typename D::guard g(*dom);
     const std::uint64_t k = rng.below(range);
     switch (rng.below(4)) {
       case 0:
@@ -54,7 +54,7 @@ void model_check(std::uint64_t seed, int ops, std::uint64_t range) {
   }
   ASSERT_EQ(s.unsafe_size(), model.size());
   for (const auto& [k, v] : model) {
-    typename D::guard g(*dom, 0);
+    typename D::guard g(*dom);
     std::uint64_t got = 0;
     ASSERT_TRUE(s.get(g, k, got)) << "final key " << k;
     ASSERT_EQ(got, v);
@@ -119,7 +119,7 @@ TEST_P(BatchSizeSweep, ExactReclamationAtAnyBatchSize) {
   c.batch_min = GetParam();
   domain dom(c);
   {
-    domain::guard g(dom, 0);
+    domain::guard g(dom);
     for (int i = 0; i < 3000; ++i) {
       auto* n = new domain::node;
       dom.on_alloc(n);
@@ -146,7 +146,7 @@ TEST_P(SlotCountSweep, ExactReclamationAtAnySlotCount) {
   for (int t = 0; t < 3; ++t) {
     ts.emplace_back([&, t] {
       for (int i = 0; i < 2000; ++i) {
-        domain::guard g(dom, t + i);
+        domain::guard g(dom);
         auto* n = new domain::node;
         dom.on_alloc(n);
         g.retire(n);
@@ -177,8 +177,8 @@ TEST_P(EraFreqSweep, ExactReclamationAtAnyEraFreq) {
   for (int t = 0; t < 3; ++t) {
     ts.emplace_back([&, t] {
       for (int i = 0; i < 2000; ++i) {
-        domain_s::guard g(dom, t);
-        g.protect(0, shared);
+        domain_s::guard g(dom);
+        g.protect(shared);
         auto* n = new domain_s::node;
         dom.on_alloc(n);
         g.retire(n);

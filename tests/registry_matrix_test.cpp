@@ -8,21 +8,13 @@
 #include <cstdio>
 
 #include "common/debug_alloc.hpp"
+#include "ds_test_common.hpp"
 #include "harness/registry.hpp"
-#include "smr/core/node_alloc.hpp"
 
 namespace hyaline {
 namespace {
 
-// Install the hooks at static-initialization time, before any node exists,
-// so allocate/free pairs always agree (see smr/core/node_alloc.hpp).
-const bool hooks_installed = [] {
-  smr::core::node_alloc_hook = [](std::size_t n) {
-    return debug_alloc::allocate(n);
-  };
-  smr::core::node_free_hook = [](void* p) { debug_alloc::deallocate(p); };
-  return true;
-}();
+const bool hooks_installed = test_support::install_debug_alloc_hooks();
 
 harness::workload_config tiny_workload() {
   harness::workload_config cfg;

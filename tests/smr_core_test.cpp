@@ -4,6 +4,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "smr/core/era_clock.hpp"
@@ -147,6 +150,82 @@ TEST(ThreadRegistry, IndexesAndIterates) {
   for (const rec& r : recs) EXPECT_EQ(r.value, 7);
   recs[3].value = 42;
   EXPECT_EQ(recs[3].value, 42);
+  EXPECT_EQ(recs.pool()->capacity(), 5u);
+}
+
+// ------------------------------------------------------------ tid leases --
+
+TEST(TidLease, NestedLeasesGetDistinctIdsAndCacheForReuse) {
+  auto pool = std::make_shared<tid_pool>(3);
+  {
+    tid_lease a(pool);
+    EXPECT_EQ(a.tid(), 0u) << "lowest free id first";
+    {
+      tid_lease b(pool);
+      EXPECT_EQ(b.tid(), 1u) << "nested lease checks out a second id";
+    }
+    tid_lease c(pool);
+    EXPECT_EQ(c.tid(), 1u) << "checked-in id is cached for instant reuse";
+  }
+  tid_lease d(pool);
+  EXPECT_EQ(d.tid(), 0u);
+}
+
+TEST(TidLease, ExhaustionThrows) {
+  auto pool = std::make_shared<tid_pool>(2);
+  tid_lease a(pool);
+  tid_lease b(pool);
+  EXPECT_THROW(tid_lease c(pool), std::runtime_error);
+}
+
+TEST(TidLease, ThreadExitReturnsCachedIdsToThePool) {
+  auto pool = std::make_shared<tid_pool>(1);
+  std::thread t([&] { tid_lease a(pool); });
+  t.join();
+  // The worker's cached lease was released at thread exit, so the sole id
+  // is available again here.
+  tid_lease mine(pool);
+  EXPECT_EQ(mine.tid(), 0u);
+}
+
+TEST(ThreadHint, DistinctPerThreadStableWithin) {
+  const unsigned mine = thread_hint();
+  EXPECT_EQ(thread_hint(), mine);
+  unsigned theirs = mine;
+  std::thread t([&] { theirs = thread_hint(); });
+  t.join();
+  EXPECT_NE(theirs, mine);
+}
+
+// -------------------------------------------------------------- tls_cache --
+
+TEST(TlsCache, PerThreadInstancesVisitedByForEach) {
+  struct builder {
+    int value = 0;
+  };
+  tls_cache<builder> cache;
+  cache.local().value = 1;
+  EXPECT_EQ(cache.local().value, 1) << "same thread, same instance";
+  std::thread t([&] { cache.local().value = 2; });
+  t.join();
+  int sum = 0;
+  std::size_t count = 0;
+  cache.for_each([&](builder& b) {
+    sum += b.value;
+    ++count;
+  });
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(sum, 3);
+}
+
+TEST(TlsCache, OwnersAreIsolated) {
+  struct builder {
+    int value = 0;
+  };
+  tls_cache<builder> a;
+  tls_cache<builder> b;
+  a.local().value = 10;
+  EXPECT_EQ(b.local().value, 0);
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ TEST(Transparency, HundredsOfThreadLifetimesOverFourSlots) {
       ts.emplace_back([&, wave, t] {
         xoshiro256 rng(wave * 100 + t);
         for (int i = 0; i < 500; ++i) {
-          domain::guard g(dom, static_cast<unsigned>(t + i));
+          domain::guard g(dom);
           const std::uint64_t k = rng.below(128);
           if (rng.below(2) == 0) {
             map.insert(g, k, k);
@@ -49,13 +49,13 @@ template <class D>
 std::uint64_t unreclaimed_with_stalled_thread(D& dom, bool deref_first) {
   ds::michael_hashmap<D> map(dom, 512);
   {
-    typename D::guard g(dom, 0);
+    typename D::guard g(dom);
     for (std::uint64_t k = 0; k < 256; ++k) map.insert(g, k, k);
   }
   std::atomic<bool> hold{true};
   std::atomic<bool> ready{false};
   std::thread stalled([&] {
-    typename D::guard g(dom, 1);
+    typename D::guard g(dom);
     if (deref_first) map.contains(g, 7);
     ready.store(true);
     while (hold.load()) std::this_thread::yield();
@@ -63,7 +63,7 @@ std::uint64_t unreclaimed_with_stalled_thread(D& dom, bool deref_first) {
   while (!ready.load()) std::this_thread::yield();
 
   for (int i = 0; i < 20000; ++i) {
-    typename D::guard g(dom, 2);
+    typename D::guard g(dom);
     const std::uint64_t k = static_cast<std::uint64_t>(i) % 256;
     map.remove(g, k);
     map.insert(g, k, k);
@@ -120,7 +120,7 @@ TEST(Trim, ConcurrentTrimmersReclaimEverything) {
     ts.emplace_back([&, t] {
       xoshiro256 rng(t + 5);
       for (int outer = 0; outer < 20; ++outer) {
-        domain::guard g(dom, t);
+        domain::guard g(dom);
         for (int i = 0; i < 200; ++i) {
           const std::uint64_t k = rng.below(128);
           if (rng.below(2) == 0) {
