@@ -31,8 +31,9 @@ void run_point(const char* series, const char* variant, unsigned threads,
   cfg.key_range = o.key_range;
   cfg.prefill = o.prefill;
   const auto r = run_workload(dom, map, cfg);
-  print_csv_row(series, "hashmap", variant, threads, 0, r.mops,
-                r.unreclaimed_avg);
+  print_csv_row(series, "hashmap", variant, threads, 0, 0, 0, r.mops,
+                r.unreclaimed_avg,
+                static_cast<double>(r.unreclaimed_peak));
 }
 
 }  // namespace

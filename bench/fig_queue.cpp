@@ -1,0 +1,23 @@
+// Container-family figure: throughput and unreclaimed memory of the
+// Michael–Scott MPMC queue and the Treiber stack under every scheme in
+// the paper's line-up, sweeping (producers, consumers) pairs.
+//
+// This is the workload class where reclamation pressure is highest —
+// every successful operation allocates or retires a node — and the one
+// both related container repos benchmark. Each data point is also a
+// correctness check: the binary exits non-zero if the conservation
+// ledger (pushed == popped + drained) or the retired == freed post-drain
+// invariant fails.
+//
+//   ./fig_queue --producers 4 --consumers 4 --json out.json
+//   ./fig_queue --producers 1,2,4 --consumers 4     # asymmetric sweep
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyaline::harness;
+  return run_figure({.name = "fig-queue-containers",
+                     .kind = figure_kind::container,
+                     .default_producers = {1, 2, 4},
+                     .default_consumers = {1, 2, 4}},
+                    argc, argv);
+}

@@ -1,0 +1,150 @@
+// Michael–Scott MPMC FIFO queue ([27]) over any smr::Domain.
+//
+// The first *container* structure in the suite: unlike the key-range sets,
+// every successful operation allocates (enqueue) or retires (dequeue) a
+// node, so reclamation pressure scales with throughput instead of with the
+// remove fraction — the workload class where unreclaimed-memory bounds
+// matter most. The queue keeps one dummy node: head always points at the
+// most recently dequeued (or initial) node, and a dequeue hands the dummy
+// role to its successor and retires the old dummy.
+//
+// Protection discipline (API v2): dequeue holds the current dummy and its
+// successor simultaneously — a peak of 2 protections — because the value
+// is read out of the successor *before* the head CAS, while a concurrent
+// dequeuer may already have retired it. Enqueue holds only the tail.
+// Re-validating `head_` after protecting the successor is load-bearing:
+// a dummy's `next` edge is immutable once set, so protect()'s own
+// publish-and-validate loop over `head->next` would validate forever even
+// after the successor was retired; `head_` still pointing at the dummy is
+// what proves the successor live.
+//
+// Containers have no marked/frozen edges, so — unlike harris_list — every
+// registered scheme qualifies, including the robust ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "smr/domain.hpp"
+
+namespace hyaline::ds {
+
+template <class D>
+class ms_queue {
+ public:
+  static_assert(smr::Domain<D>, "ms_queue requires an smr::Domain scheme");
+  static_assert(smr::max_hazards_v<D> >= 2,
+                "ms_queue holds up to 2 simultaneous protections "
+                "(the dummy and its successor during dequeue)");
+
+  using domain_type = D;
+  using guard = typename D::guard;
+
+  explicit ms_queue(D& dom) : dom_(dom) {
+    qnode* dummy = new qnode(0);
+    dom_.on_alloc(dummy);
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  ~ms_queue() {
+    // Quiescent teardown: free the dummy and every residual node directly.
+    qnode* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      qnode* nx = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = nx;
+    }
+  }
+
+  ms_queue(const ms_queue&) = delete;
+  ms_queue& operator=(const ms_queue&) = delete;
+
+  /// Append a value. Always succeeds (the queue is unbounded).
+  void enqueue(guard& g, std::uint64_t value) {
+    qnode* fresh = new qnode(value);
+    dom_.on_alloc(fresh);
+    for (;;) {
+      handle t = g.protect(tail_);
+      qnode* tail = t.get();
+      qnode* next = tail->next.load(std::memory_order_acquire);
+      if (tail != tail_.load(std::memory_order_seq_cst)) continue;
+      if (next != nullptr) {
+        // Tail is lagging: help swing it, then retry.
+        tail_.compare_exchange_strong(tail, next,
+                                      std::memory_order_seq_cst);
+        continue;
+      }
+      qnode* expected = nullptr;
+      if (tail->next.compare_exchange_strong(expected, fresh,
+                                             std::memory_order_seq_cst)) {
+        tail_.compare_exchange_strong(tail, fresh,
+                                      std::memory_order_seq_cst);
+        return;
+      }
+    }
+  }
+
+  /// Pop the oldest value into `out`; fails iff the queue is empty. The
+  /// winner's old dummy is retired through the guard.
+  bool try_dequeue(guard& g, std::uint64_t& out) {
+    for (;;) {
+      handle h = g.protect(head_);
+      qnode* head = h.get();
+      qnode* tail = tail_.load(std::memory_order_acquire);
+      handle nh = g.protect(head->next);
+      qnode* next = nh.get();
+      // See the header comment: head->next never changes once set, so only
+      // head_ itself proves `next` has not been dequeued and retired.
+      if (head != head_.load(std::memory_order_seq_cst)) continue;
+      if (next == nullptr) return false;  // empty (just the dummy)
+      if (head == tail) {
+        // Tail lags behind an in-flight enqueue: help it past the dummy.
+        tail_.compare_exchange_strong(tail, next,
+                                      std::memory_order_seq_cst);
+        continue;
+      }
+      out = next->value;  // next is protected; read before the CAS races
+      qnode* expected = head;
+      if (head_.compare_exchange_strong(expected, next,
+                                        std::memory_order_seq_cst)) {
+        g.retire(head);  // old dummy; `next` is the new dummy
+        return true;
+      }
+    }
+  }
+
+  /// Uniform container interface for the producer/consumer workload driver
+  /// (treiber_stack shares it).
+  void push(guard& g, std::uint64_t value) { enqueue(g, value); }
+  bool try_pop(guard& g, std::uint64_t& out) { return try_dequeue(g, out); }
+
+  /// Number of queued values (excludes the dummy); quiescent use only.
+  std::size_t unsafe_size() const {
+    std::size_t n = 0;
+    qnode* c = head_.load(std::memory_order_relaxed);
+    c = c->next.load(std::memory_order_relaxed);  // skip the dummy
+    while (c != nullptr) {
+      ++n;
+      c = c->next.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+ private:
+  struct qnode : D::node {
+    std::uint64_t value;
+    std::atomic<qnode*> next{nullptr};
+
+    explicit qnode(std::uint64_t v) : value(v) {}
+  };
+
+  using handle = typename D::template protected_ptr<qnode>;
+
+  D& dom_;
+  alignas(cache_line_size) std::atomic<qnode*> head_{nullptr};
+  alignas(cache_line_size) std::atomic<qnode*> tail_{nullptr};
+};
+
+}  // namespace hyaline::ds

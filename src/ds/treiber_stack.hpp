@@ -1,0 +1,114 @@
+// Treiber lock-free LIFO stack over any smr::Domain.
+//
+// The head-only-contention extreme of the container family: every
+// operation is a single CAS on one cache line, so the structure itself is
+// nearly free and the benchmark measures the reclamation scheme's per-op
+// overhead (guard entry, protection, retirement) almost in isolation.
+//
+// SMR is what makes the naive pop loop ABA-safe here: the classic Treiber
+// failure — head A is popped, freed, reallocated, and re-pushed between a
+// competitor's read of A and its CAS — cannot happen, because pop protects
+// the head before reading its successor, a protected node is never freed,
+// and retired nodes are never re-pushed. Peak 1 protection; push
+// dereferences nothing shared and needs none.
+//
+// Containers have no marked/frozen edges, so every registered scheme
+// qualifies, including the robust ones harris_list excludes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "smr/domain.hpp"
+
+namespace hyaline::ds {
+
+template <class D>
+class treiber_stack {
+ public:
+  static_assert(smr::Domain<D>,
+                "treiber_stack requires an smr::Domain scheme");
+  static_assert(smr::max_hazards_v<D> >= 1,
+                "treiber_stack protects the head node during pop");
+
+  using domain_type = D;
+  using guard = typename D::guard;
+
+  explicit treiber_stack(D& dom) : dom_(dom) {}
+
+  ~treiber_stack() {
+    // Quiescent teardown: free every residual node directly.
+    snode* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      snode* nx = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = nx;
+    }
+  }
+
+  treiber_stack(const treiber_stack&) = delete;
+  treiber_stack& operator=(const treiber_stack&) = delete;
+
+  /// Push a value. Always succeeds (the stack is unbounded). The guard is
+  /// unused (push never dereferences a shared node) but taken for a
+  /// uniform container interface.
+  void push(guard& g, std::uint64_t value) {
+    (void)g;
+    snode* fresh = new snode(value);
+    dom_.on_alloc(fresh);
+    snode* head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      fresh->next.store(head, std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, fresh,
+                                      std::memory_order_seq_cst)) {
+        return;
+      }
+    }
+  }
+
+  /// Pop the newest value into `out`; fails iff the stack is empty.
+  bool try_pop(guard& g, std::uint64_t& out) {
+    for (;;) {
+      handle h = g.protect(head_);
+      snode* top = h.get();
+      if (top == nullptr) return false;
+      // `next` is immutable after publication and `top` is protected, so
+      // this read is safe even if a competitor pops `top` first.
+      snode* next = top->next.load(std::memory_order_acquire);
+      snode* expected = top;
+      if (head_.compare_exchange_strong(expected, next,
+                                        std::memory_order_seq_cst)) {
+        out = top->value;  // we won the pop; top stays protected by h
+        g.retire(top);
+        return true;
+      }
+    }
+  }
+
+  /// Number of stacked values; quiescent use only.
+  std::size_t unsafe_size() const {
+    std::size_t n = 0;
+    snode* c = head_.load(std::memory_order_relaxed);
+    while (c != nullptr) {
+      ++n;
+      c = c->next.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+ private:
+  struct snode : D::node {
+    std::uint64_t value;
+    std::atomic<snode*> next{nullptr};
+
+    explicit snode(std::uint64_t v) : value(v) {}
+  };
+
+  using handle = typename D::template protected_ptr<snode>;
+
+  D& dom_;
+  alignas(cache_line_size) std::atomic<snode*> head_{nullptr};
+};
+
+}  // namespace hyaline::ds

@@ -1,5 +1,6 @@
 #include "harness/cli.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,9 +43,38 @@ std::vector<std::string> parse_names(const char* s) {
                "usage: %s [--threads a,b,...] [--stalled a,b,...]\n"
                "          [--duration ms] [--repeats n] [--prefill n]\n"
                "          [--range n] [--schemes name,...]\n"
-               "          [--mix insert,remove,get] [--json path] [--full]\n",
+               "          [--mix insert,remove,get]\n"
+               "          [--producers a,b,...] [--consumers a,b,...]\n"
+               "          [--json path] [--full]\n",
                prog);
   std::exit(2);
+}
+
+void warn_duplicate(const char* flag, unsigned v) {
+  std::fprintf(stderr, "%s: ignoring duplicate entry '%u'\n", flag, v);
+}
+
+void warn_duplicate(const char* flag, const std::string& v) {
+  std::fprintf(stderr, "%s: ignoring duplicate entry '%s'\n", flag,
+               v.c_str());
+}
+
+/// Drop repeated entries, keeping first occurrences in order. A duplicate
+/// in --schemes or --threads would silently run (and emit) an identical
+/// series twice, skewing any averaging done over the CSV — warn instead
+/// of multiplying work.
+template <class T>
+void dedupe_list(std::vector<T>& v, const char* flag) {
+  std::vector<T> out;
+  out.reserve(v.size());
+  for (T& x : v) {
+    if (std::find(out.begin(), out.end(), x) != out.end()) {
+      warn_duplicate(flag, x);
+    } else {
+      out.push_back(std::move(x));
+    }
+  }
+  v = std::move(out);
 }
 
 }  // namespace
@@ -69,6 +99,7 @@ cli_options parse_cli(int argc, char** argv, cli_options defaults) {
     };
     if (std::strcmp(argv[i], "--threads") == 0) {
       o.threads = parse_list(need_val("--threads"));
+      o.threads_set = true;
     } else if (std::strcmp(argv[i], "--stalled") == 0) {
       o.stalled = parse_list(need_val("--stalled"));
     } else if (std::strcmp(argv[i], "--duration") == 0) {
@@ -81,6 +112,11 @@ cli_options parse_cli(int argc, char** argv, cli_options defaults) {
       o.prefill = std::strtoull(need_val("--prefill"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--range") == 0) {
       o.key_range = std::strtoull(need_val("--range"), nullptr, 10);
+      o.range_set = true;
+    } else if (std::strcmp(argv[i], "--producers") == 0) {
+      o.producers = parse_list(need_val("--producers"));
+    } else if (std::strcmp(argv[i], "--consumers") == 0) {
+      o.consumers = parse_list(need_val("--consumers"));
     } else if (std::strcmp(argv[i], "--schemes") == 0) {
       o.schemes = parse_names(need_val("--schemes"));
     } else if (std::strcmp(argv[i], "--mix") == 0) {
@@ -113,20 +149,27 @@ cli_options parse_cli(int argc, char** argv, cli_options defaults) {
     o.duration_ms = 10000;  // paper §6: 10-second runs,
     o.repeats = 5;          // averaged over 5 repetitions
   }
+  dedupe_list(o.threads, "--threads");
+  dedupe_list(o.stalled, "--stalled");
+  dedupe_list(o.schemes, "--schemes");
   return o;
 }
 
 void print_csv_header(const char* figure) {
-  std::printf("# %s\nfigure,structure,scheme,threads,stalled,mops,unreclaimed_per_op\n",
-              figure);
+  std::printf(
+      "# %s\nfigure,structure,scheme,threads,stalled,producers,consumers,"
+      "mops,unreclaimed_per_op,unreclaimed_peak\n",
+      figure);
   std::fflush(stdout);
 }
 
 void print_csv_row(const char* figure, const char* structure,
                    const char* scheme, unsigned threads, unsigned stalled,
-                   double mops, double unreclaimed) {
-  std::printf("%s,%s,%s,%u,%u,%.4f,%.2f\n", figure, structure, scheme,
-              threads, stalled, mops, unreclaimed);
+                   unsigned producers, unsigned consumers, double mops,
+                   double unreclaimed, double unreclaimed_peak) {
+  std::printf("%s,%s,%s,%u,%u,%u,%u,%.4f,%.2f,%.0f\n", figure, structure,
+              scheme, threads, stalled, producers, consumers, mops,
+              unreclaimed, unreclaimed_peak);
   std::fflush(stdout);
 }
 

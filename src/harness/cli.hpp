@@ -11,10 +11,20 @@
 //   --schemes a,b        restrict to named schemes (validated against the
 //                        runtime scheme registry by the figure drivers)
 //   --mix i,r,g          op-mix percentages (insert,remove,get); rejected
-//                        unless they sum to exactly 100
+//                        unless they sum to exactly 100 (set figures only)
+//   --producers a,b,...  producer-thread counts  (container figures only;
+//   --consumers a,b,...  consumer-thread counts   zipped pairwise into
+//                        (producers, consumers) sweep points)
 //   --json <path>        also write the run as machine-readable JSON
-//                        (per-scheme throughput + unreclaimed series)
+//                        (per-scheme throughput + unreclaimed series plus
+//                        the resolved workload config as metadata)
 //   --full               paper-scale settings (duration 10s, repeats 5)
+//
+// Duplicate entries in the --schemes, --threads, and --stalled lists are
+// deduplicated with a warning: each would silently re-run (and re-plot)
+// an identical series, which skews averaged CSV post-processing. The
+// container figure driver applies the same rule to its zipped
+// (producers, consumers) sweep points.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +44,16 @@ struct cli_options {
   /// Op-mix override {insert,remove,get}; empty = the figure's default.
   /// parse_cli guarantees: empty, or exactly 3 values summing to 100.
   std::vector<unsigned> mix;
+  /// Producer/consumer sweep lists (container figures). Empty = the
+  /// figure's defaults; the figure driver zips them pairwise.
+  std::vector<unsigned> producers;
+  std::vector<unsigned> consumers;
+  /// True iff --range / --threads were given explicitly (the value alone
+  /// cannot tell — defaults are figure-supplied). Container figures
+  /// reject these set-only flags, which would otherwise be silently
+  /// ignored.
+  bool range_set = false;
+  bool threads_set = false;
   /// Path for the machine-readable JSON trajectory file (empty = none).
   std::string json;
   bool full = false;
@@ -46,12 +66,16 @@ struct cli_options {
 /// seeds the sweep lists benches want when flags are absent.
 cli_options parse_cli(int argc, char** argv, cli_options defaults);
 
-/// Print the standard CSV header used by all figure benches.
+/// Print the standard CSV header used by all figure benches. Columns:
+/// figure,structure,scheme,threads,stalled,producers,consumers,mops,
+/// unreclaimed_per_op,unreclaimed_peak (producers/consumers are 0 on
+/// set-structure rows).
 void print_csv_header(const char* figure);
 
 /// Emit one CSV data row.
 void print_csv_row(const char* figure, const char* structure,
                    const char* scheme, unsigned threads, unsigned stalled,
-                   double mops, double unreclaimed);
+                   unsigned producers, unsigned consumers, double mops,
+                   double unreclaimed, double unreclaimed_peak);
 
 }  // namespace hyaline::harness

@@ -26,12 +26,19 @@ class figure_sink {
   void header() { print_csv_header(figure_); }
 
   void row(const char* structure, const char* scheme, unsigned threads,
-           unsigned stalled, const workload_result& r) {
-    print_csv_row(figure_, structure, scheme, threads, stalled, r.mops,
-                  r.unreclaimed_avg);
-    rows_.push_back(
-        {structure, scheme, threads, stalled, r.mops, r.unreclaimed_avg});
+           unsigned stalled, unsigned producers, unsigned consumers,
+           const workload_result& r) {
+    print_csv_row(figure_, structure, scheme, threads, stalled, producers,
+                  consumers, r.mops, r.unreclaimed_avg,
+                  static_cast<double>(r.unreclaimed_peak));
+    rows_.push_back({structure, scheme, threads, stalled, producers,
+                     consumers, r.mops, r.unreclaimed_avg,
+                     r.unreclaimed_peak});
   }
+
+  /// Attach the resolved run configuration, emitted as the JSON
+  /// "config" metadata block (`body` is the object's inner text).
+  void set_config(std::string body) { config_ = std::move(body); }
 
   /// Group the rows into per-(structure, scheme) series and write them as
   /// JSON. Returns false (with a message on stderr) if the file cannot be
@@ -53,7 +60,11 @@ class figure_sink {
         keys.push_back(k);
       }
     }
-    std::fprintf(f, "{\n  \"figure\": \"%s\",\n  \"series\": [", figure_);
+    std::fprintf(f, "{\n  \"figure\": \"%s\",\n", figure_);
+    if (!config_.empty()) {
+      std::fprintf(f, "  \"config\": {%s},\n", config_.c_str());
+    }
+    std::fprintf(f, "  \"series\": [");
     bool first_series = true;
     for (const auto& [structure, scheme] : keys) {
       std::fprintf(f, "%s\n    {\"structure\": \"%s\", \"scheme\": \"%s\",",
@@ -66,9 +77,12 @@ class figure_sink {
         if (r.structure != structure || r.scheme != scheme) continue;
         std::fprintf(f,
                      "%s\n      {\"threads\": %u, \"stalled\": %u, "
-                     "\"mops\": %.6f, \"unreclaimed\": %.3f}",
-                     first_point ? "" : ",", r.threads, r.stalled, r.mops,
-                     r.unreclaimed);
+                     "\"producers\": %u, \"consumers\": %u, "
+                     "\"mops\": %.6f, \"unreclaimed\": %.3f, "
+                     "\"unreclaimed_peak\": %llu}",
+                     first_point ? "" : ",", r.threads, r.stalled,
+                     r.producers, r.consumers, r.mops, r.unreclaimed,
+                     static_cast<unsigned long long>(r.unreclaimed_peak));
         first_point = false;
       }
       std::fprintf(f, "\n    ]}");
@@ -88,11 +102,15 @@ class figure_sink {
     std::string scheme;
     unsigned threads;
     unsigned stalled;
+    unsigned producers;
+    unsigned consumers;
     double mops;
     double unreclaimed;
+    std::uint64_t unreclaimed_peak;
   };
 
   const char* figure_;
+  std::string config_;
   std::vector<row_t> rows_;
 };
 
@@ -217,7 +235,8 @@ int run_matrix(const figure_spec& spec, const cli_options& o,
         cfg.key_range = so.key_range;
         cfg.prefill = so.prefill;
         const workload_result r = run(p, cfg);
-        sink.row(st.structure, scheme.c_str(), t, cfg.stalled_threads, r);
+        sink.row(st.structure, scheme.c_str(), t, cfg.stalled_threads, 0, 0,
+                 r);
       }
     }
   }
@@ -274,7 +293,7 @@ int run_robustness(const figure_spec& spec, const cli_options& o,
         continue;
       }
       const workload_result r = run(p, cfg);
-      sink.row("hashmap", row.label, active, stalled, r);
+      sink.row("hashmap", row.label, active, stalled, 0, 0, r);
     }
   }
   return 0;
@@ -320,10 +339,201 @@ int run_trim(const figure_spec& spec, const cli_options& o,
         continue;
       }
       const workload_result r = run(p, cfg);
-      sink.row("hashmap", row.label, t, 0, r);
+      sink.row("hashmap", row.label, t, 0, 0, 0, r);
     }
   }
   return 0;
+}
+
+/// Container sweep: both containers × the scheme line-up × the
+/// (producers, consumers) pairs. Every data point doubles as a
+/// correctness check — a broken container or scheme pairing fails the
+/// conservation ledger or leaks, and the binary exits non-zero instead of
+/// emitting a plausible-looking row.
+int run_container(const figure_spec& spec, const cli_options& o,
+                  figure_sink& sink) {
+  const scheme_registry& reg = scheme_registry::instance();
+
+  // Default line-up: the paper's nine. Containers run under every
+  // registered scheme, so any other name (the head-policy variants) is
+  // appendable through --schemes.
+  std::vector<std::string> labels = matrix_lineup(reg, /*llsc=*/false);
+  for (const std::string& want : o.schemes) {
+    if (std::find(labels.begin(), labels.end(), want) != labels.end()) {
+      continue;
+    }
+    if (reg.find(want) != nullptr) labels.push_back(want);
+  }
+  if (!validate_scheme_filter(o, labels)) return 2;
+  sink.header();
+
+  const workload_config base = base_cfg(spec, o);
+
+  static constexpr const char* kStructures[] = {"msqueue", "stack"};
+  for (const char* structure : kStructures) {
+    for (const std::string& scheme : labels) {
+      if (!o.scheme_enabled(scheme)) continue;
+      runner_fn run = reg.runner(scheme, structure);
+      if (run == nullptr) continue;  // unreachable: all schemes qualify
+      for (std::size_t i = 0; i < o.producers.size(); ++i) {
+        workload_config cfg = base;
+        cfg.producers = o.producers[i];
+        cfg.consumers = o.consumers[i];
+        cfg.threads = cfg.producers + cfg.consumers;
+        scheme_params p;
+        p.max_threads = cfg.threads;
+        const workload_result r = run(p, cfg);
+        if (r.enqueued != r.dequeued + r.drained) {
+          std::fprintf(stderr,
+                       "%s x %s (%up/%uc): conservation violated — "
+                       "pushed %llu != popped %llu + drained %llu\n",
+                       scheme.c_str(), structure, cfg.producers,
+                       cfg.consumers,
+                       static_cast<unsigned long long>(r.enqueued),
+                       static_cast<unsigned long long>(r.dequeued),
+                       static_cast<unsigned long long>(r.drained));
+          return 3;
+        }
+        if (r.retired != r.freed) {
+          std::fprintf(stderr,
+                       "%s x %s (%up/%uc): leak — retired %llu, freed "
+                       "%llu after drain\n",
+                       scheme.c_str(), structure, cfg.producers,
+                       cfg.consumers,
+                       static_cast<unsigned long long>(r.retired),
+                       static_cast<unsigned long long>(r.freed));
+          return 3;
+        }
+        sink.row(structure, scheme.c_str(), cfg.threads, 0, cfg.producers,
+                 cfg.consumers, r);
+      }
+    }
+  }
+  return 0;
+}
+
+/// Per-kind option validation (the registry's structure-kind dimension,
+/// applied to the CLI): set-only knobs on a container figure — or the
+/// container split on a set figure — are rejected loudly, never silently
+/// ignored. Container runs also resolve the (producers, consumers) pair
+/// list here: explicit lists are zipped, a singleton broadcasts, the
+/// figure's defaults fill the gaps.
+bool validate_kind_options(const figure_spec& spec, cli_options& o) {
+  if (spec.kind != figure_kind::container) {
+    if (!o.producers.empty() || !o.consumers.empty()) {
+      std::fprintf(stderr,
+                   "--producers/--consumers only apply to container "
+                   "figures (fig_queue)\n");
+      return false;
+    }
+    return true;
+  }
+  if (!o.mix.empty() || o.range_set || o.threads_set || !o.stalled.empty()) {
+    std::fprintf(stderr,
+                 "--mix/--range/--threads/--stalled are set-structure "
+                 "options; container figures take --producers/--consumers "
+                 "(plus --prefill/--duration/--repeats)\n");
+    return false;
+  }
+  if (o.producers.empty() && o.consumers.empty()) {
+    o.producers = spec.default_producers;
+    o.consumers = spec.default_consumers;
+  }
+  if (o.producers.empty()) o.producers = o.consumers;
+  if (o.consumers.empty()) o.consumers = o.producers;
+  if (o.producers.size() != o.consumers.size()) {
+    if (o.producers.size() == 1) {
+      o.producers.assign(o.consumers.size(), o.producers[0]);
+    } else if (o.consumers.size() == 1) {
+      o.consumers.assign(o.producers.size(), o.consumers[0]);
+    } else {
+      std::fprintf(stderr,
+                   "--producers and --consumers must be the same length "
+                   "(or one a singleton to broadcast); got %zu vs %zu\n",
+                   o.producers.size(), o.consumers.size());
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < o.producers.size(); ++i) {
+    if (o.producers[i] == 0 && o.consumers[i] == 0) {
+      std::fprintf(stderr,
+                   "sweep point %zu has 0 producers and 0 consumers\n", i);
+      return false;
+    }
+  }
+  // Dedupe repeated (producers, consumers) pairs, same rationale as the
+  // --threads/--schemes dedupe in parse_cli: a duplicate sweep point
+  // would silently emit an identical series point twice.
+  std::vector<std::pair<unsigned, unsigned>> unique;
+  for (std::size_t i = 0; i < o.producers.size(); ++i) {
+    const std::pair<unsigned, unsigned> pc{o.producers[i], o.consumers[i]};
+    if (std::find(unique.begin(), unique.end(), pc) != unique.end()) {
+      std::fprintf(stderr,
+                   "--producers/--consumers: ignoring duplicate sweep "
+                   "point %u,%u\n",
+                   pc.first, pc.second);
+    } else {
+      unique.push_back(pc);
+    }
+  }
+  o.producers.clear();
+  o.consumers.clear();
+  for (const auto& [p, c] : unique) {
+    o.producers.push_back(p);
+    o.consumers.push_back(c);
+  }
+  return true;
+}
+
+void append_list(std::string& s, const char* key,
+                 const std::vector<unsigned>& v) {
+  s += "\"";
+  s += key;
+  s += "\": [";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) s += ", ";
+    s += std::to_string(v[i]);
+  }
+  s += "], ";
+}
+
+/// The resolved run configuration as the inner text of a JSON object —
+/// the --json metadata block that makes a trajectory file self-describing
+/// (without it, reproducing a series means reverse-engineering which CLI
+/// flags produced it).
+std::string config_json(const figure_spec& spec, const cli_options& o) {
+  const workload_config base = base_cfg(spec, o);
+  const bool container = spec.kind == figure_kind::container;
+  std::string s;
+  s += container ? "\"structure_kind\": \"container\", "
+                 : "\"structure_kind\": \"set\", ";
+  if (container) {
+    append_list(s, "producers", o.producers);
+    append_list(s, "consumers", o.consumers);
+  } else {
+    append_list(s, "threads", o.threads);
+    append_list(s, "stalled", o.stalled);
+    s += "\"mix\": {\"insert\": " + std::to_string(base.insert_pct) +
+         ", \"remove\": " + std::to_string(base.remove_pct) +
+         ", \"get\": " + std::to_string(base.get_pct) + "}, ";
+    s += "\"key_range\": " + std::to_string(base.key_range) + ", ";
+    // Matrix figures cap the list series' range/prefill (scale_for_list);
+    // record the override or the metadata would misdescribe that series.
+    cli_options scaled = o;
+    scale_for_list(scaled);
+    if (spec.kind == figure_kind::matrix &&
+        (scaled.key_range != o.key_range || scaled.prefill != o.prefill)) {
+      s += "\"list_scale\": {\"key_range\": " +
+           std::to_string(scaled.key_range) +
+           ", \"prefill\": " + std::to_string(scaled.prefill) + "}, ";
+    }
+  }
+  s += "\"prefill\": " + std::to_string(base.prefill) + ", ";
+  s += "\"duration_ms\": " + std::to_string(base.duration_ms) + ", ";
+  s += "\"repeats\": " + std::to_string(base.repeats) + ", ";
+  s += "\"sample_every\": " + std::to_string(base.sample_every) + ", ";
+  s += "\"seed\": " + std::to_string(base.seed);
+  return s;
 }
 
 }  // namespace
@@ -332,8 +542,10 @@ int run_figure(const figure_spec& spec, int argc, char** argv) {
   cli_options defaults;
   defaults.threads = spec.default_threads;
   defaults.stalled = spec.default_stalled;
-  const cli_options o = parse_cli(argc, argv, defaults);
+  cli_options o = parse_cli(argc, argv, defaults);
+  if (!validate_kind_options(spec, o)) return 2;
   figure_sink sink(spec.name);
+  sink.set_config(config_json(spec, o));
   int status = 2;
   switch (spec.kind) {
     case figure_kind::matrix:
@@ -344,6 +556,9 @@ int run_figure(const figure_spec& spec, int argc, char** argv) {
       break;
     case figure_kind::trim:
       status = run_trim(spec, o, sink);
+      break;
+    case figure_kind::container:
+      status = run_container(spec, o, sink);
       break;
   }
   if (status == 0 && !o.json.empty() && !sink.write_json(o.json)) {

@@ -22,6 +22,11 @@ enum class figure_kind {
   robustness,
   /// Hash map with a small slot cap, trim() on/off (Figure 10b).
   trim,
+  /// Container family (msqueue + stack) × scheme line-up, sweeping
+  /// (producers, consumers) pairs (fig_queue). Containers take the
+  /// producer/consumer split instead of the set-only key_range/op-mix/
+  /// thread knobs; run_figure validates the two option families per kind.
+  container,
 };
 
 struct figure_spec {
@@ -39,6 +44,11 @@ struct figure_spec {
   std::size_t slot_cap = 4;
   std::vector<unsigned> default_threads = {1, 2, 4, 8};
   std::vector<unsigned> default_stalled = {};
+  /// Container figures: the (producers, consumers) sweep, zipped pairwise
+  /// (overridable with --producers/--consumers; a singleton list
+  /// broadcasts against the other).
+  std::vector<unsigned> default_producers = {1, 2, 4};
+  std::vector<unsigned> default_consumers = {1, 2, 4};
 };
 
 /// Parse argv over the spec's defaults and run the figure. Returns the

@@ -9,7 +9,9 @@
 #include "ds/harris_list.hpp"
 #include "ds/hm_list.hpp"
 #include "ds/michael_hashmap.hpp"
+#include "ds/ms_queue.hpp"
 #include "ds/natarajan_tree.hpp"
+#include "ds/treiber_stack.hpp"
 #include "smr/domain.hpp"
 
 namespace hyaline::harness {
@@ -58,6 +60,28 @@ workload_result run_cell(const scheme_params& params,
   return r;
 }
 
+/// Container twin of run_cell, driving the producer/consumer loop. Same
+/// teardown discipline; additionally the conservation ledger
+/// (enqueued == dequeued + drained) rides out in the result for callers
+/// to check.
+template <class D, template <class> class Q>
+workload_result run_container_cell(const scheme_params& params,
+                                   const workload_config& cfg) {
+  const thread_split split = container_split(cfg);
+  scheme_params p = params;
+  p.max_threads = std::max(p.max_threads, split.total() + 1);
+  auto dom = scheme_traits<D>::make(p);
+  workload_result r;
+  {
+    Q<D> q(*dom);
+    r = run_container_workload(*dom, q, cfg);
+  }
+  dom->drain();
+  r.retired = dom->counters().retired.load();
+  r.freed = dom->counters().freed.load();
+  return r;
+}
+
 /// Presentation-level knobs the registry adds on top of D::caps.
 struct entry_opts {
   bool core_lineup = false;   ///< one of the paper's nine plotted schemes
@@ -83,16 +107,24 @@ scheme_registry::entry make_entry(const char* name, entry_opts opts = {}) {
   caps.supports_trim = D::caps.supports_trim;
   caps.core_lineup = opts.core_lineup;
 
+  constexpr structure_kind set = structure_kind::set;
+  constexpr structure_kind container = structure_kind::container;
   scheme_registry::entry e{name, caps, opts.llsc_variant, {}};
-  e.cells.push_back({"list", &run_cell<D, ds::hm_list>});
-  e.cells.push_back({"hashmap", &run_cell<D, ds::michael_hashmap>});
-  e.cells.push_back({"nmtree", &run_cell<D, ds::natarajan_tree>});
+  e.cells.push_back({"list", set, &run_cell<D, ds::hm_list>});
+  e.cells.push_back({"hashmap", set, &run_cell<D, ds::michael_hashmap>});
+  e.cells.push_back({"nmtree", set, &run_cell<D, ds::natarajan_tree>});
   if constexpr (!D::caps.pointer_publication) {
-    e.cells.push_back({"bonsai", &run_cell<D, ds::bonsai_tree>});
+    e.cells.push_back({"bonsai", set, &run_cell<D, ds::bonsai_tree>});
     if constexpr (!D::caps.robust) {
-      e.cells.push_back({"harris", &run_cell<D, ds::harris_list>});
+      e.cells.push_back({"harris", set, &run_cell<D, ds::harris_list>});
     }
   }
+  // The container family: no snapshot traversal, no marked-edge crossing —
+  // every scheme qualifies (the dummy-handoff and head-only protection
+  // patterns are exactly what HP/HE's bounded hazard budget covers, peak 2
+  // and 1 respectively).
+  e.cells.push_back({"msqueue", container, &run_container_cell<D, ds::ms_queue>});
+  e.cells.push_back({"stack", container, &run_container_cell<D, ds::treiber_stack>});
   return e;
 }
 
@@ -100,8 +132,14 @@ scheme_registry::entry make_entry(const char* name, entry_opts opts = {}) {
 
 runner_fn scheme_registry::entry::runner_for(
     std::string_view structure) const {
+  const cell* c = cell_for(structure);
+  return c != nullptr ? c->run : nullptr;
+}
+
+const scheme_registry::cell* scheme_registry::entry::cell_for(
+    std::string_view structure) const {
   for (const cell& c : cells) {
-    if (c.structure == structure) return c.run;
+    if (c.structure == structure) return &c;
   }
   return nullptr;
 }

@@ -10,8 +10,15 @@
 // Registered scheme names (the paper's nine headline schemes are marked
 // `core_lineup`): Leaky, Epoch, HP, HE, IBR, Hyaline, Hyaline-1, Hyaline-S,
 // Hyaline-1S, plus the head-policy variants Hyaline(dwcas), Hyaline(llsc),
-// Hyaline-S(llsc). Structures: list (Harris–Michael list), harris (Harris
-// list with deferred unlink), hashmap, nmtree, bonsai.
+// Hyaline-S(llsc). Structures come in two kinds, which the cells carry so
+// drivers can validate options per cell (key_range/op-mix are set-only;
+// the producer/consumer split is container-only):
+//   - sets: list (Harris–Michael list), harris (Harris list with deferred
+//     unlink), hashmap, nmtree, bonsai — driven by run_workload;
+//   - containers: msqueue (Michael–Scott MPMC queue), stack (Treiber
+//     stack) — driven by run_container_workload. Containers have no
+//     marked-edge traversal, so every scheme gets both container cells,
+//     including the robust ones harris excludes.
 #pragma once
 
 #include <string>
@@ -39,15 +46,24 @@ struct scheme_caps {
 };
 
 /// One type-erased benchmark run: construct the scheme from `params`, build
-/// the structure over it, drive `run_workload`, tear down, and report the
-/// result (including the final retired/freed counters for leak checks).
+/// the structure over it, drive the kind's workload loop, tear down, and
+/// report the result (including the final retired/freed counters for leak
+/// checks).
 using runner_fn = workload_result (*)(const scheme_params& params,
                                       const workload_config& cfg);
+
+/// What a registered structure is, and therefore which workload driver and
+/// which workload_config options apply to its cell.
+enum class structure_kind {
+  set,        ///< keyed insert/remove/get over run_workload
+  container,  ///< push/pop over run_container_workload
+};
 
 class scheme_registry {
  public:
   struct cell {
     std::string structure;
+    structure_kind kind = structure_kind::set;
     runner_fn run;
   };
 
@@ -62,6 +78,9 @@ class scheme_registry {
     /// Runner for one structure, or nullptr if the pair is not registered
     /// (e.g. HP/HE × bonsai).
     runner_fn runner_for(std::string_view structure) const;
+
+    /// The full cell (kind included), or nullptr if not registered.
+    const cell* cell_for(std::string_view structure) const;
   };
 
   /// The process-wide registry, built on first use. Entries are in the

@@ -13,6 +13,13 @@
 //     block until the run ends (the Figure 10a robustness experiment);
 //   - use_trim: hold one guard per thread and trim() after every operation
 //     instead of leave+enter (the Figure 10b trimming experiment).
+//
+// Container workloads (fig_queue) run through run_container_workload
+// instead: an asymmetric producer/consumer split over a FIFO queue or
+// stack, where every successful operation allocates or retires a node.
+// Accounting is exact — pushed items (prefill included), popped items, and
+// the residual drained at the end must balance (the conservation
+// invariant checked by the registry runners and tests).
 #pragma once
 
 #include <atomic>
@@ -43,17 +50,36 @@ struct workload_config {
   bool use_trim = false;
   unsigned sample_every = 128;
   std::uint64_t seed = 0x5eed;
+  /// Container workloads only: the producer/consumer thread split. Both
+  /// zero means "derive from `threads`" (see container_split). Set drivers
+  /// ignore these, exactly as container drivers ignore key_range and the
+  /// op mix — the registry's structure-kind dimension keeps the two option
+  /// families apart.
+  unsigned producers = 0;
+  unsigned consumers = 0;
 };
 
 struct workload_result {
   double mops = 0;              ///< throughput, million operations / second
   double unreclaimed_avg = 0;   ///< mean retired-not-yet-freed per sample
+  /// Worst retired-not-yet-freed value over all samples of all repeats —
+  /// the number the paper's robustness bound (§5) actually caps, which an
+  /// average can launder (a brief spike amortized over a long run looks
+  /// harmless).
+  std::uint64_t unreclaimed_peak = 0;
   std::uint64_t total_ops = 0;  ///< operations completed across all threads
   /// Final domain counters, captured after structure teardown and a
   /// quiescent drain (filled in by the registry runners; retired != freed
   /// means the scheme leaked).
   std::uint64_t retired = 0;
   std::uint64_t freed = 0;
+  /// Container workloads: the conservation ledger. Items pushed (prefill
+  /// included), items popped during the run, and items drained from the
+  /// residual at the end; enqueued == dequeued + drained or the container
+  /// lost or duplicated values. Zero for set workloads.
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t drained = 0;
 };
 
 /// True iff the op-mix percentages cover exactly the whole dice range.
@@ -84,7 +110,86 @@ void flush_thread(D& dom) {
 template <class G>
 concept has_trim = requires(G g) { g.trim(); };
 
+/// Relaxed monotone max — the peak counter is a statistic, not
+/// synchronization (same stance as smr::stats).
+inline void atomic_max(std::atomic<std::uint64_t>& m, std::uint64_t v) {
+  std::uint64_t cur = m.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Per-repetition shared counters every worker thread updates.
+struct rep_counters {
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> sample_sum{0};
+  std::atomic<std::uint64_t> sample_cnt{0};
+
+  /// Record one unreclaimed-counter observation (worker-side); the
+  /// worker's running peak stays thread-local until merged at exit.
+  void sample(std::uint64_t unreclaimed, std::uint64_t& local_peak) {
+    if (unreclaimed > local_peak) local_peak = unreclaimed;
+    sample_sum.fetch_add(unreclaimed, std::memory_order_relaxed);
+    sample_cnt.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// Cross-repetition accumulator shared by both workload drivers, so the
+/// mops / unreclaimed_avg / unreclaimed_peak columns keep exactly one
+/// meaning however the figure was produced.
+struct run_stats {
+  double mops_sum = 0;
+  double unrecl_sum = 0;
+  std::uint64_t ops_total = 0;
+  std::atomic<std::uint64_t> peak{0};
+
+  /// Fold one repetition in. `end_unreclaimed` backs the too-short-run
+  /// fallback: a repetition that never reached a sampling point
+  /// contributes one end-of-run observation to both statistics.
+  void finish_rep(rep_counters& c, double secs,
+                  std::uint64_t end_unreclaimed) {
+    const std::uint64_t n = c.ops.load(std::memory_order_relaxed);
+    ops_total += n;
+    mops_sum += static_cast<double>(n) / secs / 1e6;
+    const std::uint64_t cnt = c.sample_cnt.load(std::memory_order_relaxed);
+    if (cnt == 0) {
+      atomic_max(peak, end_unreclaimed);
+      unrecl_sum += static_cast<double>(end_unreclaimed);
+    } else {
+      unrecl_sum += static_cast<double>(
+                        c.sample_sum.load(std::memory_order_relaxed)) /
+                    static_cast<double>(cnt);
+    }
+  }
+
+  void fill(workload_result& r, unsigned repeats) const {
+    r.mops = mops_sum / repeats;
+    r.unreclaimed_avg = unrecl_sum / repeats;
+    r.unreclaimed_peak = peak.load(std::memory_order_relaxed);
+    r.total_ops = ops_total;
+  }
+};
+
 }  // namespace detail
+
+/// Resolved producer/consumer split for a container workload: explicit
+/// counts win; otherwise `threads` is split evenly, producers taking the
+/// odd one out (threads == 1 means a lone producer — pure enqueue is a
+/// valid, maximally allocation-heavy workload; the drain still balances
+/// the ledger).
+struct thread_split {
+  unsigned producers = 0;
+  unsigned consumers = 0;
+  unsigned total() const { return producers + consumers; }
+};
+
+constexpr thread_split container_split(const workload_config& cfg) {
+  if (cfg.producers != 0 || cfg.consumers != 0) {
+    return {cfg.producers, cfg.consumers};
+  }
+  const unsigned consumers = cfg.threads / 2;
+  return {cfg.threads - consumers, consumers};
+}
 
 /// Run one configuration against structure `s` over domain `dom`.
 /// DS must provide insert/remove/contains(guard&, key[, value]).
@@ -103,20 +208,17 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
     }
   }
 
-  double mops_sum = 0;
-  double unrecl_sum = 0;
-  std::uint64_t ops_total = 0;
+  detail::run_stats stats;
 
   for (unsigned rep = 0; rep < cfg.repeats; ++rep) {
     std::atomic<bool> start{false};
     std::atomic<bool> stop{false};
-    std::atomic<std::uint64_t> ops{0};
-    std::atomic<std::uint64_t> sample_sum{0};
-    std::atomic<std::uint64_t> sample_cnt{0};
+    detail::rep_counters counters;
 
     auto worker = [&](unsigned tid) {
       xoshiro256 rng(cfg.seed + tid * 1000003 + rep * 7919);
       std::uint64_t local_ops = 0;
+      std::uint64_t local_peak = 0;
       while (!start.load(std::memory_order_acquire)) {
       }
       if (!cfg.use_trim) {
@@ -135,9 +237,7 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
           }
           ++local_ops;
           if (local_ops % cfg.sample_every == 0) {
-            sample_sum.fetch_add(dom.counters().unreclaimed(),
-                                 std::memory_order_relaxed);
-            sample_cnt.fetch_add(1, std::memory_order_relaxed);
+            counters.sample(dom.counters().unreclaimed(), local_peak);
           }
         }
       } else {
@@ -162,14 +262,13 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
             if constexpr (detail::has_trim<guard_t>) g.trim();
             ++local_ops;
             if (local_ops % cfg.sample_every == 0) {
-              sample_sum.fetch_add(dom.counters().unreclaimed(),
-                                   std::memory_order_relaxed);
-              sample_cnt.fetch_add(1, std::memory_order_relaxed);
+              counters.sample(dom.counters().unreclaimed(), local_peak);
             }
           }
         }
       }
-      ops.fetch_add(local_ops, std::memory_order_relaxed);
+      counters.ops.fetch_add(local_ops, std::memory_order_relaxed);
+      detail::atomic_max(stats.peak, local_peak);
       detail::flush_thread(dom);
     };
 
@@ -206,21 +305,119 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
     const double secs =
         std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
             .count();
-    const std::uint64_t n = ops.load(std::memory_order_relaxed);
-    ops_total += n;
-    mops_sum += static_cast<double>(n) / secs / 1e6;
-    const std::uint64_t cnt = sample_cnt.load(std::memory_order_relaxed);
-    unrecl_sum += cnt == 0
-                      ? static_cast<double>(dom.counters().unreclaimed())
-                      : static_cast<double>(
-                            sample_sum.load(std::memory_order_relaxed)) /
-                            static_cast<double>(cnt);
+    stats.finish_rep(counters, secs, dom.counters().unreclaimed());
   }
 
   workload_result r;
-  r.mops = mops_sum / cfg.repeats;
-  r.unreclaimed_avg = unrecl_sum / cfg.repeats;
-  r.total_ops = ops_total;
+  stats.fill(r, cfg.repeats);
+  return r;
+}
+
+/// Run one producer/consumer configuration against container `q` over
+/// domain `dom`. Q must provide push(guard&, value) and
+/// try_pop(guard&, value&) (ms_queue, treiber_stack). Producers push
+/// monotonically stamped values as fast as they can; consumers pop (an
+/// empty pop still counts as an operation — spinning on an empty queue is
+/// real work the throughput number must not hide). After the timed
+/// repeats, the residual content is drained quiescently so the
+/// conservation ledger (enqueued == dequeued + drained) can be checked by
+/// the caller.
+template <class Q, class D>
+workload_result run_container_workload(D& dom, Q& q,
+                                       const workload_config& cfg) {
+  using guard_t = typename D::guard;
+  const thread_split split = container_split(cfg);
+  assert(split.total() > 0 && "container workload needs at least 1 thread");
+
+  std::atomic<std::uint64_t> enqueued{0};
+  std::atomic<std::uint64_t> dequeued{0};
+
+  // --- prefill (quiescent) ---------------------------------------------
+  for (std::size_t i = 0; i < cfg.prefill; ++i) {
+    guard_t g(dom);
+    q.push(g, i);
+  }
+  enqueued.fetch_add(cfg.prefill, std::memory_order_relaxed);
+
+  detail::run_stats stats;
+
+  for (unsigned rep = 0; rep < cfg.repeats; ++rep) {
+    std::atomic<bool> start{false};
+    std::atomic<bool> stop{false};
+    detail::rep_counters counters;
+
+    auto body = [&](unsigned tid, bool producing) {
+      std::uint64_t local_ops = 0;
+      std::uint64_t local_done = 0;  // successful pushes or pops
+      std::uint64_t local_peak = 0;
+      // Write-only diagnostic payload (per-thread monotone counter);
+      // nothing downstream decodes it — the FIFO/LIFO property tests
+      // stamp their own payloads.
+      std::uint64_t stamp = std::uint64_t{tid} << 40;
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        {
+          guard_t g(dom);
+          if (producing) {
+            q.push(g, stamp++);
+            ++local_done;
+          } else {
+            std::uint64_t v;
+            if (q.try_pop(g, v)) ++local_done;
+          }
+        }
+        ++local_ops;
+        if (local_ops % cfg.sample_every == 0) {
+          counters.sample(dom.counters().unreclaimed(), local_peak);
+        }
+      }
+      counters.ops.fetch_add(local_ops, std::memory_order_relaxed);
+      (producing ? enqueued : dequeued)
+          .fetch_add(local_done, std::memory_order_relaxed);
+      detail::atomic_max(stats.peak, local_peak);
+      detail::flush_thread(dom);
+    };
+
+    std::vector<std::thread> ts;
+    ts.reserve(split.total());
+    for (unsigned t = 0; t < split.producers; ++t) {
+      ts.emplace_back(body, t, true);
+    }
+    for (unsigned t = 0; t < split.consumers; ++t) {
+      ts.emplace_back(body, split.producers + t, false);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    start.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+    stop.store(true, std::memory_order_release);
+    for (auto& th : ts) th.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+            .count();
+    stats.finish_rep(counters, secs, dom.counters().unreclaimed());
+  }
+
+  // --- drain (quiescent) -----------------------------------------------
+  // Pop the residual so the ledger closes and every node the structure
+  // still owns besides the ms_queue dummy flows through retire.
+  std::uint64_t drained = 0;
+  for (;;) {
+    guard_t g(dom);
+    std::uint64_t v;
+    if (!q.try_pop(g, v)) break;
+    ++drained;
+  }
+  detail::flush_thread(dom);
+
+  workload_result r;
+  stats.fill(r, cfg.repeats);
+  r.enqueued = enqueued.load(std::memory_order_relaxed);
+  r.dequeued = dequeued.load(std::memory_order_relaxed);
+  r.drained = drained;
   return r;
 }
 

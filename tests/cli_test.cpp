@@ -1,0 +1,81 @@
+// parse_cli unit tests, focused on the list-handling rules: duplicate
+// entries in --schemes / --threads are dropped (first occurrence wins)
+// with a warning instead of silently running identical series twice, and
+// the container split flags parse independently of the set-only knobs.
+// Only well-formed inputs are exercised here — parse_cli exits the
+// process on malformed ones.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+
+namespace hyaline::harness {
+namespace {
+
+cli_options parse(std::vector<const char*> args,
+                  cli_options defaults = {}) {
+  args.insert(args.begin(), "test_prog");
+  return parse_cli(static_cast<int>(args.size()),
+                   const_cast<char**>(args.data()), defaults);
+}
+
+TEST(CliTest, ThreadsListDeduplicatesPreservingOrder) {
+  const cli_options o = parse({"--threads", "4,4,2,8,2,4"});
+  EXPECT_EQ(o.threads, (std::vector<unsigned>{4, 2, 8}));
+  EXPECT_TRUE(o.threads_set);
+}
+
+TEST(CliTest, StalledListDeduplicates) {
+  const cli_options o = parse({"--stalled", "0,1,0,2,1"});
+  EXPECT_EQ(o.stalled, (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(CliTest, SchemesListDeduplicatesPreservingOrder) {
+  const cli_options o = parse({"--schemes", "HP,Hyaline,HP,HE,Hyaline"});
+  EXPECT_EQ(o.schemes,
+            (std::vector<std::string>{"HP", "Hyaline", "HE"}));
+  EXPECT_TRUE(o.scheme_enabled("HE"));
+  EXPECT_FALSE(o.scheme_enabled("Epoch"));
+}
+
+TEST(CliTest, DefaultListsAreNotFlaggedAsExplicit) {
+  cli_options defaults;
+  defaults.threads = {1, 2};
+  const cli_options o = parse({"--duration", "100"}, defaults);
+  EXPECT_EQ(o.threads, (std::vector<unsigned>{1, 2}));
+  EXPECT_FALSE(o.threads_set);
+  EXPECT_FALSE(o.range_set);
+  EXPECT_EQ(o.duration_ms, 100u);
+}
+
+TEST(CliTest, ProducerConsumerListsParse) {
+  const cli_options o =
+      parse({"--producers", "1,2,4", "--consumers", "4"});
+  EXPECT_EQ(o.producers, (std::vector<unsigned>{1, 2, 4}));
+  EXPECT_EQ(o.consumers, (std::vector<unsigned>{4}));
+  // Set-only flags stay untouched defaults.
+  EXPECT_TRUE(o.mix.empty());
+  EXPECT_FALSE(o.range_set);
+}
+
+TEST(CliTest, RangeFlagIsTracked) {
+  const cli_options o = parse({"--range", "1024"});
+  EXPECT_EQ(o.key_range, 1024u);
+  EXPECT_TRUE(o.range_set);
+}
+
+TEST(CliTest, MixParsesWhenSummingToHundred) {
+  const cli_options o = parse({"--mix", "30,20,50"});
+  EXPECT_EQ(o.mix, (std::vector<unsigned>{30, 20, 50}));
+}
+
+TEST(CliTest, FullOverridesDurationAndRepeats) {
+  const cli_options o = parse({"--full"});
+  EXPECT_EQ(o.duration_ms, 10000u);
+  EXPECT_EQ(o.repeats, 5u);
+}
+
+}  // namespace
+}  // namespace hyaline::harness

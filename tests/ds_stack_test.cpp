@@ -1,0 +1,141 @@
+// treiber_stack over every scheme: sequential LIFO semantics, the
+// per-producer LIFO property (a quiescent single-consumer drain must see
+// each producer's surviving items in strictly descending push order —
+// elements of one producer always sit oldest-lowest in the stack), and
+// MPMC conservation under concurrent push/pop. The pop path is the ABA
+// textbook case; the conservation multiset plus the CI sanitizers turn a
+// reclamation slip into a deterministic failure (debug_alloc-hooked runs
+// live in container_stress_test and shared_domain_test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ds/treiber_stack.hpp"
+#include "ds_test_common.hpp"
+#include "harness/workload.hpp"
+
+namespace hyaline {
+namespace {
+
+template <class D>
+using StackTest = test_support::ds_fixture<D, ds::treiber_stack>;
+
+using test_support::AllSchemes;
+TYPED_TEST_SUITE(StackTest, AllSchemes);
+
+TYPED_TEST(StackTest, SequentialLifo) {
+  auto g = this->guard();
+  std::uint64_t v = 0;
+  EXPECT_FALSE(this->ds_->try_pop(g, v));
+  for (std::uint64_t i = 0; i < 100; ++i) this->ds_->push(g, i);
+  EXPECT_EQ(this->ds_->unsafe_size(), 100u);
+  for (std::uint64_t i = 100; i-- > 0;) {
+    ASSERT_TRUE(this->ds_->try_pop(g, v));
+    EXPECT_EQ(v, i);  // exact reverse push order
+  }
+  EXPECT_FALSE(this->ds_->try_pop(g, v));
+  EXPECT_EQ(this->ds_->unsafe_size(), 0u);
+}
+
+constexpr std::uint64_t stamp(unsigned producer, std::uint64_t seq) {
+  return (std::uint64_t{producer} << 32) | seq;
+}
+
+TYPED_TEST(StackTest, PerProducerLifoOnDrain) {
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint64_t kItems = 20000;  // per producer
+
+  // Concurrent push phase: contends the head CAS across producers.
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        auto g = this->guard();
+        this->ds_->push(g, stamp(p, i));
+      }
+      harness::detail::flush_thread(*this->dom_);
+    });
+  }
+  for (auto& th : producers) th.join();
+
+  // Quiescent single-consumer drain: one producer's items were pushed in
+  // sequence order, so they must come back strictly descending per
+  // producer regardless of how the producers interleaved.
+  std::uint64_t last_seq[kProducers];
+  bool seen_any[kProducers] = {};
+  std::uint64_t got = 0;
+  for (;;) {
+    auto g = this->guard();
+    std::uint64_t v;
+    if (!this->ds_->try_pop(g, v)) break;
+    const unsigned p = static_cast<unsigned>(v >> 32);
+    const std::uint64_t seq = v & 0xffffffffu;
+    ASSERT_LT(p, kProducers);
+    if (seen_any[p]) {
+      ASSERT_LT(seq, last_seq[p]) << "producer " << p << " order violated";
+    }
+    last_seq[p] = seq;
+    seen_any[p] = true;
+    ++got;
+  }
+  EXPECT_EQ(got, kProducers * kItems);
+  for (unsigned p = 0; p < kProducers; ++p) {
+    EXPECT_TRUE(seen_any[p]);
+    EXPECT_EQ(last_seq[p], 0u);  // descending all the way to the first push
+  }
+}
+
+TYPED_TEST(StackTest, MpmcConservation) {
+  constexpr unsigned kProducers = 3;
+  constexpr unsigned kConsumers = 3;
+  constexpr std::uint64_t kItems = 10000;  // per producer
+
+  std::atomic<std::uint64_t> popped{0};
+  std::atomic<bool> done_producing{false};
+  std::vector<std::atomic<std::uint8_t>> seen(kProducers * kItems);
+
+  std::vector<std::thread> ts;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    ts.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        auto g = this->guard();
+        this->ds_->push(g, p * kItems + i);
+      }
+      harness::detail::flush_thread(*this->dom_);
+    });
+  }
+  for (unsigned c = 0; c < kConsumers; ++c) {
+    ts.emplace_back([&] {
+      for (;;) {
+        auto g = this->guard();
+        std::uint64_t v;
+        if (this->ds_->try_pop(g, v)) {
+          EXPECT_LT(v, kProducers * kItems);
+          EXPECT_EQ(seen[v].exchange(1, std::memory_order_relaxed), 0)
+              << "value " << v << " delivered twice";
+          popped.fetch_add(1, std::memory_order_relaxed);
+        } else if (done_producing.load(std::memory_order_acquire)) {
+          if (!this->ds_->try_pop(g, v)) break;
+          EXPECT_EQ(seen[v].exchange(1, std::memory_order_relaxed), 0);
+          popped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      harness::detail::flush_thread(*this->dom_);
+    });
+  }
+  for (unsigned p = 0; p < kProducers; ++p) ts[p].join();
+  done_producing.store(true, std::memory_order_release);
+  for (unsigned c = 0; c < kConsumers; ++c) ts[kProducers + c].join();
+
+  EXPECT_EQ(popped.load(), kProducers * kItems);
+  EXPECT_EQ(this->ds_->unsafe_size(), 0u);
+  for (std::uint64_t v = 0; v < kProducers * kItems; ++v) {
+    ASSERT_EQ(seen[v].load(std::memory_order_relaxed), 1) << "lost " << v;
+  }
+}
+
+}  // namespace
+}  // namespace hyaline

@@ -51,16 +51,24 @@ TEST(RegistryMatrix, EveryCellRunsLeakFree) {
       total_ops += r.total_ops;
       EXPECT_EQ(r.retired, r.freed)
           << "scheme leaked retired nodes after drain";
+      if (cell.kind == harness::structure_kind::container) {
+        // Container cells additionally close the conservation ledger
+        // (threads=2 derives a 1 producer / 1 consumer split here).
+        EXPECT_EQ(r.enqueued, r.dequeued + r.drained)
+            << "container lost or duplicated items";
+        EXPECT_GE(r.enqueued, cfg.prefill);
+      }
       // Structure and domain are torn down inside the runner: every node
       // the cell ever allocated must be back in the quarantine by now.
       EXPECT_EQ(debug_alloc::live_count(), 0u) << "leaked node allocations";
     }
   }
   // 12 schemes x (list, hashmap, nmtree), bonsai for the 10 non-HP/HE
-  // schemes, harris for the 6 guard-lifetime epoch-style schemes. A single
-  // cell may complete zero ops on a badly oversubscribed CI box; the
-  // matrix as a whole must make progress.
-  EXPECT_EQ(cells, 12u * 3u + 10u + 6u);
+  // schemes, harris for the 6 guard-lifetime epoch-style schemes, and
+  // 12 x the two container cells (msqueue, stack — no capability gates).
+  // A single cell may complete zero ops on a badly oversubscribed CI box;
+  // the matrix as a whole must make progress.
+  EXPECT_EQ(cells, 12u * 3u + 10u + 6u + 12u * 2u);
   EXPECT_GT(total_ops, 0u);
   EXPECT_EQ(debug_alloc::double_frees(), 0u) << "double free detected";
   EXPECT_EQ(debug_alloc::flush_quarantine(), 0u)
@@ -83,7 +91,8 @@ TEST(RegistryMatrix, LineupAndCapabilitiesMatchThePaper) {
 
   // Bonsai excludes pointer-publication schemes; Harris's original list
   // additionally excludes every robust scheme (guard-lifetime pinning
-  // only).
+  // only). The container family has no capability gate: every scheme
+  // carries both cells, tagged with the container structure-kind.
   for (const auto& scheme : reg.schemes()) {
     const bool snapshot_safe = !scheme.caps.pointer_publication;
     const bool epoch_style = snapshot_safe && !scheme.caps.robust;
@@ -91,6 +100,14 @@ TEST(RegistryMatrix, LineupAndCapabilitiesMatchThePaper) {
         << scheme.name;
     EXPECT_EQ(scheme.runner_for("harris") != nullptr, epoch_style)
         << scheme.name;
+    for (const char* structure : {"msqueue", "stack"}) {
+      const auto* cell = scheme.cell_for(structure);
+      ASSERT_NE(cell, nullptr) << scheme.name << " x " << structure;
+      EXPECT_EQ(cell->kind, harness::structure_kind::container);
+    }
+    const auto* hashmap = scheme.cell_for("hashmap");
+    ASSERT_NE(hashmap, nullptr) << scheme.name;
+    EXPECT_EQ(hashmap->kind, harness::structure_kind::set);
   }
 
   EXPECT_EQ(reg.find("no-such-scheme"), nullptr);
