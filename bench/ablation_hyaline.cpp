@@ -30,10 +30,11 @@ void run_point(const char* series, const char* variant, unsigned threads,
   cfg.repeats = o.repeats;
   cfg.key_range = o.key_range;
   cfg.prefill = o.prefill;
+  cfg.seed = o.seed;
   const auto r = run_workload(dom, map, cfg);
   print_csv_row(series, "hashmap", variant, threads, 0, 0, 0, r.mops,
-                r.unreclaimed_avg,
-                static_cast<double>(r.unreclaimed_peak));
+                r.unreclaimed_avg, static_cast<double>(r.unreclaimed_peak),
+                r.p50_ns, r.p99_ns, static_cast<double>(r.max_ns));
 }
 
 }  // namespace
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
   cli_options defaults;
   defaults.threads = {2, 4};
   const cli_options o = parse_cli(argc, argv, defaults);
-  print_csv_header("ablation-hyaline");
+  print_csv_header("ablation-hyaline", o.seed);
 
   for (unsigned t : o.threads) {
     for (std::size_t batch : {16, 64, 256, 1024}) {

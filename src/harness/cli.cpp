@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 
 namespace hyaline::harness {
 namespace {
@@ -45,7 +46,8 @@ std::vector<std::string> parse_names(const char* s) {
                "          [--range n] [--schemes name,...]\n"
                "          [--mix insert,remove,get]\n"
                "          [--producers a,b,...] [--consumers a,b,...]\n"
-               "          [--json path] [--full]\n",
+               "          [--seed n] [--faults spec] [--sample-ms n]\n"
+               "          [--structure name] [--json path] [--full]\n",
                prog);
   std::exit(2);
 }
@@ -134,6 +136,21 @@ cli_options parse_cli(int argc, char** argv, cli_options defaults) {
                      o.mix.size(), sum);
         usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      // Base 0: hex seeds (0x5eed) round-trip from the header comment.
+      o.seed = std::strtoull(need_val("--seed"), nullptr, 0);
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      o.faults = need_val("--faults");
+    } else if (std::strcmp(argv[i], "--sample-ms") == 0) {
+      o.sample_ms = static_cast<unsigned>(
+          std::strtoul(need_val("--sample-ms"), nullptr, 10));
+      o.sample_ms_set = true;
+      if (o.sample_ms == 0) {
+        std::fprintf(stderr, "--sample-ms must be >= 1\n");
+        usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--structure") == 0) {
+      o.structure = need_val("--structure");
     } else if (std::strcmp(argv[i], "--json") == 0) {
       o.json = need_val("--json");
     } else if (std::strcmp(argv[i], "--full") == 0) {
@@ -155,21 +172,52 @@ cli_options parse_cli(int argc, char** argv, cli_options defaults) {
   return o;
 }
 
-void print_csv_header(const char* figure) {
-  std::printf(
-      "# %s\nfigure,structure,scheme,threads,stalled,producers,consumers,"
-      "mops,unreclaimed_per_op,unreclaimed_peak\n",
-      figure);
+void print_csv_header(const char* figure, std::uint64_t seed) {
+  std::printf("# %s\n# seed=0x%llx\n", figure,
+              static_cast<unsigned long long>(seed));
+  for (std::size_t i = 0; i < std::size(kCsvColumns); ++i) {
+    std::printf("%s%s", i == 0 ? "" : ",", kCsvColumns[i]);
+  }
+  std::printf("\n");
   std::fflush(stdout);
 }
+
+namespace {
+
+std::string fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace
 
 void print_csv_row(const char* figure, const char* structure,
                    const char* scheme, unsigned threads, unsigned stalled,
                    unsigned producers, unsigned consumers, double mops,
-                   double unreclaimed, double unreclaimed_peak) {
-  std::printf("%s,%s,%s,%u,%u,%u,%u,%.4f,%.2f,%.0f\n", figure, structure,
-              scheme, threads, stalled, producers, consumers, mops,
-              unreclaimed, unreclaimed_peak);
+                   double unreclaimed, double unreclaimed_peak,
+                   double p50_ns, double p99_ns, double max_ns) {
+  const std::string vals[] = {
+      figure,
+      structure,
+      scheme,
+      std::to_string(threads),
+      std::to_string(stalled),
+      std::to_string(producers),
+      std::to_string(consumers),
+      fixed(mops, 4),
+      fixed(unreclaimed, 2),
+      fixed(unreclaimed_peak, 0),
+      fixed(p50_ns, 0),
+      fixed(p99_ns, 0),
+      fixed(max_ns, 0),
+  };
+  static_assert(std::size(vals) == std::size(kCsvColumns),
+                "row values and kCsvColumns must stay in lockstep");
+  for (std::size_t i = 0; i < std::size(vals); ++i) {
+    std::printf("%s%s", i == 0 ? "" : ",", vals[i].c_str());
+  }
+  std::printf("\n");
   std::fflush(stdout);
 }
 

@@ -15,9 +15,18 @@
 //   --producers a,b,...  producer-thread counts  (container figures only;
 //   --consumers a,b,...  consumer-thread counts   zipped pairwise into
 //                        (producers, consumers) sweep points)
+//   --seed <n>           base PRNG seed threaded through every workload
+//                        generator (prefill, workers, stall draws); echoed
+//                        in the CSV header comment and the --json config
+//                        block so any run can be reproduced exactly
+//   --faults <spec>      timeline figures only: fault-injection schedule
+//                        (grammar in lab/fault_plan.hpp)
+//   --sample-ms <n>      timeline figures only: telemetry cadence
+//   --structure <name>   timeline figures only: structure to drive
 //   --json <path>        also write the run as machine-readable JSON
-//                        (per-scheme throughput + unreclaimed series plus
-//                        the resolved workload config as metadata)
+//                        (per-scheme throughput + unreclaimed + latency
+//                        series plus the resolved workload config as
+//                        metadata; timeline figures add the time series)
 //   --full               paper-scale settings (duration 10s, repeats 5)
 //
 // Duplicate entries in the --schemes, --threads, and --stalled lists are
@@ -32,6 +41,17 @@
 #include <vector>
 
 namespace hyaline::harness {
+
+/// The CSV column list — the one source both the header line and the row
+/// printer derive from (print_csv_row statically asserts its value count
+/// against this), so adding a column cannot leave the two out of sync.
+inline constexpr const char* kCsvColumns[] = {
+    "figure",        "structure",          "scheme",
+    "threads",       "stalled",            "producers",
+    "consumers",     "mops",               "unreclaimed_per_op",
+    "unreclaimed_peak", "p50_ns",          "p99_ns",
+    "max_ns",
+};
 
 struct cli_options {
   std::vector<unsigned> threads;
@@ -54,6 +74,16 @@ struct cli_options {
   /// ignored.
   bool range_set = false;
   bool threads_set = false;
+  /// Base PRNG seed for every workload generator (default matches
+  /// workload_config's).
+  std::uint64_t seed = 0x5eed;
+  /// Robustness-lab knobs (timeline figures only; other kinds reject
+  /// them). `faults` is the raw spec text — parsed and validated by the
+  /// timeline driver, which knows the thread count.
+  std::string faults;
+  unsigned sample_ms = 0;
+  bool sample_ms_set = false;
+  std::string structure;
   /// Path for the machine-readable JSON trajectory file (empty = none).
   std::string json;
   bool full = false;
@@ -66,16 +96,18 @@ struct cli_options {
 /// seeds the sweep lists benches want when flags are absent.
 cli_options parse_cli(int argc, char** argv, cli_options defaults);
 
-/// Print the standard CSV header used by all figure benches. Columns:
-/// figure,structure,scheme,threads,stalled,producers,consumers,mops,
-/// unreclaimed_per_op,unreclaimed_peak (producers/consumers are 0 on
-/// set-structure rows).
-void print_csv_header(const char* figure);
+/// Print the standard CSV header used by all figure benches: a comment
+/// line naming the figure, one echoing the seed, then the kCsvColumns
+/// line.
+void print_csv_header(const char* figure, std::uint64_t seed);
 
-/// Emit one CSV data row.
+/// Emit one CSV data row (column meanings per kCsvColumns; producers and
+/// consumers are 0 on set-structure rows, latency columns are the sampled
+/// per-op percentiles in ns).
 void print_csv_row(const char* figure, const char* structure,
                    const char* scheme, unsigned threads, unsigned stalled,
                    unsigned producers, unsigned consumers, double mops,
-                   double unreclaimed, double unreclaimed_peak);
+                   double unreclaimed, double unreclaimed_peak,
+                   double p50_ns, double p99_ns, double max_ns);
 
 }  // namespace hyaline::harness

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "harness/registry.hpp"
+#include "lab/fault_plan.hpp"
+#include "lab/telemetry.hpp"
 
 namespace hyaline::harness {
 namespace {
@@ -18,22 +20,32 @@ namespace {
 /// and unreclaimed-node counts.
 class figure_sink {
  public:
-  explicit figure_sink(const char* figure) : figure_(figure) {}
+  figure_sink(const char* figure, std::uint64_t seed)
+      : figure_(figure), seed_(seed) {}
 
   /// Emit the CSV header. Called by the figure runners only after the
   /// --schemes filter validated, so a rejected filter produces no stdout
   /// (scripts may capture stdout straight into a .csv).
-  void header() { print_csv_header(figure_); }
+  void header() { print_csv_header(figure_, seed_); }
 
   void row(const char* structure, const char* scheme, unsigned threads,
            unsigned stalled, unsigned producers, unsigned consumers,
            const workload_result& r) {
     print_csv_row(figure_, structure, scheme, threads, stalled, producers,
                   consumers, r.mops, r.unreclaimed_avg,
-                  static_cast<double>(r.unreclaimed_peak));
+                  static_cast<double>(r.unreclaimed_peak), r.p50_ns,
+                  r.p99_ns, static_cast<double>(r.max_ns));
     rows_.push_back({structure, scheme, threads, stalled, producers,
                      consumers, r.mops, r.unreclaimed_avg,
-                     r.unreclaimed_peak});
+                     r.unreclaimed_peak, r.p50_ns, r.p90_ns, r.p99_ns,
+                     r.max_ns});
+  }
+
+  /// Attach a telemetry time series to the (structure, scheme) series —
+  /// written into the JSON series object as "timeline".
+  void add_timeline(const char* structure, const char* scheme,
+                    std::vector<lab::sample_point> points) {
+    timelines_.push_back({structure, scheme, std::move(points)});
   }
 
   /// Attach the resolved run configuration, emitted as the JSON
@@ -79,13 +91,39 @@ class figure_sink {
                      "%s\n      {\"threads\": %u, \"stalled\": %u, "
                      "\"producers\": %u, \"consumers\": %u, "
                      "\"mops\": %.6f, \"unreclaimed\": %.3f, "
-                     "\"unreclaimed_peak\": %llu}",
+                     "\"unreclaimed_peak\": %llu, "
+                     "\"p50_ns\": %.0f, \"p90_ns\": %.0f, "
+                     "\"p99_ns\": %.0f, \"max_ns\": %llu}",
                      first_point ? "" : ",", r.threads, r.stalled,
                      r.producers, r.consumers, r.mops, r.unreclaimed,
-                     static_cast<unsigned long long>(r.unreclaimed_peak));
+                     static_cast<unsigned long long>(r.unreclaimed_peak),
+                     r.p50_ns, r.p90_ns, r.p99_ns,
+                     static_cast<unsigned long long>(r.max_ns));
         first_point = false;
       }
-      std::fprintf(f, "\n    ]}");
+      std::fprintf(f, "\n    ]");
+      for (const timeline_t& tl : timelines_) {
+        if (tl.structure != structure || tl.scheme != scheme) continue;
+        std::fprintf(f, ",\n    \"timeline\": [");
+        bool first_sample = true;
+        for (const lab::sample_point& p : tl.points) {
+          std::fprintf(f,
+                       "%s\n      {\"t_ms\": %.2f, \"mops\": %.6f, "
+                       "\"ops\": %llu, \"retired\": %llu, "
+                       "\"freed\": %llu, \"unreclaimed\": %llu, "
+                       "\"active_threads\": %u}",
+                       first_sample ? "" : ",", p.t_ms, p.mops,
+                       static_cast<unsigned long long>(p.ops),
+                       static_cast<unsigned long long>(p.retired),
+                       static_cast<unsigned long long>(p.freed),
+                       static_cast<unsigned long long>(p.unreclaimed),
+                       p.active_threads);
+          first_sample = false;
+        }
+        std::fprintf(f, "\n    ]");
+        break;
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
     const bool ok = std::ferror(f) == 0;
@@ -107,11 +145,23 @@ class figure_sink {
     double mops;
     double unreclaimed;
     std::uint64_t unreclaimed_peak;
+    double p50_ns;
+    double p90_ns;
+    double p99_ns;
+    std::uint64_t max_ns;
+  };
+
+  struct timeline_t {
+    std::string structure;
+    std::string scheme;
+    std::vector<lab::sample_point> points;
   };
 
   const char* figure_;
+  std::uint64_t seed_;
   std::string config_;
   std::vector<row_t> rows_;
+  std::vector<timeline_t> timelines_;
 };
 
 /// The paper's scheme line-up, straight from the registry (entries are in
@@ -156,6 +206,7 @@ workload_config base_cfg(const figure_spec& spec, const cli_options& o) {
   cfg.repeats = o.repeats;
   cfg.key_range = o.key_range;
   cfg.prefill = o.prefill;
+  cfg.seed = o.seed;
   return cfg;
 }
 
@@ -412,6 +463,153 @@ int run_container(const figure_spec& spec, const cli_options& o,
   return 0;
 }
 
+/// Robustness lab: one structure, single thread count, scheme line-up,
+/// scripted faults, time-series telemetry. Every robust scheme's series
+/// is recovery-checked — after the last fault clears, unreclaimed must
+/// return to within 2x its pre-fault baseline (lab::check_recovery) —
+/// and container runs keep the conservation/leak gates of run_container,
+/// so a timeline run is a correctness check, not just a plot.
+int run_timeline(const figure_spec& spec, const cli_options& o,
+                 figure_sink& sink) {
+  const scheme_registry& reg = scheme_registry::instance();
+
+  const std::string structure =
+      o.structure.empty() ? "hashmap" : o.structure;
+  const auto kind = reg.kind_of(structure);
+  if (!kind.has_value()) {
+    std::string valid;
+    for (const auto& s : reg.structures()) {
+      if (!valid.empty()) valid += ", ";
+      valid += s.name;
+    }
+    std::fprintf(stderr, "unknown structure '%s'; registered: %s\n",
+                 structure.c_str(), valid.c_str());
+    return 2;
+  }
+  const bool container = *kind == structure_kind::container;
+  if (container && (!o.mix.empty() || o.range_set)) {
+    std::fprintf(stderr,
+                 "--mix/--range are set-structure options; '%s' is a "
+                 "container\n",
+                 structure.c_str());
+    return 2;
+  }
+
+  const unsigned threads = o.threads.empty() ? 4 : o.threads[0];
+  if (threads == 0) {
+    std::fprintf(stderr, "timeline figures need at least 1 thread\n");
+    return 2;
+  }
+
+  lab::fault_plan plan;
+  if (!o.faults.empty()) {
+    std::string err;
+    auto parsed = lab::parse_fault_plan(o.faults, &err);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "--faults: %s\n", err.c_str());
+      return 2;
+    }
+    plan = std::move(*parsed);
+    if (!plan.validate_tids(threads, &err)) {
+      std::fprintf(stderr, "--faults: %s\n", err.c_str());
+      return 2;
+    }
+    const auto last_end = plan.last_end_ms();
+    if (last_end.has_value() && *last_end >= o.duration_ms) {
+      std::fprintf(stderr,
+                   "--faults: the last fault clears at %.0fms but the run "
+                   "ends at %ums; extend --duration so recovery is "
+                   "measurable\n",
+                   *last_end, o.duration_ms);
+      return 2;
+    }
+  }
+
+  // Line-up schemes that can drive this structure, plus any other
+  // registered scheme named in --schemes (as in run_container).
+  std::vector<std::string> labels;
+  for (const std::string& name : matrix_lineup(reg, /*llsc=*/false)) {
+    if (reg.runner(name, structure) != nullptr) labels.push_back(name);
+  }
+  for (const std::string& want : o.schemes) {
+    if (std::find(labels.begin(), labels.end(), want) != labels.end()) {
+      continue;
+    }
+    if (reg.runner(want, structure) != nullptr) labels.push_back(want);
+  }
+  if (!validate_scheme_filter(o, labels)) return 2;
+  sink.header();
+
+  int status = 0;
+  for (const std::string& scheme : labels) {
+    if (!o.scheme_enabled(scheme)) continue;
+    workload_config cfg = base_cfg(spec, o);
+    cfg.threads = threads;
+    cfg.sample_ms = o.sample_ms;
+    cfg.faults = plan.empty() ? nullptr : &plan;
+    scheme_params p;
+    // Headroom for transient churn overlap: a replacement worker leases
+    // its thread identity before its predecessor's lease returns, so
+    // each churn event can briefly add one live lease on top of the
+    // workers and the prefilling thread.
+    unsigned churn = 0;
+    for (const lab::fault_event& e : plan.events) {
+      if (e.kind == lab::fault_kind::churn) ++churn;
+    }
+    p.max_threads = threads + 1 + churn;
+    p.ack_threshold = 512;  // scaled to short runs, as in fig10a
+    const workload_result r =
+        reg.runner(scheme, structure)(p, cfg);
+    const thread_split split =
+        container ? container_split(cfg) : thread_split{};
+    if (container) {
+      if (r.enqueued != r.dequeued + r.drained) {
+        std::fprintf(stderr,
+                     "%s x %s: conservation violated — pushed %llu != "
+                     "popped %llu + drained %llu\n",
+                     scheme.c_str(), structure.c_str(),
+                     static_cast<unsigned long long>(r.enqueued),
+                     static_cast<unsigned long long>(r.dequeued),
+                     static_cast<unsigned long long>(r.drained));
+        return 3;
+      }
+      if (r.retired != r.freed) {
+        std::fprintf(stderr,
+                     "%s x %s: leak — retired %llu, freed %llu after "
+                     "drain\n",
+                     scheme.c_str(), structure.c_str(),
+                     static_cast<unsigned long long>(r.retired),
+                     static_cast<unsigned long long>(r.freed));
+        return 3;
+      }
+    }
+    sink.row(structure.c_str(), scheme.c_str(), threads, 0,
+             split.producers, split.consumers, r);
+    sink.add_timeline(structure.c_str(), scheme.c_str(), r.timeline);
+
+    const scheme_registry::entry* e = reg.find(scheme);
+    const auto last_end = plan.last_end_ms();
+    if (e != nullptr && e->caps.robust && !plan.empty() &&
+        last_end.has_value()) {
+      const lab::recovery_verdict v = lab::check_recovery(
+          r.timeline, plan.first_start_ms(), *last_end, o.duration_ms);
+      if (!v.checked) {
+        std::fprintf(stderr, "%s x %s: recovery unchecked: %s\n",
+                     scheme.c_str(), structure.c_str(), v.why_unchecked);
+      } else if (!v.recovered) {
+        std::fprintf(stderr,
+                     "%s x %s: FAILED to recover — unreclaimed settled at "
+                     "%.1f after the faults vs pre-fault baseline %.1f "
+                     "(limit %.1f)\n",
+                     scheme.c_str(), structure.c_str(), v.post, v.baseline,
+                     v.limit);
+        status = 4;
+      }
+    }
+  }
+  return status;
+}
+
 /// Per-kind option validation (the registry's structure-kind dimension,
 /// applied to the CLI): set-only knobs on a container figure — or the
 /// container split on a set figure — are rejected loudly, never silently
@@ -419,6 +617,36 @@ int run_container(const figure_spec& spec, const cli_options& o,
 /// list here: explicit lists are zipped, a singleton broadcasts, the
 /// figure's defaults fill the gaps.
 bool validate_kind_options(const figure_spec& spec, cli_options& o) {
+  if (spec.kind != figure_kind::timeline &&
+      (!o.faults.empty() || o.sample_ms_set || !o.structure.empty())) {
+    std::fprintf(stderr,
+                 "--faults/--sample-ms/--structure only apply to timeline "
+                 "figures (fig_timeline)\n");
+    return false;
+  }
+  if (spec.kind == figure_kind::timeline) {
+    if (!o.producers.empty() || !o.consumers.empty() || !o.stalled.empty()) {
+      std::fprintf(stderr,
+                   "timeline figures take --threads (the split is derived "
+                   "for containers) and --faults; use "
+                   "'--faults stall:TID@0+inf' instead of --stalled\n");
+      return false;
+    }
+    if (o.full || o.repeats != 1) {
+      std::fprintf(stderr,
+                   "timeline figures run a single repetition (the time "
+                   "series cannot average across repeats); set --duration "
+                   "instead of --repeats/--full\n");
+      return false;
+    }
+    if (o.threads.size() > 1) {
+      std::fprintf(stderr,
+                   "timeline figures take a single --threads value\n");
+      return false;
+    }
+    if (!o.sample_ms_set) o.sample_ms = spec.default_sample_ms;
+    return true;
+  }
   if (spec.kind != figure_kind::container) {
     if (!o.producers.empty() || !o.consumers.empty()) {
       std::fprintf(stderr,
@@ -503,16 +731,35 @@ void append_list(std::string& s, const char* key,
 /// flags produced it).
 std::string config_json(const figure_spec& spec, const cli_options& o) {
   const workload_config base = base_cfg(spec, o);
-  const bool container = spec.kind == figure_kind::container;
+  // Whether this run's workload is container-shaped (no key_range/mix):
+  // the container figure kind, or a timeline over a container structure.
+  const std::string tl_structure =
+      o.structure.empty() ? "hashmap" : o.structure;
+  const bool timeline = spec.kind == figure_kind::timeline;
+  const bool container =
+      spec.kind == figure_kind::container ||
+      (timeline && scheme_registry::instance().kind_of(tl_structure) ==
+                       structure_kind::container);
   std::string s;
-  s += container ? "\"structure_kind\": \"container\", "
-                 : "\"structure_kind\": \"set\", ";
-  if (container) {
+  if (timeline) {
+    // Timeline runs name their one structure, thread count, fault
+    // schedule and cadence. The spec grammar has no quote/backslash
+    // characters, so the string embeds verbatim.
+    s += "\"structure\": \"" + tl_structure + "\", ";
+    s += "\"threads\": " +
+         std::to_string(o.threads.empty() ? 4 : o.threads[0]) + ", ";
+    s += "\"faults\": \"" + o.faults + "\", ";
+    s += "\"sample_ms\": " + std::to_string(o.sample_ms) + ", ";
+  } else if (container) {
+    s += "\"structure_kind\": \"container\", ";
     append_list(s, "producers", o.producers);
     append_list(s, "consumers", o.consumers);
   } else {
+    s += "\"structure_kind\": \"set\", ";
     append_list(s, "threads", o.threads);
     append_list(s, "stalled", o.stalled);
+  }
+  if (!container) {
     s += "\"mix\": {\"insert\": " + std::to_string(base.insert_pct) +
          ", \"remove\": " + std::to_string(base.remove_pct) +
          ", \"get\": " + std::to_string(base.get_pct) + "}, ";
@@ -542,9 +789,12 @@ int run_figure(const figure_spec& spec, int argc, char** argv) {
   cli_options defaults;
   defaults.threads = spec.default_threads;
   defaults.stalled = spec.default_stalled;
+  if (spec.default_duration_ms != 0) {
+    defaults.duration_ms = spec.default_duration_ms;
+  }
   cli_options o = parse_cli(argc, argv, defaults);
   if (!validate_kind_options(spec, o)) return 2;
-  figure_sink sink(spec.name);
+  figure_sink sink(spec.name, o.seed);
   sink.set_config(config_json(spec, o));
   int status = 2;
   switch (spec.kind) {
@@ -560,8 +810,14 @@ int run_figure(const figure_spec& spec, int argc, char** argv) {
     case figure_kind::container:
       status = run_container(spec, o, sink);
       break;
+    case figure_kind::timeline:
+      status = run_timeline(spec, o, sink);
+      break;
   }
-  if (status == 0 && !o.json.empty() && !sink.write_json(o.json)) {
+  // A failed recovery check (status 4) still writes the JSON: the series
+  // showing WHY the check failed is exactly what a CI debugger needs.
+  if ((status == 0 || status == 4) && !o.json.empty() &&
+      !sink.write_json(o.json)) {
     status = 2;
   }
   return status;

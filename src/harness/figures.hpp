@@ -27,6 +27,13 @@ enum class figure_kind {
   /// producer/consumer split instead of the set-only key_range/op-mix/
   /// thread knobs; run_figure validates the two option families per kind.
   container,
+  /// Robustness lab (fig_timeline): one structure (--structure, set or
+  /// container), single thread count, single repetition, scheme line-up,
+  /// with a scripted fault schedule (--faults) and time-series telemetry
+  /// (--sample-ms). Each robust scheme's series is recovery-checked —
+  /// unreclaimed must return to its pre-fault baseline after the last
+  /// fault clears, or the binary exits non-zero.
+  timeline,
 };
 
 struct figure_spec {
@@ -49,6 +56,11 @@ struct figure_spec {
   /// broadcasts against the other).
   std::vector<unsigned> default_producers = {1, 2, 4};
   std::vector<unsigned> default_consumers = {1, 2, 4};
+  /// Timeline figures: telemetry cadence and the run length (0 = keep the
+  /// CLI default; fig_timeline needs a longer default so a transient
+  /// fault leaves a measurable fault-free tail).
+  unsigned default_sample_ms = 10;
+  unsigned default_duration_ms = 0;
 };
 
 /// Parse argv over the spec's defaults and run the figure. Returns the

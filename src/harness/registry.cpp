@@ -197,4 +197,27 @@ runner_fn scheme_registry::runner(std::string_view scheme,
   return e != nullptr ? e->runner_for(structure) : nullptr;
 }
 
+std::vector<scheme_registry::structure_info> scheme_registry::structures()
+    const {
+  std::vector<structure_info> out;
+  for (const entry& e : schemes_) {
+    for (const cell& c : e.cells) {
+      const bool seen =
+          std::any_of(out.begin(), out.end(), [&](const structure_info& s) {
+            return s.name == c.structure;
+          });
+      if (!seen) out.push_back({c.structure, c.kind});
+    }
+  }
+  return out;
+}
+
+std::optional<structure_kind> scheme_registry::kind_of(
+    std::string_view structure) const {
+  for (const entry& e : schemes_) {
+    if (const cell* c = e.cell_for(structure)) return c->kind;
+  }
+  return std::nullopt;
+}
+
 }  // namespace hyaline::harness

@@ -21,6 +21,7 @@
 //     including the robust ones harris excludes.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -91,6 +92,19 @@ class scheme_registry {
   runner_fn runner(std::string_view scheme, std::string_view structure) const;
 
   const std::vector<entry>& schemes() const { return schemes_; }
+
+  /// Every registered structure name with its kind, first-appearance
+  /// order, deduplicated across schemes — the timeline driver resolves
+  /// and validates `--structure` against this.
+  struct structure_info {
+    std::string name;
+    structure_kind kind;
+  };
+  std::vector<structure_info> structures() const;
+
+  /// The kind of a registered structure, or nullopt if no scheme
+  /// registers it.
+  std::optional<structure_kind> kind_of(std::string_view structure) const;
 
  private:
   scheme_registry();

@@ -10,7 +10,13 @@
 //
 // Extras used by specific figures:
 //   - stalled_threads: extra threads that enter, touch one node, and then
-//     block until the run ends (the Figure 10a robustness experiment);
+//     block until the run ends (the Figure 10a robustness experiment).
+//     Internally this is the degenerate case `stall:tid@0+inf` of the
+//     robustness lab's fault plans (lab/fault_plan.hpp);
+//   - faults / sample_ms: the robustness lab (fig_timeline) — a scripted
+//     schedule of transient faults executed by a lab clock thread that
+//     the loops below poll at operation boundaries, and a telemetry
+//     sampler producing the time series in workload_result::timeline;
 //   - use_trim: hold one guard per thread and trim() after every operation
 //     instead of leave+enter (the Figure 10b trimming experiment).
 //
@@ -20,16 +26,25 @@
 // Accounting is exact — pushed items (prefill included), popped items, and
 // the residual drained at the end must balance (the conservation
 // invariant checked by the registry runners and tests).
+//
+// Every loop also samples per-op latency (one in kLatencyEvery operations
+// is timed around its guard + operation) into a shared log-bucketed
+// histogram; the p50/p90/p99/max land in every workload_result.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "lab/fault_plan.hpp"
+#include "lab/telemetry.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::harness {
@@ -57,6 +72,15 @@ struct workload_config {
   /// families apart.
   unsigned producers = 0;
   unsigned consumers = 0;
+  /// Robustness lab: scripted transient faults executed against every
+  /// repetition (nullptr = none). stalled_threads is folded into the same
+  /// machinery as stall@0+inf workers either way. The plan must outlive
+  /// the run and have been validated against the worker-thread count.
+  const lab::fault_plan* faults = nullptr;
+  /// Telemetry cadence in ms; nonzero fills workload_result::timeline.
+  /// Meant for single-repetition runs (fig_timeline): with repeats > 1
+  /// only the last repetition's series is kept.
+  unsigned sample_ms = 0;
 };
 
 struct workload_result {
@@ -68,6 +92,13 @@ struct workload_result {
   /// harmless).
   std::uint64_t unreclaimed_peak = 0;
   std::uint64_t total_ops = 0;  ///< operations completed across all threads
+  /// Per-op latency percentiles (ns) over the sampled operations (one in
+  /// detail::kLatencyEvery ops is timed around guard + operation), and
+  /// the exact maximum among them.
+  double p50_ns = 0;
+  double p90_ns = 0;
+  double p99_ns = 0;
+  std::uint64_t max_ns = 0;
   /// Final domain counters, captured after structure teardown and a
   /// quiescent drain (filled in by the registry runners; retired != freed
   /// means the scheme leaked).
@@ -80,6 +111,9 @@ struct workload_result {
   std::uint64_t enqueued = 0;
   std::uint64_t dequeued = 0;
   std::uint64_t drained = 0;
+  /// Time series from the telemetry sampler (empty unless
+  /// workload_config::sample_ms was set).
+  std::vector<lab::sample_point> timeline;
 };
 
 /// True iff the op-mix percentages cover exactly the whole dice range.
@@ -92,6 +126,11 @@ constexpr bool valid_mix(const workload_config& cfg) {
 }
 
 namespace detail {
+
+/// One in this many operations is latency-timed. Sampling keeps the two
+/// clock reads off the common path so the histogram does not perturb the
+/// throughput it is measured alongside.
+inline constexpr std::uint64_t kLatencyEvery = 32;
 
 template <class D>
 concept has_flush = requires(D d) { d.flush(); };
@@ -170,6 +209,52 @@ struct run_stats {
   }
 };
 
+inline std::uint64_t ns_since(std::chrono::steady_clock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t)
+          .count());
+}
+
+/// Shared run-level lab state for one workload invocation: the merged
+/// latency histogram plus the (per-repetition) fault director and
+/// telemetry collector, so both workload drivers wire the hooks the same
+/// way.
+struct lab_state {
+  lab::latency_histogram hist;
+  std::mutex hist_mu;
+  lab::fault_director* dir = nullptr;
+  lab::telemetry_collector* tele = nullptr;
+
+  void merge_hist(const lab::latency_histogram& local) {
+    std::lock_guard<std::mutex> lk(hist_mu);
+    hist.merge(local);
+  }
+
+  void fill(workload_result& r) const {
+    r.p50_ns = hist.percentile(0.50);
+    r.p90_ns = hist.percentile(0.90);
+    r.p99_ns = hist.percentile(0.99);
+    r.max_ns = hist.max();
+  }
+};
+
+/// The user's fault plan plus the legacy permanently-stalled extras,
+/// expressed as what they are: workers that stall at t=0 forever.
+inline lab::fault_plan effective_plan(const workload_config& cfg) {
+  lab::fault_plan plan;
+  if (cfg.faults != nullptr) plan = *cfg.faults;
+  for (unsigned i = 0; i < cfg.stalled_threads; ++i) {
+    lab::fault_event e;
+    e.kind = lab::fault_kind::stall;
+    e.tid = cfg.threads + i;
+    e.start_ms = 0;
+    e.dur_ms = std::numeric_limits<double>::infinity();
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
 }  // namespace detail
 
 /// Resolved producer/consumer split for a container workload: explicit
@@ -209,107 +294,192 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
   }
 
   detail::run_stats stats;
+  detail::lab_state lab;
+  const lab::fault_plan plan = detail::effective_plan(cfg);
+  const unsigned total_threads = cfg.threads + cfg.stalled_threads;
+  std::vector<lab::sample_point> timeline;
 
   for (unsigned rep = 0; rep < cfg.repeats; ++rep) {
     std::atomic<bool> start{false};
     std::atomic<bool> stop{false};
     detail::rep_counters counters;
 
-    auto worker = [&](unsigned tid) {
+    auto worker = [&](unsigned tid, std::uint32_t gen) {
       xoshiro256 rng(cfg.seed + tid * 1000003 + rep * 7919);
+      lab::latency_histogram lhist;
       std::uint64_t local_ops = 0;
       std::uint64_t local_peak = 0;
+      auto dispatch = [&](guard_t& g, std::uint64_t key,
+                          std::uint64_t dice) {
+        if (dice < cfg.insert_pct) {
+          s.insert(g, key, key);
+        } else if (dice < cfg.insert_pct + cfg.remove_pct) {
+          s.remove(g, key);
+        } else {
+          s.contains(g, key);
+        }
+      };
+      auto after_op = [&] {
+        ++local_ops;
+        if (lab.tele != nullptr) lab.tele->on_op(tid);
+        if (local_ops % cfg.sample_every == 0) {
+          counters.sample(dom.counters().unreclaimed(), local_peak);
+        }
+      };
+      // One claimed burst unit: remove a random key (a successful remove
+      // retires its node) and reinsert to hold the size at equilibrium.
+      auto burst_pair = [&](guard_t& g) {
+        const std::uint64_t key = rng.below(cfg.key_range);
+        if (s.remove(g, key)) s.insert(g, key, key);
+      };
+      if (lab.tele != nullptr) lab.tele->thread_enter();
       while (!start.load(std::memory_order_acquire)) {
       }
       if (!cfg.use_trim) {
         while (!stop.load(std::memory_order_relaxed)) {
-          const std::uint64_t key = rng.below(cfg.key_range);
-          const std::uint64_t dice = rng.below(100);
-          {
-            guard_t g(dom);
-            if (dice < cfg.insert_pct) {
-              s.insert(g, key, key);
-            } else if (dice < cfg.insert_pct + cfg.remove_pct) {
-              s.remove(g, key);
-            } else {
-              s.contains(g, key);
+          if (lab.dir != nullptr) {
+            if (lab.dir->exited(tid, gen)) break;
+            if (lab.dir->stalled(tid)) {
+              // The paper's stalled-thread protocol: enter, touch one
+              // node, block holding the guard for the stall window.
+              guard_t g(dom);
+              s.contains(g, rng.below(cfg.key_range));
+              lab.dir->wait_stall_end(tid);
+              continue;
+            }
+            if (const std::uint32_t us = lab.dir->slow_delay_us(tid)) {
+              std::this_thread::sleep_for(std::chrono::microseconds(us));
+            }
+            for (std::uint64_t n = lab.dir->claim_burst(128);
+                 n != 0 && !stop.load(std::memory_order_relaxed); --n) {
+              guard_t g(dom);
+              burst_pair(g);
+              after_op();
             }
           }
-          ++local_ops;
-          if (local_ops % cfg.sample_every == 0) {
-            counters.sample(dom.counters().unreclaimed(), local_peak);
+          const std::uint64_t key = rng.below(cfg.key_range);
+          const std::uint64_t dice = rng.below(100);
+          const bool timed = local_ops % detail::kLatencyEvery == 0;
+          const auto t_op = timed ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+          {
+            guard_t g(dom);
+            dispatch(g, key, dice);
           }
+          if (timed) lhist.record(detail::ns_since(t_op));
+          after_op();
         }
       } else {
         // Trimming mode (§3.3): one guard spans many operations; trim()
         // after each op reclaims without touching Head. Re-enter
-        // periodically to bound the retirement sublists.
+        // periodically to bound the retirement sublists. Fault polls
+        // happen under the held guard (a stall here pins exactly what
+        // the long-lived guard pins).
         constexpr std::uint64_t regrip_every = 1024;
         while (!stop.load(std::memory_order_relaxed)) {
+          if (lab.dir != nullptr && lab.dir->exited(tid, gen)) break;
           guard_t g(dom);
           for (std::uint64_t i = 0;
                i < regrip_every && !stop.load(std::memory_order_relaxed);
                ++i) {
+            if (lab.dir != nullptr) {
+              if (lab.dir->exited(tid, gen)) break;
+              if (lab.dir->stalled(tid)) {
+                s.contains(g, rng.below(cfg.key_range));
+                lab.dir->wait_stall_end(tid);
+              }
+              if (const std::uint32_t us = lab.dir->slow_delay_us(tid)) {
+                std::this_thread::sleep_for(std::chrono::microseconds(us));
+              }
+              for (std::uint64_t n = lab.dir->claim_burst(128);
+                   n != 0 && !stop.load(std::memory_order_relaxed); --n) {
+                burst_pair(g);
+                if constexpr (detail::has_trim<guard_t>) g.trim();
+                after_op();
+              }
+            }
             const std::uint64_t key = rng.below(cfg.key_range);
             const std::uint64_t dice = rng.below(100);
-            if (dice < cfg.insert_pct) {
-              s.insert(g, key, key);
-            } else if (dice < cfg.insert_pct + cfg.remove_pct) {
-              s.remove(g, key);
-            } else {
-              s.contains(g, key);
-            }
+            const bool timed = local_ops % detail::kLatencyEvery == 0;
+            const auto t_op =
+                timed ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{};
+            dispatch(g, key, dice);
             if constexpr (detail::has_trim<guard_t>) g.trim();
-            ++local_ops;
-            if (local_ops % cfg.sample_every == 0) {
-              counters.sample(dom.counters().unreclaimed(), local_peak);
-            }
+            if (timed) lhist.record(detail::ns_since(t_op));
+            after_op();
           }
         }
       }
       counters.ops.fetch_add(local_ops, std::memory_order_relaxed);
       detail::atomic_max(stats.peak, local_peak);
       detail::flush_thread(dom);
+      lab.merge_hist(lhist);
+      if (lab.tele != nullptr) lab.tele->thread_exit();
     };
 
-    // A stalled thread enters, dereferences one node, then blocks until
-    // the run ends — pinning whatever its scheme's reservation pins.
-    auto stalled = [&](unsigned tid) {
-      xoshiro256 rng(cfg.seed + tid * 31337);
-      while (!start.load(std::memory_order_acquire)) {
-      }
-      {
-        guard_t g(dom);
-        s.contains(g, rng.below(cfg.key_range));
-        while (!stop.load(std::memory_order_relaxed)) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        }
-      }
-      detail::flush_thread(dom);
-    };
+    // Churn replacements spawned by the lab clock thread mid-run; joined
+    // after the primary workers (the director is stopped first, so the
+    // clock thread no longer appends by then).
+    std::vector<std::thread> replacements;
+    std::mutex spawn_mu;
+    std::unique_ptr<lab::fault_director> dir_holder;
+    if (!plan.empty()) {
+      dir_holder = std::make_unique<lab::fault_director>(
+          plan, total_threads, [&](unsigned tid) {
+            const std::uint32_t gen = lab.dir->generation(tid);
+            std::lock_guard<std::mutex> lk(spawn_mu);
+            replacements.emplace_back(worker, tid, gen);
+          });
+    }
+    lab.dir = dir_holder.get();
+    std::unique_ptr<lab::telemetry_collector> tele_holder;
+    if (cfg.sample_ms != 0) {
+      tele_holder = std::make_unique<lab::telemetry_collector>(
+          total_threads, cfg.sample_ms, &dom.counters());
+    }
+    lab.tele = tele_holder.get();
 
     std::vector<std::thread> ts;
-    ts.reserve(cfg.threads + cfg.stalled_threads);
-    for (unsigned t = 0; t < cfg.threads; ++t) ts.emplace_back(worker, t);
-    for (unsigned t = 0; t < cfg.stalled_threads; ++t) {
-      ts.emplace_back(stalled, cfg.threads + t);
+    ts.reserve(total_threads);
+    for (unsigned t = 0; t < total_threads; ++t) {
+      ts.emplace_back(worker, t, 0);
     }
 
     const auto t0 = std::chrono::steady_clock::now();
     start.store(true, std::memory_order_release);
+    if (lab.dir != nullptr) lab.dir->start();
+    if (lab.tele != nullptr) lab.tele->start();
     std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
     stop.store(true, std::memory_order_release);
+    // Stop the director before joining: it releases in-guard stall waits
+    // (a stalled worker cannot observe `stop` until released) and joins
+    // the clock thread, after which `replacements` is quiescent.
+    if (lab.dir != nullptr) lab.dir->stop();
+    // Telemetry stops BEFORE the joins: teardown samples would record
+    // the unreclaimed count after per-thread flushes — a drop the
+    // recovery check must not credit to the scheme (threads exiting is
+    // not recovery).
+    if (lab.tele != nullptr) {
+      lab.tele->stop();
+      timeline = lab.tele->take_points();
+    }
     for (auto& th : ts) th.join();
+    for (auto& th : replacements) th.join();
     const auto t1 = std::chrono::steady_clock::now();
 
     const double secs =
         std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
             .count();
     stats.finish_rep(counters, secs, dom.counters().unreclaimed());
+    lab.dir = nullptr;
+    lab.tele = nullptr;
   }
 
   workload_result r;
   stats.fill(r, cfg.repeats);
+  lab.fill(r);
+  r.timeline = std::move(timeline);
   return r;
 }
 
@@ -321,7 +491,9 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
 /// real work the throughput number must not hide). After the timed
 /// repeats, the residual content is drained quiescently so the
 /// conservation ledger (enqueued == dequeued + drained) can be checked by
-/// the caller.
+/// the caller. Fault plans and telemetry apply exactly as in
+/// run_workload; burst events run push+pop pairs (each successful pop
+/// retires a node) with both sides entered into the ledger.
 template <class Q, class D>
 workload_result run_container_workload(D& dom, Q& q,
                                        const workload_config& cfg) {
@@ -340,65 +512,140 @@ workload_result run_container_workload(D& dom, Q& q,
   enqueued.fetch_add(cfg.prefill, std::memory_order_relaxed);
 
   detail::run_stats stats;
+  detail::lab_state lab;
+  workload_config plan_cfg = cfg;
+  plan_cfg.threads = split.total();  // stalled extras ride above the split
+  const lab::fault_plan plan = detail::effective_plan(plan_cfg);
+  const unsigned total_threads = split.total() + cfg.stalled_threads;
+  std::vector<lab::sample_point> timeline;
 
   for (unsigned rep = 0; rep < cfg.repeats; ++rep) {
     std::atomic<bool> start{false};
     std::atomic<bool> stop{false};
     detail::rep_counters counters;
 
-    auto body = [&](unsigned tid, bool producing) {
+    auto body = [&](unsigned tid, std::uint32_t gen) {
+      const bool producing = tid < split.producers;
       std::uint64_t local_ops = 0;
-      std::uint64_t local_done = 0;  // successful pushes or pops
+      std::uint64_t local_enq = 0;
+      std::uint64_t local_deq = 0;
       std::uint64_t local_peak = 0;
+      lab::latency_histogram lhist;
       // Write-only diagnostic payload (per-thread monotone counter);
       // nothing downstream decodes it — the FIFO/LIFO property tests
       // stamp their own payloads.
       std::uint64_t stamp = std::uint64_t{tid} << 40;
+      auto after_op = [&] {
+        ++local_ops;
+        if (lab.tele != nullptr) lab.tele->on_op(tid);
+        if (local_ops % cfg.sample_every == 0) {
+          counters.sample(dom.counters().unreclaimed(), local_peak);
+        }
+      };
+      if (lab.tele != nullptr) lab.tele->thread_enter();
       while (!start.load(std::memory_order_acquire)) {
       }
       while (!stop.load(std::memory_order_relaxed)) {
+        if (lab.dir != nullptr) {
+          if (lab.dir->exited(tid, gen)) break;
+          if (lab.dir->stalled(tid)) {
+            // Containers have no read-only touch; holding the guard
+            // alone pins whatever the scheme's reservation pins.
+            guard_t g(dom);
+            lab.dir->wait_stall_end(tid);
+            continue;
+          }
+          if (const std::uint32_t us = lab.dir->slow_delay_us(tid)) {
+            std::this_thread::sleep_for(std::chrono::microseconds(us));
+          }
+          for (std::uint64_t n = lab.dir->claim_burst(128);
+               n != 0 && !stop.load(std::memory_order_relaxed); --n) {
+            // Retire-generating pair with an exact ledger: the push is
+            // counted, and the pop (usually of the just-pushed value)
+            // retires one node.
+            guard_t g(dom);
+            q.push(g, stamp++);
+            ++local_enq;
+            std::uint64_t v;
+            if (q.try_pop(g, v)) ++local_deq;
+            after_op();
+          }
+        }
+        const bool timed = local_ops % detail::kLatencyEvery == 0;
+        const auto t_op = timed ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
         {
           guard_t g(dom);
           if (producing) {
             q.push(g, stamp++);
-            ++local_done;
+            ++local_enq;
           } else {
             std::uint64_t v;
-            if (q.try_pop(g, v)) ++local_done;
+            if (q.try_pop(g, v)) ++local_deq;
           }
         }
-        ++local_ops;
-        if (local_ops % cfg.sample_every == 0) {
-          counters.sample(dom.counters().unreclaimed(), local_peak);
-        }
+        if (timed) lhist.record(detail::ns_since(t_op));
+        after_op();
       }
       counters.ops.fetch_add(local_ops, std::memory_order_relaxed);
-      (producing ? enqueued : dequeued)
-          .fetch_add(local_done, std::memory_order_relaxed);
+      enqueued.fetch_add(local_enq, std::memory_order_relaxed);
+      dequeued.fetch_add(local_deq, std::memory_order_relaxed);
       detail::atomic_max(stats.peak, local_peak);
       detail::flush_thread(dom);
+      lab.merge_hist(lhist);
+      if (lab.tele != nullptr) lab.tele->thread_exit();
     };
 
-    std::vector<std::thread> ts;
-    ts.reserve(split.total());
-    for (unsigned t = 0; t < split.producers; ++t) {
-      ts.emplace_back(body, t, true);
+    std::vector<std::thread> replacements;
+    std::mutex spawn_mu;
+    std::unique_ptr<lab::fault_director> dir_holder;
+    if (!plan.empty()) {
+      dir_holder = std::make_unique<lab::fault_director>(
+          plan, total_threads, [&](unsigned tid) {
+            const std::uint32_t gen = lab.dir->generation(tid);
+            std::lock_guard<std::mutex> lk(spawn_mu);
+            replacements.emplace_back(body, tid, gen);
+          });
     }
-    for (unsigned t = 0; t < split.consumers; ++t) {
-      ts.emplace_back(body, split.producers + t, false);
+    lab.dir = dir_holder.get();
+    std::unique_ptr<lab::telemetry_collector> tele_holder;
+    if (cfg.sample_ms != 0) {
+      tele_holder = std::make_unique<lab::telemetry_collector>(
+          total_threads, cfg.sample_ms, &dom.counters());
+    }
+    lab.tele = tele_holder.get();
+
+    std::vector<std::thread> ts;
+    ts.reserve(total_threads);
+    for (unsigned t = 0; t < total_threads; ++t) {
+      ts.emplace_back(body, t, 0);
     }
 
     const auto t0 = std::chrono::steady_clock::now();
     start.store(true, std::memory_order_release);
+    if (lab.dir != nullptr) lab.dir->start();
+    if (lab.tele != nullptr) lab.tele->start();
     std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
     stop.store(true, std::memory_order_release);
+    if (lab.dir != nullptr) lab.dir->stop();
+    // Telemetry stops BEFORE the joins: teardown samples would record
+    // the unreclaimed count after per-thread flushes — a drop the
+    // recovery check must not credit to the scheme (threads exiting is
+    // not recovery).
+    if (lab.tele != nullptr) {
+      lab.tele->stop();
+      timeline = lab.tele->take_points();
+    }
     for (auto& th : ts) th.join();
+    for (auto& th : replacements) th.join();
     const auto t1 = std::chrono::steady_clock::now();
 
     const double secs =
         std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
             .count();
     stats.finish_rep(counters, secs, dom.counters().unreclaimed());
+    lab.dir = nullptr;
+    lab.tele = nullptr;
   }
 
   // --- drain (quiescent) -----------------------------------------------
@@ -415,9 +662,11 @@ workload_result run_container_workload(D& dom, Q& q,
 
   workload_result r;
   stats.fill(r, cfg.repeats);
+  lab.fill(r);
   r.enqueued = enqueued.load(std::memory_order_relaxed);
   r.dequeued = dequeued.load(std::memory_order_relaxed);
   r.drained = drained;
+  r.timeline = std::move(timeline);
   return r;
 }
 

@@ -77,5 +77,29 @@ TEST(CliTest, FullOverridesDurationAndRepeats) {
   EXPECT_EQ(o.repeats, 5u);
 }
 
+TEST(CliTest, SeedParsesDecimalAndHex) {
+  EXPECT_EQ(parse({"--seed", "12345"}).seed, 12345u);
+  // Hex round-trips from the CSV header comment (`# seed=0x...`).
+  EXPECT_EQ(parse({"--seed", "0x5eed"}).seed, 0x5eedu);
+  EXPECT_EQ(cli_options{}.seed, 0x5eedu);  // matches workload_config
+}
+
+TEST(CliTest, LabFlagsParse) {
+  const cli_options o = parse({"--faults", "stall:2@500ms+300ms",
+                               "--sample-ms", "25", "--structure",
+                               "msqueue"});
+  EXPECT_EQ(o.faults, "stall:2@500ms+300ms");
+  EXPECT_EQ(o.sample_ms, 25u);
+  EXPECT_TRUE(o.sample_ms_set);
+  EXPECT_EQ(o.structure, "msqueue");
+}
+
+TEST(CliTest, LabFlagsDefaultToUnset) {
+  const cli_options o = parse({"--duration", "100"});
+  EXPECT_TRUE(o.faults.empty());
+  EXPECT_FALSE(o.sample_ms_set);
+  EXPECT_TRUE(o.structure.empty());
+}
+
 }  // namespace
 }  // namespace hyaline::harness

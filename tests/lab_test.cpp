@@ -1,0 +1,234 @@
+// Robustness-lab unit tests: the --faults spec parser (grammar,
+// overlapping windows, rejection of malformed input and out-of-range
+// tids), the log-bucketed latency histogram's bucket math and percentile
+// interpolation, and the recovery check that fig_timeline turns into an
+// exit status.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "lab/fault_plan.hpp"
+#include "lab/telemetry.hpp"
+
+namespace hyaline::lab {
+namespace {
+
+fault_plan parse_ok(const std::string& spec) {
+  std::string err;
+  auto plan = parse_fault_plan(spec, &err);
+  EXPECT_TRUE(plan.has_value()) << spec << ": " << err;
+  return plan.has_value() ? *plan : fault_plan{};
+}
+
+void expect_reject(const std::string& spec) {
+  std::string err;
+  EXPECT_FALSE(parse_fault_plan(spec, &err).has_value()) << spec;
+  EXPECT_FALSE(err.empty()) << spec;
+}
+
+TEST(FaultPlanTest, ParsesStallWithUnits) {
+  const fault_plan p = parse_ok("stall:2@500ms+300ms");
+  ASSERT_EQ(p.events.size(), 1u);
+  EXPECT_EQ(p.events[0].kind, fault_kind::stall);
+  EXPECT_EQ(p.events[0].tid, 2u);
+  EXPECT_DOUBLE_EQ(p.events[0].start_ms, 500);
+  EXPECT_DOUBLE_EQ(p.events[0].dur_ms, 300);
+  EXPECT_DOUBLE_EQ(p.first_start_ms(), 500);
+  ASSERT_TRUE(p.last_end_ms().has_value());
+  EXPECT_DOUBLE_EQ(*p.last_end_ms(), 800);
+}
+
+TEST(FaultPlanTest, BareNumbersAreMillisecondsAndSecondsScale) {
+  const fault_plan p = parse_ok("stall:0@250+1s,churn:4@1s");
+  ASSERT_EQ(p.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.events[0].start_ms, 250);
+  EXPECT_DOUBLE_EQ(p.events[0].dur_ms, 1000);
+  EXPECT_EQ(p.events[1].kind, fault_kind::churn);
+  EXPECT_DOUBLE_EQ(p.events[1].start_ms, 1000);
+}
+
+TEST(FaultPlanTest, MicrosecondUnit) {
+  const fault_plan p = parse_ok("stall:0@1500us+500us");
+  EXPECT_DOUBLE_EQ(p.events[0].start_ms, 1.5);
+  EXPECT_DOUBLE_EQ(p.events[0].dur_ms, 0.5);
+}
+
+TEST(FaultPlanTest, InfiniteStallIsTheDegenerateLegacyMode) {
+  const fault_plan p = parse_ok("stall:1@0+inf");
+  EXPECT_TRUE(std::isinf(p.events[0].dur_ms));
+  // An open-ended fault leaves no fault-free tail to measure recovery in.
+  EXPECT_FALSE(p.last_end_ms().has_value());
+}
+
+TEST(FaultPlanTest, SlowCarriesPerOpDelay) {
+  const fault_plan p = parse_ok("slow:3/25@100ms+200ms");
+  EXPECT_EQ(p.events[0].kind, fault_kind::slow);
+  EXPECT_EQ(p.events[0].tid, 3u);
+  EXPECT_EQ(p.events[0].delay_us, 25u);
+}
+
+TEST(FaultPlanTest, BurstAndExit) {
+  const fault_plan p = parse_ok("burst:5000@1s,exit:2@700ms");
+  EXPECT_EQ(p.events[0].kind, fault_kind::burst);
+  EXPECT_EQ(p.events[0].count, 5000u);
+  EXPECT_EQ(p.events[1].kind, fault_kind::exit_thread);
+  ASSERT_TRUE(p.last_end_ms().has_value());
+  EXPECT_DOUBLE_EQ(*p.last_end_ms(), 1000);  // instantaneous events
+}
+
+TEST(FaultPlanTest, OverlappingWindowsParse) {
+  // Overlaps are legal — stall depths and slow delays compose — including
+  // two windows on the same tid.
+  const fault_plan p =
+      parse_ok("stall:1@100ms+400ms,stall:1@200ms+100ms,slow:1/10@0+1s");
+  EXPECT_EQ(p.events.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.first_start_ms(), 0);
+  EXPECT_DOUBLE_EQ(*p.last_end_ms(), 1000);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  expect_reject("");
+  expect_reject("stall");
+  expect_reject("stall:");
+  expect_reject("stall:1");            // missing @start
+  expect_reject("stall:1@");
+  expect_reject("stall:1@100ms");      // stall needs a window
+  expect_reject("stall:1@100ms+");
+  expect_reject("stall:1@100ms+0");    // empty window
+  expect_reject("stall:1@-5ms+10ms");  // negative time
+  expect_reject("slow:1@0+10ms");      // missing /usec
+  expect_reject("slow:1/0@0+10ms");    // zero delay
+  expect_reject("slow:1/10@0+inf");    // only stalls may be infinite
+  expect_reject("burst:0@10ms");       // zero count
+  expect_reject("wobble:1@0");         // unknown kind
+  expect_reject("stall:1@0+10ms,");    // trailing empty event
+  expect_reject("stall:1@0+10msx");    // trailing garbage
+}
+
+TEST(FaultPlanTest, RejectsTidBeyondWorkerCount) {
+  const fault_plan p = parse_ok("stall:4@0+10ms");
+  std::string err;
+  EXPECT_FALSE(p.validate_tids(4, &err));
+  EXPECT_NE(err.find("tid 4"), std::string::npos);
+  EXPECT_TRUE(p.validate_tids(5, &err));
+  // Burst events carry a count, not a tid; any thread count is fine.
+  EXPECT_TRUE(parse_ok("burst:9999@0").validate_tids(1, &err));
+}
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  // Bucket 0 = {0}; bucket b >= 1 = [2^(b-1), 2^b - 1].
+  EXPECT_EQ(latency_histogram::bucket_of(0), 0u);
+  EXPECT_EQ(latency_histogram::bucket_of(1), 1u);
+  EXPECT_EQ(latency_histogram::bucket_of(2), 2u);
+  EXPECT_EQ(latency_histogram::bucket_of(3), 2u);
+  EXPECT_EQ(latency_histogram::bucket_of(4), 3u);
+  EXPECT_EQ(latency_histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(latency_histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(latency_histogram::bucket_of(~0ULL), 64u);
+  for (unsigned b = 1; b < latency_histogram::kBuckets; ++b) {
+    EXPECT_EQ(latency_histogram::bucket_of(latency_histogram::bucket_lo(b)),
+              b);
+    EXPECT_EQ(latency_histogram::bucket_of(latency_histogram::bucket_hi(b)),
+              b);
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyAndSingleValue) {
+  latency_histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0);
+  h.record(100);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  // One sample: every quantile lands in its bucket [64, 127].
+  EXPECT_GE(h.percentile(0.5), 64);
+  EXPECT_LE(h.percentile(0.5), 127);
+}
+
+TEST(LatencyHistogramTest, PercentilesRankCorrectly) {
+  latency_histogram h;
+  // 90 samples in [64,127] (bucket 7), 10 in [1024,2047] (bucket 11).
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(1500);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_LE(h.percentile(0.50), 127);
+  EXPECT_LE(h.percentile(0.89), 127);
+  EXPECT_GE(h.percentile(0.95), 1024);
+  EXPECT_GE(h.percentile(1.0), 1024);
+  EXPECT_EQ(h.max(), 1500u);
+  // Interpolation stays inside the covering bucket.
+  EXPECT_LE(h.percentile(0.99), 2047);
+}
+
+TEST(LatencyHistogramTest, MergeAddsCountsAndMax) {
+  latency_histogram a, b;
+  a.record(10);
+  b.record(10000);
+  b.record(10);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.max(), 10000u);
+  EXPECT_EQ(a.bucket_count(latency_histogram::bucket_of(10)), 2u);
+}
+
+std::vector<sample_point> series(
+    std::initializer_list<std::pair<double, std::uint64_t>> pts) {
+  std::vector<sample_point> out;
+  for (const auto& [t, u] : pts) {
+    sample_point p;
+    p.t_ms = t;
+    p.unreclaimed = u;
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(RecoveryCheckTest, RecoveredSeriesPasses) {
+  // Fault window [200, 400] in a 1000 ms run: spike during the fault,
+  // settled tail back at baseline. Tail window starts at 700.
+  const auto pts = series({{100, 5000},
+                           {150, 6000},
+                           {300, 90000},
+                           {500, 30000},
+                           {750, 7000},
+                           {900, 6500}});
+  const recovery_verdict v = check_recovery(pts, 200, 400, 1000);
+  ASSERT_TRUE(v.checked);
+  EXPECT_DOUBLE_EQ(v.baseline, 6000);  // pre-fault peak
+  EXPECT_DOUBLE_EQ(v.post, 6750);
+  EXPECT_TRUE(v.recovered);
+}
+
+TEST(RecoveryCheckTest, StuckSeriesFails) {
+  const auto pts = series(
+      {{100, 5000}, {300, 90000}, {750, 80000}, {900, 85000}});
+  const recovery_verdict v = check_recovery(pts, 200, 400, 1000);
+  ASSERT_TRUE(v.checked);
+  EXPECT_FALSE(v.recovered);
+  EXPECT_DOUBLE_EQ(v.limit, 10000);
+}
+
+TEST(RecoveryCheckTest, FloorAbsorbsTinyBaselines) {
+  // Near-idle pre-fault window: 2x a 10-node baseline would flag any
+  // batching scheme; the floor covers it.
+  const auto pts = series({{100, 10}, {300, 50000}, {800, 1500}});
+  const recovery_verdict v = check_recovery(pts, 200, 400, 1000);
+  ASSERT_TRUE(v.checked);
+  EXPECT_DOUBLE_EQ(v.limit, 2048);
+  EXPECT_TRUE(v.recovered);
+}
+
+TEST(RecoveryCheckTest, UncheckedWithoutWindowSamples) {
+  // No samples before the fault.
+  recovery_verdict v =
+      check_recovery(series({{500, 100}, {900, 100}}), 0, 400, 1000);
+  EXPECT_FALSE(v.checked);
+  // No samples in the settled tail.
+  v = check_recovery(series({{100, 100}, {500, 100}}), 200, 400, 1000);
+  EXPECT_FALSE(v.checked);
+  EXPECT_FALSE(v.recovered);
+}
+
+}  // namespace
+}  // namespace hyaline::lab
