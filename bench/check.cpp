@@ -1,0 +1,17 @@
+// Linearizability oracle: sweep every registered scheme×structure cell
+// with history recording on and check each cell's history against its
+// semantics (set register per key, FIFO/LIFO token matching). Exits
+// non-zero with a printed counterexample on any violation; `--faults`
+// composes as in fig_timeline so stalls/churn/exit histories are checked
+// too, and `--mutate drop-validate|skip-protect` self-tests the oracle by
+// injecting a real reclamation bug it must catch.
+//
+//   ./check                                 # all cells, ~5s
+//   ./check --schemes HP --structure msqueue --duration 200
+//   ./check --faults stall:1@10ms+20ms --counterexample cx.txt
+//   ./check --mutate skip-protect           # MUST exit non-zero
+#include "check/check_driver.hpp"
+
+int main(int argc, char** argv) {
+  return hyaline::check::run_check(argc, argv);
+}

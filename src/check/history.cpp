@@ -1,0 +1,54 @@
+#include "check/history.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace hyaline::check {
+namespace detail {
+
+bool detect_synchronized_tsc() {
+#if defined(__x86_64__)
+  // The kernel demotes the TSC from its clocksource whenever it observes
+  // unsynchronized or non-invariant counters, so "the kernel trusts it" is
+  // exactly the property cross-core interval comparison needs. Unreadable
+  // (no /sys, odd container) means no evidence either way — fall back to
+  // steady_clock, which is always sound.
+  std::FILE* f = std::fopen(
+      "/sys/devices/system/clocksource/clocksource0/current_clocksource",
+      "r");
+  if (f == nullptr) return false;
+  char buf[32] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  return std::strncmp(buf, "tsc", 3) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace detail
+
+// Sorted by (inv, ret) as a defined, deterministic order — the seeded-
+// determinism contract compares collected histories across runs, and the
+// per-thread logs alone have no canonical interleaving. The checkers
+// re-sort under their own keys (per-key for sets, inv for containers)
+// and deliberately do not rely on this order.
+std::vector<op_record> history_recorder::collect() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<op_record> out;
+  std::size_t n = 0;
+  for (const thread_log& l : logs_) n += l.recs_.size();
+  out.reserve(n);
+  for (const thread_log& l : logs_) {
+    out.insert(out.end(), l.recs_.begin(), l.recs_.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const op_record& a, const op_record& b) {
+              return a.inv != b.inv ? a.inv < b.inv : a.ret < b.ret;
+            });
+  return out;
+}
+
+}  // namespace hyaline::check

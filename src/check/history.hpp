@@ -1,0 +1,163 @@
+// Correctness oracle, part 1: the history recorder.
+//
+// A recorded history is the raw material of a linearizability check: every
+// operation the workload performs becomes one op_record — an
+// invocation/response timestamp interval plus the operation's kind, key (or
+// container value token) and result. Soundness rests on one property: if
+// operation A's response timestamp is smaller than operation B's invocation
+// timestamp, then A really did complete before B began, so any valid
+// linearization must order A before B. Widening an interval only ever
+// *loses* precedence constraints, so late invocation reads or early
+// response reads can hide a bug but can never fabricate one — the checker
+// never reports a false violation.
+//
+// Timestamps come from the TSC (rdtsc fenced with lfence on both sides of
+// the recorded operation: the invocation read may not sink into the
+// operation, the response read may not hoist above it), but only when the
+// kernel itself trusts the TSC as its clocksource — that is the practical
+// guarantee that the counter is invariant and synchronized across cores,
+// which cross-thread interval comparison needs. Anywhere else the recorder
+// falls back to steady_clock, which is ordered by definition and merely
+// slower.
+//
+// Cost model: recording is two timestamp reads and one push_back into a
+// per-thread append-only log — no sharing, no atomics. Benchmark runs leave
+// workload_config::history null and pay one predicted-not-taken branch per
+// operation. Logs are handed out by attach() (mutex-protected, once per
+// worker), so fault-plan churn replacements that reuse a thread id still
+// get their own log and never race the predecessor's.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace hyaline::check {
+
+enum class op_kind : std::uint8_t { insert, remove, contains, push, pop };
+
+inline const char* op_name(op_kind k) {
+  switch (k) {
+    case op_kind::insert:
+      return "insert";
+    case op_kind::remove:
+      return "remove";
+    case op_kind::contains:
+      return "contains";
+    case op_kind::push:
+      return "push";
+    default:
+      return "pop";
+  }
+}
+
+/// The tid the workload drivers record for the main thread's quiescent
+/// phases (prefill, drain).
+inline constexpr std::uint32_t kMainTid = 0xffffffffu;
+
+struct op_record {
+  std::uint64_t inv = 0;  ///< invocation timestamp (ticks)
+  std::uint64_t ret = 0;  ///< response timestamp (ticks)
+  /// Set operations: the key. Containers: the pushed/popped value token
+  /// (0 for an empty pop).
+  std::uint64_t key = 0;
+  std::uint32_t tid = 0;  ///< recording worker (display only)
+  op_kind kind = op_kind::insert;
+  bool ok = false;  ///< the operation's boolean result
+};
+
+namespace detail {
+
+/// True iff the kernel runs on the TSC clocksource (history.cpp) — the
+/// signal that rdtsc is invariant and cross-core comparable here.
+bool detect_synchronized_tsc();
+
+inline bool use_tsc() {
+  static const bool v = detect_synchronized_tsc();
+  return v;
+}
+
+inline std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace detail
+
+/// Invocation timestamp: read the clock, then fence, so the recorded
+/// operation's loads cannot execute before the read (which would shrink
+/// the interval from the left and fabricate precedence).
+inline std::uint64_t inv_now() {
+#if defined(__x86_64__)
+  if (detail::use_tsc()) {
+    const std::uint64_t t = __builtin_ia32_rdtsc();
+    __builtin_ia32_lfence();
+    return t;
+  }
+#endif
+  return detail::steady_ns();
+}
+
+/// Response timestamp: fence, then read, so the read cannot execute before
+/// the recorded operation's accesses have (the right-edge mirror of
+/// inv_now's concern).
+inline std::uint64_t ret_now() {
+#if defined(__x86_64__)
+  if (detail::use_tsc()) {
+    __builtin_ia32_lfence();
+    return __builtin_ia32_rdtsc();
+  }
+#endif
+  return detail::steady_ns();
+}
+
+/// One worker's append-only log. Not thread-safe: exactly one thread
+/// appends, and collect() runs only after the workload quiesced.
+class thread_log {
+ public:
+  explicit thread_log(std::uint32_t tid) : tid_(tid) { recs_.reserve(4096); }
+
+  void record(op_kind k, std::uint64_t key, bool ok, std::uint64_t inv,
+              std::uint64_t ret) {
+    recs_.push_back({inv, ret, key, tid_, k, ok});
+  }
+
+  std::size_t size() const { return recs_.size(); }
+
+ private:
+  friend class history_recorder;
+
+  std::uint32_t tid_;
+  std::vector<op_record> recs_;
+};
+
+/// Hands out per-worker logs and merges them after the run. A deque keeps
+/// every handed-out log at a stable address while later workers attach.
+class history_recorder {
+ public:
+  thread_log& attach(std::uint32_t tid) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return logs_.emplace_back(tid);
+  }
+
+  /// Every record from every log, sorted by invocation timestamp. Call
+  /// only after all recording threads have been joined.
+  std::vector<op_record> collect() const;
+
+  std::size_t total_ops() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const thread_log& l : logs_) n += l.size();
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<thread_log> logs_;
+};
+
+}  // namespace hyaline::check

@@ -1,0 +1,536 @@
+#include "check/linearize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hyaline::check {
+namespace {
+
+// ------------------------------------------------------------------ set --
+
+/// Feasible-state bitmask for one key: bit 0 = absent, bit 1 = present.
+constexpr unsigned kAbsent = 1u;
+constexpr unsigned kPresent = 2u;
+constexpr unsigned kBoth = kAbsent | kPresent;
+
+/// Is (o.kind, o.ok) legal from `present`? Writes the post-state. The
+/// register semantics: insert succeeds iff absent, remove succeeds iff
+/// present, contains reports presence and changes nothing.
+bool apply_op(const op_record& o, bool present, bool* next_present) {
+  switch (o.kind) {
+    case op_kind::insert:
+      *next_present = true;
+      return o.ok != present;
+    case op_kind::remove:
+      *next_present = false;
+      return o.ok == present;
+    default:  // contains
+      *next_present = present;
+      return o.ok == present;
+  }
+}
+
+const char* state_set_name(unsigned feas) {
+  switch (feas) {
+    case kAbsent:
+      return "absent";
+    case kPresent:
+      return "present";
+    default:
+      return "absent|present";
+  }
+}
+
+struct mask_hash {
+  std::size_t operator()(const std::vector<std::uint64_t>& v) const {
+    std::size_t h = 1469598103934665603ull;  // FNV-1a over the words
+    for (std::uint64_t w : v) {
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// Wing–Gong search over one overlap cluster: from each feasible initial
+/// state, try every operation whose invocation precedes all pending
+/// responses, apply it, recurse. Long clusters are the norm, not the
+/// exception — one preempted op's multi-millisecond interval chains
+/// every contemporaneous op on its key into a single cluster — but their
+/// concurrent *width* stays bounded by the thread count, so the search is
+/// organized to cost width, not length: ops arrive sorted by invocation,
+/// the pending set is kept ordered, and the candidate window at each node
+/// is the prefix of pending ops starting no later than the earliest
+/// pending response. Reachable (done-set, state) pairs grow with width
+/// too, and the memo stores the exact done-set bitset (state bit riding
+/// in a spare word), never a hash truncation, so pruning cannot fabricate
+/// a violation.
+struct wing_gong {
+  const op_record* ops;
+  unsigned n;
+  unsigned words;  ///< bitset words; the key carries one extra state word
+  std::unordered_set<std::vector<std::uint64_t>, mask_hash> seen;
+  std::set<unsigned> undone;               ///< index order == inv order
+  std::multiset<std::uint64_t> pending_rets;
+  std::vector<std::uint64_t> mask;
+  std::size_t visited = 0;
+  std::size_t visit_cap;
+  unsigned finals = 0;
+  bool blown = false;
+
+  static constexpr unsigned kMaxCluster = 4096;
+
+  explicit wing_gong(const op_record* o, unsigned len)
+      : ops(o),
+        n(len),
+        words((len + 63) / 64),
+        // Bounds the memo's memory at ~32MB however wide the keys get.
+        visit_cap(std::max<std::size_t>(
+            4096, (std::size_t{1} << 22) / (words + 1))) {}
+
+  void search(bool present) {
+    undone.clear();
+    pending_rets.clear();
+    for (unsigned i = 0; i < n; ++i) {
+      undone.insert(undone.end(), i);
+      pending_rets.insert(ops[i].ret);
+    }
+    mask.assign(words + 1, 0);
+    run(0, present);
+  }
+
+  void run(unsigned done, bool present) {
+    if (blown || finals == kBoth) return;
+    if (++visited > visit_cap) {
+      blown = true;
+      return;
+    }
+    if (done == n) {
+      finals |= present ? kPresent : kAbsent;
+      return;
+    }
+    mask[words] = present ? 1 : 0;
+    if (!seen.insert(mask).second) return;
+    // An op may linearize next iff no pending op's response strictly
+    // precedes its invocation: the candidate window.
+    const std::uint64_t min_ret = *pending_rets.begin();
+    std::vector<unsigned> cands;
+    for (auto it = undone.begin();
+         it != undone.end() && ops[*it].inv <= min_ret; ++it) {
+      cands.push_back(*it);
+    }
+    for (unsigned i : cands) {
+      bool next = false;
+      if (!apply_op(ops[i], present, &next)) continue;
+      undone.erase(i);
+      pending_rets.erase(pending_rets.find(ops[i].ret));
+      mask[i >> 6] |= std::uint64_t{1} << (i & 63);
+      run(done + 1, next);
+      mask[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+      pending_rets.insert(ops[i].ret);
+      undone.insert(i);
+      if (blown || finals == kBoth) return;
+    }
+  }
+};
+
+/// One key's records (sorted by inv): segment into overlap clusters, carry
+/// the feasible-state set across them, DFS inside each.
+std::optional<violation> check_one_key(std::uint64_t key,
+                                       const op_record* ops, std::size_t n,
+                                       check_result& out) {
+  unsigned feas = kAbsent;  // every key starts outside the structure
+  std::size_t i = 0;
+  while (i < n) {
+    // Extend the cluster while the next op overlaps the union so far; a
+    // strictly later invocation is a real-time cut point. Ties count as
+    // overlap (merging more is always sound).
+    std::uint64_t cmax = ops[i].ret;
+    std::size_t j = i + 1;
+    while (j < n && ops[j].inv <= cmax) {
+      cmax = std::max(cmax, ops[j].ret);
+      ++j;
+    }
+    ++out.clusters;
+    const std::size_t len = j - i;
+    const unsigned entered = feas;
+    unsigned next_feas = 0;
+    if (len == 1) {
+      for (unsigned s : {kAbsent, kPresent}) {
+        if (!(feas & s)) continue;
+        bool next = false;
+        if (apply_op(ops[i], s == kPresent, &next)) {
+          next_feas |= next ? kPresent : kAbsent;
+        }
+      }
+    } else if (len <= wing_gong::kMaxCluster) {
+      ++out.dfs_clusters;
+      wing_gong dfs(ops + i, static_cast<unsigned>(len));
+      for (unsigned s : {kAbsent, kPresent}) {
+        if (feas & s) dfs.search(s == kPresent);
+      }
+      if (dfs.blown) {
+        ++out.undecided;
+        next_feas = kBoth;
+      } else {
+        next_feas = dfs.finals;
+      }
+    } else {
+      ++out.undecided;
+      next_feas = kBoth;
+    }
+    if (next_feas == 0) {
+      violation v;
+      v.what = "key " + std::to_string(key) +
+               ": no valid linearization of " + std::to_string(len) +
+               (len == 1 ? " op" : " overlapping ops") + " from state {" +
+               state_set_name(entered) + "}";
+      v.window.assign(ops + i, ops + j);
+      return v;
+    }
+    feas = next_feas;
+    i = j;
+  }
+  return std::nullopt;
+}
+
+check_result check_set(std::vector<op_record> h) {
+  check_result res;
+  res.ops = h.size();
+  std::sort(h.begin(), h.end(), [](const op_record& a, const op_record& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.inv != b.inv ? a.inv < b.inv : a.ret < b.ret;
+  });
+  std::size_t i = 0;
+  while (i < h.size()) {
+    std::size_t j = i + 1;
+    while (j < h.size() && h[j].key == h[i].key) ++j;
+    ++res.keys;
+    if (auto v = check_one_key(h[i].key, h.data() + i, j - i, res)) {
+      res.ok = false;
+      res.bad = std::move(*v);
+      return res;
+    }
+    i = j;
+  }
+  return res;
+}
+
+// ------------------------------------------------------------ container --
+
+/// One matched value: its push, and its pop if any.
+struct match {
+  op_record push;
+  op_record pop;
+  bool popped = false;
+};
+
+violation make_violation(std::string what, std::vector<op_record> window) {
+  violation v;
+  v.what = std::move(what);
+  v.window = std::move(window);
+  return v;
+}
+
+std::string tok_str(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Fenwick tree over compressed coordinates holding a running (value,
+/// witness-index) maximum; indices are stored reversed so prefix queries
+/// answer suffix-max questions.
+class suffix_max {
+ public:
+  explicit suffix_max(std::size_t n)
+      : n_(n), best_(n + 1, {0, SIZE_MAX}) {}
+
+  void update(std::size_t idx, std::uint64_t value, std::size_t witness) {
+    for (std::size_t i = n_ - idx; i <= n_; i += i & (~i + 1)) {
+      if (value > best_[i].first) best_[i] = {value, witness};
+    }
+  }
+
+  /// Max over original coordinates >= idx.
+  std::pair<std::uint64_t, std::size_t> query(std::size_t idx) const {
+    std::pair<std::uint64_t, std::size_t> out{0, SIZE_MAX};
+    for (std::size_t i = n_ - idx; i > 0; i -= i & (~i + 1)) {
+      if (best_[i].first > out.first) out = best_[i];
+    }
+    return out;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> best_;
+};
+
+/// FIFO witness: a pushed entirely before b, but b's pop entirely before
+/// a's pop. Sweep values in push-invocation order, folding in (as "a")
+/// every value whose push completed strictly earlier, tracking the max
+/// pop-invocation seen.
+std::optional<violation> find_fifo_violation(const std::vector<match>& m) {
+  std::vector<std::size_t> by_push_inv, by_push_ret;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!m[i].popped) continue;
+    by_push_inv.push_back(i);
+    by_push_ret.push_back(i);
+  }
+  std::sort(by_push_inv.begin(), by_push_inv.end(),
+            [&](std::size_t a, std::size_t b) {
+              return m[a].push.inv < m[b].push.inv;
+            });
+  std::sort(by_push_ret.begin(), by_push_ret.end(),
+            [&](std::size_t a, std::size_t b) {
+              return m[a].push.ret < m[b].push.ret;
+            });
+  std::size_t j = 0;
+  std::size_t best = SIZE_MAX;  // inserted value with max pop.inv
+  for (std::size_t bi : by_push_inv) {
+    while (j < by_push_ret.size() &&
+           m[by_push_ret[j]].push.ret < m[bi].push.inv) {
+      const std::size_t a = by_push_ret[j++];
+      if (best == SIZE_MAX || m[a].pop.inv > m[best].pop.inv) best = a;
+    }
+    if (best != SIZE_MAX && m[best].pop.inv > m[bi].pop.ret) {
+      const match& a = m[best];
+      const match& b = m[bi];
+      return make_violation(
+          "FIFO violation: " + tok_str(b.push.key) + " overtook " +
+              tok_str(a.push.key) +
+              " — pushed strictly later, popped strictly earlier",
+          {a.push, b.push, b.pop, a.pop});
+    }
+  }
+  return std::nullopt;
+}
+
+/// LIFO witness: push(a) ⊏ push(b) ⊏ pop(a) ⊏ pop(b) — in a stack, a
+/// below b can only be popped after b is gone, and here b verifiably
+/// arrived after a and left after a's pop. Sweep a in pop-invocation
+/// order, folding in every b whose push completed before a's pop begins;
+/// the Fenwick answers "among those, max pop.inv over b pushed strictly
+/// after a's push returned".
+std::optional<violation> find_lifo_violation(const std::vector<match>& m) {
+  std::vector<std::size_t> popped;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i].popped) popped.push_back(i);
+  }
+  if (popped.empty()) return std::nullopt;
+  std::vector<std::uint64_t> coords;
+  coords.reserve(popped.size());
+  for (std::size_t i : popped) coords.push_back(m[i].push.inv);
+  std::sort(coords.begin(), coords.end());
+  coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+  auto coord_of = [&](std::uint64_t v) {
+    return static_cast<std::size_t>(
+        std::lower_bound(coords.begin(), coords.end(), v) - coords.begin());
+  };
+  std::vector<std::size_t> by_pop_inv = popped, by_push_ret = popped;
+  std::sort(by_pop_inv.begin(), by_pop_inv.end(),
+            [&](std::size_t a, std::size_t b) {
+              return m[a].pop.inv < m[b].pop.inv;
+            });
+  std::sort(by_push_ret.begin(), by_push_ret.end(),
+            [&](std::size_t a, std::size_t b) {
+              return m[a].push.ret < m[b].push.ret;
+            });
+  suffix_max fen(coords.size());
+  std::size_t j = 0;
+  for (std::size_t ai : by_pop_inv) {
+    while (j < by_push_ret.size() &&
+           m[by_push_ret[j]].push.ret < m[ai].pop.inv) {
+      const std::size_t b = by_push_ret[j++];
+      fen.update(coord_of(m[b].push.inv), m[b].pop.inv, b);
+    }
+    // b's push must begin strictly after a's push returned.
+    const std::size_t lo = static_cast<std::size_t>(
+        std::upper_bound(coords.begin(), coords.end(), m[ai].push.ret) -
+        coords.begin());
+    if (lo >= coords.size()) continue;
+    const auto [pop_inv, bi] = fen.query(lo);
+    if (bi != SIZE_MAX && pop_inv > m[ai].pop.ret) {
+      const match& a = m[ai];
+      const match& b = m[bi];
+      return make_violation(
+          "LIFO violation: " + tok_str(a.push.key) + " popped beneath " +
+              tok_str(b.push.key) +
+              " — push(a) ⊏ push(b) ⊏ pop(a) ⊏ pop(b) has no stack order",
+          {a.push, b.push, a.pop, b.pop});
+    }
+  }
+  return std::nullopt;
+}
+
+/// Empty-pop witness: a pop returned empty while some value was
+/// verifiably inside for the pop's whole interval (its push completed
+/// before the pop began; its pop — if any — began after the empty pop
+/// returned).
+std::optional<violation> find_impossible_empty(
+    const std::vector<match>& m, std::vector<op_record> empties) {
+  if (empties.empty()) return std::nullopt;
+  std::sort(empties.begin(), empties.end(),
+            [](const op_record& a, const op_record& b) {
+              return a.inv < b.inv;
+            });
+  std::vector<std::size_t> by_push_ret(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) by_push_ret[i] = i;
+  std::sort(by_push_ret.begin(), by_push_ret.end(),
+            [&](std::size_t a, std::size_t b) {
+              return m[a].push.ret < m[b].push.ret;
+            });
+  auto pop_inv_of = [&](std::size_t i) {
+    return m[i].popped ? m[i].pop.inv : ~std::uint64_t{0};
+  };
+  std::size_t j = 0;
+  std::size_t best = SIZE_MAX;
+  for (const op_record& e : empties) {
+    while (j < by_push_ret.size() &&
+           m[by_push_ret[j]].push.ret < e.inv) {
+      const std::size_t v = by_push_ret[j++];
+      if (best == SIZE_MAX || pop_inv_of(v) > pop_inv_of(best)) best = v;
+    }
+    if (best != SIZE_MAX && pop_inv_of(best) > e.ret) {
+      const match& v = m[best];
+      std::vector<op_record> window{v.push, e};
+      if (v.popped) window.push_back(v.pop);
+      return make_violation("empty pop while value " + tok_str(v.push.key) +
+                                " was verifiably inside for its whole "
+                                "interval",
+                            std::move(window));
+    }
+  }
+  return std::nullopt;
+}
+
+check_result check_container(bool fifo, std::vector<op_record> h,
+                             bool complete) {
+  check_result res;
+  res.ops = h.size();
+  std::sort(h.begin(), h.end(), [](const op_record& a, const op_record& b) {
+    return a.inv != b.inv ? a.inv < b.inv : a.ret < b.ret;
+  });
+
+  auto fail = [&](violation v) {
+    res.ok = false;
+    res.bad = std::move(v);
+    return res;
+  };
+
+  // Token matching, pushes first (a pop may sort before its push when the
+  // structure is broken enough — that is precisely a violation, not an
+  // indexing problem).
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(h.size());
+  std::vector<match> m;
+  for (const op_record& r : h) {
+    if (r.kind != op_kind::push) continue;
+    auto [it, fresh] = index.try_emplace(r.key, m.size());
+    if (!fresh) {
+      return fail(make_violation(
+          "value " + tok_str(r.key) + " pushed twice (tokens are unique)",
+          {m[it->second].push, r}));
+    }
+    m.push_back({r, {}, false});
+  }
+  res.keys = m.size();
+  std::vector<op_record> empties;
+  for (const op_record& r : h) {
+    if (r.kind != op_kind::pop) continue;
+    if (!r.ok) {
+      empties.push_back(r);
+      continue;
+    }
+    auto it = index.find(r.key);
+    if (it == index.end()) {
+      return fail(make_violation(
+          "value " + tok_str(r.key) + " popped but never pushed", {r}));
+    }
+    match& v = m[it->second];
+    if (v.popped) {
+      return fail(make_violation("value " + tok_str(r.key) +
+                                     " popped twice (ABA-style duplication)",
+                                 {v.push, v.pop, r}));
+    }
+    v.pop = r;
+    v.popped = true;
+    if (r.ret < v.push.inv) {
+      return fail(make_violation("value " + tok_str(r.key) +
+                                     " popped before its push was invoked",
+                                 {v.push, r}));
+    }
+  }
+  if (complete) {
+    for (const match& v : m) {
+      if (!v.popped) {
+        return fail(make_violation(
+            "value " + tok_str(v.push.key) +
+                " lost: pushed, never popped, yet the final drain emptied "
+                "the container",
+            {v.push}));
+      }
+    }
+  }
+  if (fifo) {
+    if (auto v = find_fifo_violation(m)) return fail(std::move(*v));
+  } else {
+    if (auto v = find_lifo_violation(m)) return fail(std::move(*v));
+  }
+  if (auto v = find_impossible_empty(m, std::move(empties))) {
+    return fail(std::move(*v));
+  }
+  return res;
+}
+
+}  // namespace
+
+check_result check_history(semantics sem, std::vector<op_record> h,
+                           bool complete) {
+  switch (sem) {
+    case semantics::set:
+      return check_set(std::move(h));
+    case semantics::fifo:
+      return check_container(true, std::move(h), complete);
+    default:
+      return check_container(false, std::move(h), complete);
+  }
+}
+
+std::string format_violation(const violation& v) {
+  std::vector<op_record> w = v.window;
+  std::sort(w.begin(), w.end(), [](const op_record& a, const op_record& b) {
+    return a.inv != b.inv ? a.inv < b.inv : a.ret < b.ret;
+  });
+  std::uint64_t base = ~std::uint64_t{0};
+  for (const op_record& r : w) base = std::min(base, r.inv);
+  std::string out = v.what + "\n";
+  char line[160];
+  for (const op_record& r : w) {
+    char tid[16];
+    if (r.tid == kMainTid) {
+      std::snprintf(tid, sizeof tid, "main");
+    } else {
+      std::snprintf(tid, sizeof tid, "%u", r.tid);
+    }
+    const bool empty_pop = r.kind == op_kind::pop && !r.ok;
+    std::snprintf(line, sizeof line,
+                  "  t+%-12llu .. t+%-12llu  [tid %-4s]  %s(%s) -> %s\n",
+                  static_cast<unsigned long long>(r.inv - base),
+                  static_cast<unsigned long long>(r.ret - base), tid,
+                  op_name(r.kind),
+                  empty_pop ? "" : tok_str(r.key).c_str(),
+                  r.kind == op_kind::push ? "ok"
+                  : empty_pop             ? "empty"
+                  : r.ok                  ? "true"
+                                          : "false");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace hyaline::check

@@ -1,0 +1,398 @@
+// Correctness oracle, part 3: self-test mutants (--mutate).
+//
+// Each mutant is a container with exactly one protection step deliberately
+// removed, paired with *immediate* node reuse through a shared freelist —
+// the reuse an SMR grace period exists to prevent. Running one under the
+// history recorder must make the checker report a violation; if it does
+// not, the oracle itself is broken. Two mutations, each deleting the step
+// its host structure's comments call load-bearing:
+//
+//   skip-protect   — Treiber stack whose pop reads the head raw instead of
+//                    protecting it. The classic ABA: a competitor pops the
+//                    head, pops its successor, and re-pushes the same node
+//                    (immediately reused) before our CAS, which then
+//                    resurrects the popped successor — values duplicate
+//                    and vanish.
+//   drop-validate  — Michael–Scott queue whose dequeue keeps both
+//                    protections but drops the head_ re-validation that
+//                    proves the protected successor has not already been
+//                    dequeued and reused; the stale CAS teleports the head
+//                    onto a reused node and the value read lands on it.
+//
+// The race is made *deterministic* instead of hoped-for — an ill-timed
+// preemption strikes rarely, and on a single-CPU box a spinning window
+// never lets the adversary run at all. Every 16th pop arms a cooperative
+// trap on its stale (node, successor) pair and sleeps (surrendering the
+// core); when a competitor re-links the trapped node with a *different*
+// successor — the node has been popped, reused, and re-pushed, so the
+// sleeper's pair is now poison — it freezes the other threads and wakes
+// the sleeper, whose unvalidated CAS then lands against a quiesced head.
+// The interleaving executed is exactly the one the deleted protection
+// step exists to survive; the trap merely chooses the resume moment
+// adversarially instead of leaving it to the scheduler.
+//
+// Safety engineering, since a mutated lock-free structure can corrupt its
+// own links arbitrarily: every node is owned by a pool for the
+// structure's lifetime (teardown frees the pool and never walks the
+// possibly-cyclic list), reused value/next fields are atomics (no UB from
+// the racing accesses the mutation invites), a pop budget (pops ≤ pushes)
+// bounds duplicate storms so drains terminate even on a self-linked list,
+// and every wait — trap, freeze, backpressure — is bounded, so quiescent
+// phases cannot hang.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/align.hpp"
+#include "smr/domain.hpp"
+
+namespace hyaline::check {
+
+namespace detail {
+
+/// Node pool with immediate reuse: recycled nodes are handed out before
+/// fresh ones, so a just-popped node reappears with a new value as fast
+/// as possible (the adversarial allocator a grace period defends
+/// against). Recycling alternates which end of the freelist a node lands
+/// on: containers retire neighbours consecutively, and an order-keeping
+/// pool would re-link a trapped (node, successor) pair in its original
+/// adjacency on every cycle — silently healing the stale read the trap
+/// is trying to poison. Owns every node it ever created; frees them all
+/// at destruction.
+template <class Node>
+class reuse_pool {
+ public:
+  Node* take() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (free_.empty()) {
+      owned_.push_back(std::make_unique<Node>());
+      return owned_.back().get();
+    }
+    Node* n = free_.front();
+    free_.erase(free_.begin());
+    return n;
+  }
+
+  void recycle(Node* n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Rotating insertion point: consecutive retirees scatter across the
+    // freelist instead of keeping their retirement order.
+    const std::size_t pos = (++recycled_ * 7) % (free_.size() + 1);
+    free_.insert(free_.begin() + static_cast<std::ptrdiff_t>(pos), n);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Node>> owned_;
+  std::vector<Node*> free_;
+  std::uint64_t recycled_ = 0;
+};
+
+/// The cooperative trap (see the header comment). One reader at a time
+/// arms it on the (node, successor) pair it read without protection; the
+/// competitor that re-links the node with a different successor springs
+/// it, freezing everyone else long enough for the reader's stale CAS.
+template <class Node>
+class stale_trap {
+ public:
+  /// Op-entry gate for every thread not currently mid-trap: while the
+  /// world is frozen for the reader's CAS, hold off. Bounded (~20ms) so
+  /// an abandoned freeze cannot deadlock teardown.
+  void obey() {
+    for (int i = 0;
+         i < 4000 && frozen_.load(std::memory_order_acquire) != 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::microseconds(5));
+    }
+  }
+
+  /// Reader: try to arm on the pair just read. False if another reader
+  /// holds the trap (proceed without stalling).
+  bool arm(const Node* node, const Node* succ) {
+    const Node* expected = nullptr;
+    if (!node_.compare_exchange_strong(expected, node,
+                                       std::memory_order_acq_rel)) {
+      return false;
+    }
+    succ_.store(succ, std::memory_order_release);
+    return true;
+  }
+
+  /// Reader: sleep until sprung (the world is then frozen under us) or
+  /// the ~5ms bound expires (the CAS is benign then, and re-arming soon
+  /// beats waiting long — the trapped node cycles back to the hot end in
+  /// a couple of milliseconds).
+  void await() {
+    for (int spin = 0;
+         spin < 100 && frozen_.load(std::memory_order_acquire) == 0;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  /// Reader: release the trap and thaw the world. Always pairs with a
+  /// successful arm(), after the CAS.
+  void disarm() {
+    node_.store(nullptr, std::memory_order_release);
+    succ_.store(nullptr, std::memory_order_release);
+    frozen_.store(0, std::memory_order_release);
+  }
+
+  /// Competitor: `node` was just re-linked with successor `succ`. If it
+  /// is the trapped node and its successor changed to a *different live
+  /// node*, the sleeping reader's pair is poison — spring. A null
+  /// successor is not poison yet: the FIFO pool recycles neighbours in
+  /// order, so the old successor itself is often the very next node
+  /// linked behind `node`, silently healing the pair before the reader
+  /// wakes; a non-null different successor can never heal (a set next
+  /// edge is immutable in both containers until the node recycles).
+  void maybe_spring(const Node* node, const Node* succ) {
+    if (succ == nullptr) return;
+    if (node != node_.load(std::memory_order_acquire)) return;
+    if (succ == succ_.load(std::memory_order_acquire)) return;
+    frozen_.store(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<const Node*> node_{nullptr};
+  std::atomic<const Node*> succ_{nullptr};
+  std::atomic<int> frozen_{0};
+};
+
+/// True on every 4th call per thread: the pops that try to arm the trap
+/// (the trap is exclusive, so dense attempts cost nothing when it is
+/// taken and keep it re-armed the moment it frees).
+inline bool nth_pop() {
+  thread_local std::uint64_t n = 0;
+  return ++n % 4 == 0;
+}
+
+/// Backpressure: wait (bounded, so a run whose consumers already stopped
+/// cannot deadlock shutdown) while more than ~32 values are in flight,
+/// keeping reused nodes cycling through the structure's hot end. Signed
+/// difference: concurrent pops can momentarily drive pops past pushes.
+inline void wait_for_room(const std::atomic<std::uint64_t>& pushes,
+                          const std::atomic<std::uint64_t>& pops) {
+  for (int i = 0;
+       i < 2000 && static_cast<std::int64_t>(
+                       pushes.load(std::memory_order_relaxed) -
+                       pops.load(std::memory_order_relaxed)) > 32;
+       ++i) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace detail
+
+/// Treiber stack with the skip-protect mutation (see the header comment).
+template <class D>
+class mutant_stack {
+ public:
+  static_assert(smr::Domain<D>);
+  using guard = typename D::guard;
+
+  explicit mutant_stack(D&) {}
+
+  void push(guard&, std::uint64_t value) {
+    trap_.obey();
+    detail::wait_for_room(pushes_, pops_);
+    snode* fresh = pool_.take();
+    fresh->value.store(value, std::memory_order_relaxed);
+    snode* head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      fresh->next.store(head, std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, fresh,
+                                      std::memory_order_seq_cst)) {
+        pushes_.fetch_add(1, std::memory_order_relaxed);
+        // The node just went live on top with successor `head`; if a
+        // sleeping reader trapped it with a different successor, spring.
+        trap_.maybe_spring(fresh, head);
+        return;
+      }
+    }
+  }
+
+  bool try_pop(guard&, std::uint64_t& out) {
+    trap_.obey();
+    for (int attempts = 0; attempts < 4096; ++attempts) {
+      // Pop budget: more pops than pushes is definitionally a duplicate
+      // storm already on record; stop feeding it so drains terminate.
+      if (pops_.load(std::memory_order_relaxed) >=
+          pushes_.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      // MUTATION skip-protect: the head is read raw — no hazard
+      // published, no validation — so the competitor may pop, reuse, and
+      // re-push it (or its successor) between these loads and the CAS.
+      snode* top = head_.load(std::memory_order_acquire);
+      if (top == nullptr) return false;
+      snode* next = top->next.load(std::memory_order_acquire);
+      const bool trapped =
+          detail::nth_pop() && trap_.arm(top, next);
+      if (trapped) trap_.await();
+      snode* expected = top;
+      const bool won = head_.compare_exchange_strong(
+          expected, next, std::memory_order_seq_cst);
+      if (trapped) trap_.disarm();
+      if (won) {
+        out = top->value.load(std::memory_order_relaxed);
+        pops_.fetch_add(1, std::memory_order_relaxed);
+        pool_.recycle(top);  // immediate reuse: no grace period
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct snode {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<snode*> next{nullptr};
+  };
+
+  detail::reuse_pool<snode> pool_;
+  detail::stale_trap<snode> trap_;
+  alignas(cache_line_size) std::atomic<snode*> head_{nullptr};
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> pops_{0};
+};
+
+/// Michael–Scott queue with the drop-validate mutation (see the header
+/// comment). Protection is still taken through the real guard; only the
+/// re-validation is gone.
+template <class D>
+class mutant_queue {
+ public:
+  static_assert(smr::Domain<D>);
+  static_assert(smr::max_hazards_v<D> >= 2);
+  using guard = typename D::guard;
+
+  explicit mutant_queue(D& dom) : dom_(dom) {
+    qnode* dummy = alloc(0);
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  void push(guard& g, std::uint64_t value) {
+    trap_.obey();
+    detail::wait_for_room(pushes_, pops_);
+    qnode* fresh = alloc(value);
+    for (int attempts = 0; attempts < 4096; ++attempts) {
+      handle t = g.protect(tail_);
+      qnode* tail = t.get();
+      qnode* next = tail->next.load(std::memory_order_acquire);
+      if (tail != tail_.load(std::memory_order_seq_cst)) continue;
+      if (next != nullptr) {
+        if (next == tail) break;  // mutation-made self-link; bail out
+        tail_.compare_exchange_strong(tail, next,
+                                      std::memory_order_seq_cst);
+        continue;
+      }
+      qnode* expected = nullptr;
+      if (tail->next.compare_exchange_strong(expected, fresh,
+                                             std::memory_order_seq_cst)) {
+        tail_.compare_exchange_strong(tail, fresh,
+                                      std::memory_order_seq_cst);
+        pushes_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    // The tail is corrupted beyond linking. Count the push anyway: the
+    // value is on record as pushed and will be reported lost, and the pop
+    // budget stays conservative.
+    pushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool try_pop(guard& g, std::uint64_t& out) {
+    trap_.obey();
+    // Depth gate: hold pops (bounded, so the quiescent drain keeps
+    // moving) until ≥8 values are in flight. On a drained ring a node
+    // re-becomes the dummy with its next edge still null — nothing for
+    // the trap to poison — and the successor that eventually arrives is
+    // too often the recycled original, healing the pair (maybe_spring).
+    for (int i = 0;
+         i < 16 && static_cast<std::int64_t>(
+                       pushes_.load(std::memory_order_relaxed) -
+                       pops_.load(std::memory_order_relaxed)) < 8;
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    for (int attempts = 0; attempts < 4096; ++attempts) {
+      if (pops_.load(std::memory_order_relaxed) >=
+          pushes_.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      handle h = g.protect(head_);
+      qnode* head = h.get();
+      qnode* tail = tail_.load(std::memory_order_acquire);
+      handle nh = g.protect(head->next);
+      qnode* next = nh.get();
+      // MUTATION drop-validate: the `head == head_` re-check — the step
+      // ms_queue's comments call load-bearing, the only proof that
+      // `next` has not already been dequeued, retired, and reused — is
+      // gone; the trap sleeps here until the dummy has been retired,
+      // reused, and walked back to the head with a different successor.
+      const bool trapped =
+          detail::nth_pop() && next != nullptr && trap_.arm(head, next);
+      if (trapped) trap_.await();
+      if (next == nullptr) {
+        if (trapped) trap_.disarm();
+        return false;
+      }
+      if (head == tail) {
+        if (trapped) trap_.disarm();
+        if (next == tail) return false;  // self-link; report empty
+        tail_.compare_exchange_strong(tail, next,
+                                      std::memory_order_seq_cst);
+        continue;
+      }
+      out = next->value.load(std::memory_order_relaxed);
+      qnode* expected = head;
+      const bool won = head_.compare_exchange_strong(
+          expected, next, std::memory_order_seq_cst);
+      if (trapped) trap_.disarm();
+      if (won) {
+        pops_.fetch_add(1, std::memory_order_relaxed);
+        // The winner's successor just became the dummy: if a sleeping
+        // reader trapped this node with a different successor (the node
+        // has been recycled through the tail since), spring.
+        trap_.maybe_spring(next,
+                           next->next.load(std::memory_order_acquire));
+        pool_.recycle(head);  // immediate reuse: no grace period
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct qnode : D::node {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<qnode*> next{nullptr};
+  };
+
+  using handle = typename D::template protected_ptr<qnode>;
+
+  qnode* alloc(std::uint64_t value) {
+    qnode* n = pool_.take();
+    n->value.store(value, std::memory_order_relaxed);
+    n->next.store(nullptr, std::memory_order_relaxed);
+    dom_.on_alloc(n);
+    return n;
+  }
+
+  D& dom_;
+  detail::reuse_pool<qnode> pool_;
+  detail::stale_trap<qnode> trap_;
+  alignas(cache_line_size) std::atomic<qnode*> head_{nullptr};
+  alignas(cache_line_size) std::atomic<qnode*> tail_{nullptr};
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> pops_{0};
+};
+
+}  // namespace hyaline::check

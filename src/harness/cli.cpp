@@ -47,7 +47,8 @@ std::vector<std::string> parse_names(const char* s) {
                "          [--mix insert,remove,get]\n"
                "          [--producers a,b,...] [--consumers a,b,...]\n"
                "          [--seed n] [--faults spec] [--sample-ms n]\n"
-               "          [--structure name] [--json path] [--full]\n",
+               "          [--structure name] [--json path] [--full]\n"
+               "          [--mutate mode] [--counterexample path]\n",
                prog);
   std::exit(2);
 }
@@ -153,6 +154,10 @@ cli_options parse_cli(int argc, char** argv, cli_options defaults) {
       o.structure = need_val("--structure");
     } else if (std::strcmp(argv[i], "--json") == 0) {
       o.json = need_val("--json");
+    } else if (std::strcmp(argv[i], "--mutate") == 0) {
+      o.mutate = need_val("--mutate");
+    } else if (std::strcmp(argv[i], "--counterexample") == 0) {
+      o.counterexample = need_val("--counterexample");
     } else if (std::strcmp(argv[i], "--full") == 0) {
       o.full = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {

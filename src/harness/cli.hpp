@@ -27,6 +27,12 @@
 //                        (per-scheme throughput + unreclaimed + latency
 //                        series plus the resolved workload config as
 //                        metadata; timeline figures add the time series)
+//   --mutate <mode>      check binary only: run an injected-bug self-test
+//                        (drop-validate | skip-protect) instead of the
+//                        matrix; the checker is expected to catch it
+//   --counterexample <p> check binary only: on a violation, also write
+//                        the counterexample history to this file (CI
+//                        uploads it as a workflow artifact)
 //   --full               paper-scale settings (duration 10s, repeats 5)
 //
 // Duplicate entries in the --schemes, --threads, and --stalled lists are
@@ -86,6 +92,12 @@ struct cli_options {
   std::string structure;
   /// Path for the machine-readable JSON trajectory file (empty = none).
   std::string json;
+  /// Correctness-oracle knobs (the check binary only; figure binaries
+  /// reject them): `mutate` selects an injected-bug self-test
+  /// (drop-validate | skip-protect), `counterexample` is where a
+  /// violation's counterexample history is mirrored.
+  std::string mutate;
+  std::string counterexample;
   bool full = false;
 
   /// True if `name` should run under the --schemes filter.

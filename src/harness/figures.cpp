@@ -548,15 +548,7 @@ int run_timeline(const figure_spec& spec, const cli_options& o,
     cfg.sample_ms = o.sample_ms;
     cfg.faults = plan.empty() ? nullptr : &plan;
     scheme_params p;
-    // Headroom for transient churn overlap: a replacement worker leases
-    // its thread identity before its predecessor's lease returns, so
-    // each churn event can briefly add one live lease on top of the
-    // workers and the prefilling thread.
-    unsigned churn = 0;
-    for (const lab::fault_event& e : plan.events) {
-      if (e.kind == lab::fault_kind::churn) ++churn;
-    }
-    p.max_threads = threads + 1 + churn;
+    p.max_threads = plan.lease_headroom(threads);
     p.ack_threshold = 512;  // scaled to short runs, as in fig10a
     const workload_result r =
         reg.runner(scheme, structure)(p, cfg);
@@ -617,6 +609,12 @@ int run_timeline(const figure_spec& spec, const cli_options& o,
 /// list here: explicit lists are zipped, a singleton broadcasts, the
 /// figure's defaults fill the gaps.
 bool validate_kind_options(const figure_spec& spec, cli_options& o) {
+  if (!o.mutate.empty() || !o.counterexample.empty()) {
+    std::fprintf(stderr,
+                 "--mutate/--counterexample only apply to the "
+                 "linearizability oracle binary (check)\n");
+    return false;
+  }
   if (spec.kind != figure_kind::timeline &&
       (!o.faults.empty() || o.sample_ms_set || !o.structure.empty())) {
     std::fprintf(stderr,

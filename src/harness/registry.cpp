@@ -122,9 +122,14 @@ scheme_registry::entry make_entry(const char* name, entry_opts opts = {}) {
   // The container family: no snapshot traversal, no marked-edge crossing —
   // every scheme qualifies (the dummy-handoff and head-only protection
   // patterns are exactly what HP/HE's bounded hazard budget covers, peak 2
-  // and 1 respectively).
-  e.cells.push_back({"msqueue", container, &run_container_cell<D, ds::ms_queue>});
-  e.cells.push_back({"stack", container, &run_container_cell<D, ds::treiber_stack>});
+  // and 1 respectively). The order tag declares each container's
+  // checkable semantics to the linearizability oracle.
+  e.cells.push_back({"msqueue", container,
+                     &run_container_cell<D, ds::ms_queue>,
+                     container_order::fifo});
+  e.cells.push_back({"stack", container,
+                     &run_container_cell<D, ds::treiber_stack>,
+                     container_order::lifo});
   return e;
 }
 

@@ -60,12 +60,23 @@ enum class structure_kind {
   container,  ///< push/pop over run_container_workload
 };
 
+/// How a container orders its values. The linearizability oracle
+/// (src/check) selects its token-matching mode from this tag, so a new
+/// container declares its checkable semantics where it is registered
+/// instead of being name-matched by the checker. `none` for sets.
+enum class container_order {
+  none,
+  fifo,  ///< queue: strict arrival order (ms_queue)
+  lifo,  ///< stack: strict reverse arrival order (treiber_stack)
+};
+
 class scheme_registry {
  public:
   struct cell {
     std::string structure;
     structure_kind kind = structure_kind::set;
     runner_fn run;
+    container_order order = container_order::none;
   };
 
   struct entry {

@@ -30,6 +30,12 @@
 // Every loop also samples per-op latency (one in kLatencyEvery operations
 // is timed around its guard + operation) into a shared log-bucketed
 // histogram; the p50/p90/p99/max land in every workload_result.
+//
+// Correctness oracle (src/check): when workload_config::history is set,
+// every operation both loops perform — prefill and the container drain
+// included — is recorded as a timestamped invocation/response interval
+// with its result, feeding the linearizability checker. Benchmark runs
+// leave it null and pay one predicted-not-taken branch per operation.
 #pragma once
 
 #include <atomic>
@@ -40,8 +46,10 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "check/history.hpp"
 #include "common/rng.hpp"
 #include "lab/fault_plan.hpp"
 #include "lab/telemetry.hpp"
@@ -81,6 +89,18 @@ struct workload_config {
   /// Meant for single-repetition runs (fig_timeline): with repeats > 1
   /// only the last repetition's series is kept.
   unsigned sample_ms = 0;
+  /// Correctness oracle: non-null turns history recording on — every
+  /// operation lands in a per-thread append-only log of timestamped
+  /// invocation/response intervals (check/history.hpp). The recorder must
+  /// outlive the run; collect() only after the driver returned.
+  check::history_recorder* history = nullptr;
+  /// Per-thread operation budget (0 = none), checked at op boundaries:
+  /// each worker leaves its loop after this many operations even if the
+  /// duration has not elapsed, and the run ends as soon as every worker
+  /// has retired its budget. This is what makes the --seed contract a
+  /// determinism *guarantee* for single-threaded runs: a time-based stop
+  /// cuts the op stream at a timing-dependent point, a budget does not.
+  std::uint64_t op_limit = 0;
 };
 
 struct workload_result {
@@ -131,6 +151,21 @@ namespace detail {
 /// clock reads off the common path so the histogram does not perturb the
 /// throughput it is measured alongside.
 inline constexpr std::uint64_t kLatencyEvery = 32;
+
+/// THE definition of how a history interval wraps an operation, shared by
+/// every recording site (prefill, workers, bursts, drain): invocation
+/// read, run `op` (which returns {ok, key/token}), response read, one
+/// record. Keeping a single copy is what the checker's soundness argument
+/// assumes — all op classes must be fenced and timed identically. Returns
+/// the operation's `ok`.
+template <class F>
+bool record_op(check::thread_log* log, check::op_kind kind, F&& op) {
+  if (log == nullptr) return op().first;
+  const std::uint64_t t_inv = check::inv_now();
+  const auto [ok, key] = op();
+  log->record(kind, key, ok, t_inv, check::ret_now());
+  return ok;
+}
 
 template <class D>
 concept has_flush = requires(D d) { d.flush(); };
@@ -209,6 +244,26 @@ struct run_stats {
   }
 };
 
+/// Sleep out one repetition: the full duration, or — on op-budget runs —
+/// until every worker has published its budgeted count (workers publish
+/// at exit), whichever comes first. Budgeted tests then cost their op
+/// count, not their worst-case wall clock.
+inline void wait_rep_end(std::chrono::steady_clock::time_point t0,
+                         const workload_config& cfg,
+                         unsigned total_threads,
+                         const rep_counters& counters) {
+  const auto deadline = t0 + std::chrono::milliseconds(cfg.duration_ms);
+  if (cfg.op_limit == 0) {
+    std::this_thread::sleep_until(deadline);
+    return;
+  }
+  const std::uint64_t target = std::uint64_t{total_threads} * cfg.op_limit;
+  while (std::chrono::steady_clock::now() < deadline &&
+         counters.ops.load(std::memory_order_relaxed) < target) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 inline std::uint64_t ns_since(std::chrono::steady_clock::time_point t) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -285,11 +340,19 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
 
   // --- prefill (quiescent) ---------------------------------------------
   {
+    check::thread_log* plog =
+        cfg.history != nullptr ? &cfg.history->attach(check::kMainTid)
+                               : nullptr;
     xoshiro256 rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
     std::size_t live = 0;
     while (live < cfg.prefill) {
       guard_t g(dom);
-      if (s.insert(g, rng.below(cfg.key_range), 1)) ++live;
+      const std::uint64_t key = rng.below(cfg.key_range);
+      if (detail::record_op(plog, check::op_kind::insert, [&] {
+            return std::pair{s.insert(g, key, 1), key};
+          })) {
+        ++live;
+      }
     }
   }
 
@@ -306,18 +369,36 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
 
     auto worker = [&](unsigned tid, std::uint32_t gen) {
       xoshiro256 rng(cfg.seed + tid * 1000003 + rep * 7919);
+      check::thread_log* hlog =
+          cfg.history != nullptr ? &cfg.history->attach(tid) : nullptr;
       lab::latency_histogram lhist;
       std::uint64_t local_ops = 0;
       std::uint64_t local_peak = 0;
+      auto kind_of = [&](std::uint64_t dice) {
+        return dice < cfg.insert_pct ? check::op_kind::insert
+               : dice < cfg.insert_pct + cfg.remove_pct
+                   ? check::op_kind::remove
+                   : check::op_kind::contains;
+      };
       auto dispatch = [&](guard_t& g, std::uint64_t key,
-                          std::uint64_t dice) {
-        if (dice < cfg.insert_pct) {
-          s.insert(g, key, key);
-        } else if (dice < cfg.insert_pct + cfg.remove_pct) {
-          s.remove(g, key);
-        } else {
-          s.contains(g, key);
+                          check::op_kind kind) -> bool {
+        switch (kind) {
+          case check::op_kind::insert:
+            return s.insert(g, key, key);
+          case check::op_kind::remove:
+            return s.remove(g, key);
+          default:
+            return s.contains(g, key);
         }
+      };
+      // dispatch plus (when the oracle is on) one history record around
+      // it: the interval is taken tightly around the call, inside the
+      // guard, so it contains the linearization point and nothing else.
+      auto apply = [&](guard_t& g, check::op_kind kind,
+                       std::uint64_t key) -> bool {
+        return detail::record_op(hlog, kind, [&] {
+          return std::pair{dispatch(g, key, kind), key};
+        });
       };
       auto after_op = [&] {
         ++local_ops;
@@ -326,24 +407,30 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
           counters.sample(dom.counters().unreclaimed(), local_peak);
         }
       };
+      /// Op-budget check, at the same boundaries as the stop flag.
+      auto within_limit = [&] {
+        return cfg.op_limit == 0 || local_ops < cfg.op_limit;
+      };
       // One claimed burst unit: remove a random key (a successful remove
       // retires its node) and reinsert to hold the size at equilibrium.
       auto burst_pair = [&](guard_t& g) {
         const std::uint64_t key = rng.below(cfg.key_range);
-        if (s.remove(g, key)) s.insert(g, key, key);
+        if (apply(g, check::op_kind::remove, key)) {
+          apply(g, check::op_kind::insert, key);
+        }
       };
       if (lab.tele != nullptr) lab.tele->thread_enter();
       while (!start.load(std::memory_order_acquire)) {
       }
       if (!cfg.use_trim) {
-        while (!stop.load(std::memory_order_relaxed)) {
+        while (!stop.load(std::memory_order_relaxed) && within_limit()) {
           if (lab.dir != nullptr) {
             if (lab.dir->exited(tid, gen)) break;
             if (lab.dir->stalled(tid)) {
               // The paper's stalled-thread protocol: enter, touch one
               // node, block holding the guard for the stall window.
               guard_t g(dom);
-              s.contains(g, rng.below(cfg.key_range));
+              apply(g, check::op_kind::contains, rng.below(cfg.key_range));
               lab.dir->wait_stall_end(tid);
               continue;
             }
@@ -351,20 +438,22 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
               std::this_thread::sleep_for(std::chrono::microseconds(us));
             }
             for (std::uint64_t n = lab.dir->claim_burst(128);
-                 n != 0 && !stop.load(std::memory_order_relaxed); --n) {
+                 n != 0 && !stop.load(std::memory_order_relaxed) &&
+                 within_limit();
+                 --n) {
               guard_t g(dom);
               burst_pair(g);
               after_op();
             }
           }
           const std::uint64_t key = rng.below(cfg.key_range);
-          const std::uint64_t dice = rng.below(100);
+          const auto kind = kind_of(rng.below(100));
           const bool timed = local_ops % detail::kLatencyEvery == 0;
           const auto t_op = timed ? std::chrono::steady_clock::now()
                                   : std::chrono::steady_clock::time_point{};
           {
             guard_t g(dom);
-            dispatch(g, key, dice);
+            apply(g, kind, key);
           }
           if (timed) lhist.record(detail::ns_since(t_op));
           after_op();
@@ -376,35 +465,39 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
         // happen under the held guard (a stall here pins exactly what
         // the long-lived guard pins).
         constexpr std::uint64_t regrip_every = 1024;
-        while (!stop.load(std::memory_order_relaxed)) {
+        while (!stop.load(std::memory_order_relaxed) && within_limit()) {
           if (lab.dir != nullptr && lab.dir->exited(tid, gen)) break;
           guard_t g(dom);
           for (std::uint64_t i = 0;
-               i < regrip_every && !stop.load(std::memory_order_relaxed);
+               i < regrip_every && !stop.load(std::memory_order_relaxed) &&
+               within_limit();
                ++i) {
             if (lab.dir != nullptr) {
               if (lab.dir->exited(tid, gen)) break;
               if (lab.dir->stalled(tid)) {
-                s.contains(g, rng.below(cfg.key_range));
+                apply(g, check::op_kind::contains,
+                      rng.below(cfg.key_range));
                 lab.dir->wait_stall_end(tid);
               }
               if (const std::uint32_t us = lab.dir->slow_delay_us(tid)) {
                 std::this_thread::sleep_for(std::chrono::microseconds(us));
               }
               for (std::uint64_t n = lab.dir->claim_burst(128);
-                   n != 0 && !stop.load(std::memory_order_relaxed); --n) {
+                   n != 0 && !stop.load(std::memory_order_relaxed) &&
+                   within_limit();
+                   --n) {
                 burst_pair(g);
                 if constexpr (detail::has_trim<guard_t>) g.trim();
                 after_op();
               }
             }
             const std::uint64_t key = rng.below(cfg.key_range);
-            const std::uint64_t dice = rng.below(100);
+            const auto kind = kind_of(rng.below(100));
             const bool timed = local_ops % detail::kLatencyEvery == 0;
             const auto t_op =
                 timed ? std::chrono::steady_clock::now()
                       : std::chrono::steady_clock::time_point{};
-            dispatch(g, key, dice);
+            apply(g, kind, key);
             if constexpr (detail::has_trim<guard_t>) g.trim();
             if (timed) lhist.record(detail::ns_since(t_op));
             after_op();
@@ -450,7 +543,7 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
     start.store(true, std::memory_order_release);
     if (lab.dir != nullptr) lab.dir->start();
     if (lab.tele != nullptr) lab.tele->start();
-    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+    detail::wait_rep_end(t0, cfg, total_threads, counters);
     stop.store(true, std::memory_order_release);
     // Stop the director before joining: it releases in-guard stall waits
     // (a stalled worker cannot observe `stop` until released) and joins
@@ -503,11 +596,26 @@ workload_result run_container_workload(D& dom, Q& q,
 
   std::atomic<std::uint64_t> enqueued{0};
   std::atomic<std::uint64_t> dequeued{0};
+  /// Token source for pushed values: every worker invocation (churn
+  /// replacements included) draws a distinct high-bit base, and the
+  /// prefill owns base 0, so every value ever pushed is unique — the
+  /// linearizability oracle's token matching depends on it, and nothing
+  /// else reads the payloads (the FIFO/LIFO property tests stamp their
+  /// own).
+  std::atomic<std::uint64_t> stamp_src{1};
 
   // --- prefill (quiescent) ---------------------------------------------
-  for (std::size_t i = 0; i < cfg.prefill; ++i) {
-    guard_t g(dom);
-    q.push(g, i);
+  {
+    check::thread_log* plog =
+        cfg.history != nullptr ? &cfg.history->attach(check::kMainTid)
+                               : nullptr;
+    for (std::size_t i = 0; i < cfg.prefill; ++i) {
+      guard_t g(dom);
+      detail::record_op(plog, check::op_kind::push, [&] {
+        q.push(g, i);
+        return std::pair{true, std::uint64_t{i}};
+      });
+    }
   }
   enqueued.fetch_add(cfg.prefill, std::memory_order_relaxed);
 
@@ -526,15 +634,32 @@ workload_result run_container_workload(D& dom, Q& q,
 
     auto body = [&](unsigned tid, std::uint32_t gen) {
       const bool producing = tid < split.producers;
+      check::thread_log* hlog =
+          cfg.history != nullptr ? &cfg.history->attach(tid) : nullptr;
       std::uint64_t local_ops = 0;
       std::uint64_t local_enq = 0;
       std::uint64_t local_deq = 0;
       std::uint64_t local_peak = 0;
       lab::latency_histogram lhist;
-      // Write-only diagnostic payload (per-thread monotone counter);
-      // nothing downstream decodes it — the FIFO/LIFO property tests
-      // stamp their own payloads.
-      std::uint64_t stamp = std::uint64_t{tid} << 40;
+      std::uint64_t stamp =
+          stamp_src.fetch_add(1, std::memory_order_relaxed) << 40;
+      auto do_push = [&](guard_t& g) {
+        const std::uint64_t v = stamp++;
+        detail::record_op(hlog, check::op_kind::push, [&] {
+          q.push(g, v);
+          return std::pair{true, v};
+        });
+        ++local_enq;
+      };
+      auto do_pop = [&](guard_t& g) {
+        if (detail::record_op(hlog, check::op_kind::pop, [&] {
+              std::uint64_t v = 0;
+              const bool ok = q.try_pop(g, v);
+              return std::pair{ok, ok ? v : 0};
+            })) {
+          ++local_deq;
+        }
+      };
       auto after_op = [&] {
         ++local_ops;
         if (lab.tele != nullptr) lab.tele->on_op(tid);
@@ -542,10 +667,13 @@ workload_result run_container_workload(D& dom, Q& q,
           counters.sample(dom.counters().unreclaimed(), local_peak);
         }
       };
+      auto within_limit = [&] {
+        return cfg.op_limit == 0 || local_ops < cfg.op_limit;
+      };
       if (lab.tele != nullptr) lab.tele->thread_enter();
       while (!start.load(std::memory_order_acquire)) {
       }
-      while (!stop.load(std::memory_order_relaxed)) {
+      while (!stop.load(std::memory_order_relaxed) && within_limit()) {
         if (lab.dir != nullptr) {
           if (lab.dir->exited(tid, gen)) break;
           if (lab.dir->stalled(tid)) {
@@ -559,15 +687,15 @@ workload_result run_container_workload(D& dom, Q& q,
             std::this_thread::sleep_for(std::chrono::microseconds(us));
           }
           for (std::uint64_t n = lab.dir->claim_burst(128);
-               n != 0 && !stop.load(std::memory_order_relaxed); --n) {
+               n != 0 && !stop.load(std::memory_order_relaxed) &&
+               within_limit();
+               --n) {
             // Retire-generating pair with an exact ledger: the push is
             // counted, and the pop (usually of the just-pushed value)
             // retires one node.
             guard_t g(dom);
-            q.push(g, stamp++);
-            ++local_enq;
-            std::uint64_t v;
-            if (q.try_pop(g, v)) ++local_deq;
+            do_push(g);
+            do_pop(g);
             after_op();
           }
         }
@@ -577,11 +705,9 @@ workload_result run_container_workload(D& dom, Q& q,
         {
           guard_t g(dom);
           if (producing) {
-            q.push(g, stamp++);
-            ++local_enq;
+            do_push(g);
           } else {
-            std::uint64_t v;
-            if (q.try_pop(g, v)) ++local_deq;
+            do_pop(g);
           }
         }
         if (timed) lhist.record(detail::ns_since(t_op));
@@ -625,7 +751,7 @@ workload_result run_container_workload(D& dom, Q& q,
     start.store(true, std::memory_order_release);
     if (lab.dir != nullptr) lab.dir->start();
     if (lab.tele != nullptr) lab.tele->start();
-    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+    detail::wait_rep_end(t0, cfg, total_threads, counters);
     stop.store(true, std::memory_order_release);
     if (lab.dir != nullptr) lab.dir->stop();
     // Telemetry stops BEFORE the joins: teardown samples would record
@@ -650,13 +776,26 @@ workload_result run_container_workload(D& dom, Q& q,
 
   // --- drain (quiescent) -----------------------------------------------
   // Pop the residual so the ledger closes and every node the structure
-  // still owns besides the ms_queue dummy flows through retire.
+  // still owns besides the ms_queue dummy flows through retire. Recorded
+  // like any other ops (the trailing empty pop too): the drain is part of
+  // the container's checkable life, and it is what lets the oracle call
+  // the history complete.
   std::uint64_t drained = 0;
-  for (;;) {
-    guard_t g(dom);
-    std::uint64_t v;
-    if (!q.try_pop(g, v)) break;
-    ++drained;
+  {
+    check::thread_log* dlog =
+        cfg.history != nullptr ? &cfg.history->attach(check::kMainTid)
+                               : nullptr;
+    for (;;) {
+      guard_t g(dom);
+      if (!detail::record_op(dlog, check::op_kind::pop, [&] {
+            std::uint64_t v = 0;
+            const bool ok = q.try_pop(g, v);
+            return std::pair{ok, ok ? v : 0};
+          })) {
+        break;
+      }
+      ++drained;
+    }
   }
   detail::flush_thread(dom);
 

@@ -188,6 +188,60 @@ TEST(TidLease, ThreadExitReturnsCachedIdsToThePool) {
   EXPECT_EQ(mine.tid(), 0u);
 }
 
+TEST(TidLease, ChurnOfShortLivedThreadsNeverExhaustsThePool) {
+  // The recycling contract under sustained churn: each short-lived thread
+  // caches its lease until exit, exit returns it, and the next spawn can
+  // lease again — forever. A single missed release would exhaust this
+  // 4-slot pool within the first handful of the 128 rounds and throw.
+  auto pool = std::make_shared<tid_pool>(4);
+  for (int round = 0; round < 128; ++round) {
+    std::thread t([&] {
+      tid_lease l(pool);
+      EXPECT_LT(l.tid(), 4u);
+      tid_lease nested(pool);
+      EXPECT_LT(nested.tid(), 4u);
+      EXPECT_NE(nested.tid(), l.tid());
+    });
+    t.join();
+  }
+  // After all that churn the pool must be whole: its full capacity is
+  // leasable at once.
+  tid_lease a(pool);
+  tid_lease b(pool);
+  tid_lease c(pool);
+  tid_lease d(pool);
+  EXPECT_THROW(tid_lease e(pool), std::runtime_error);
+}
+
+TEST(TidLease, NoTidDoubleLeasedUnderConcurrentChurn) {
+  // Waves of threads, each repeatedly leasing from a pool exactly as wide
+  // as the wave: every live thread holds (and caches) one id, so any
+  // double-lease would hand two threads the same record slot. The claim
+  // bitmask turns that into a deterministic failure: a thread owning a
+  // lease sets its tid's bit and must always find it clear.
+  constexpr unsigned kThreads = 8;
+  auto pool = std::make_shared<tid_pool>(kThreads);
+  std::atomic<unsigned> claimed{0};
+  std::atomic<bool> double_leased{false};
+  for (int wave = 0; wave < 16; ++wave) {
+    std::vector<std::thread> ts;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&] {
+        for (int i = 0; i < 64; ++i) {
+          tid_lease l(pool);
+          const unsigned bit = 1u << l.tid();
+          if (claimed.fetch_or(bit, std::memory_order_acq_rel) & bit) {
+            double_leased.store(true, std::memory_order_relaxed);
+          }
+          claimed.fetch_and(~bit, std::memory_order_acq_rel);
+        }
+      });
+    }
+    for (std::thread& t : ts) t.join();
+  }
+  EXPECT_FALSE(double_leased.load()) << "two live threads shared a tid";
+}
+
 TEST(ThreadHint, DistinctPerThreadStableWithin) {
   const unsigned mine = thread_hint();
   EXPECT_EQ(thread_hint(), mine);
