@@ -1,0 +1,31 @@
+// Portable machine-topology probe for shard-count defaults.
+//
+// The retire-shard count (see core/retired_batch.hpp sharded_retire) wants
+// to track the number of thread *groups* that actually contend: too few
+// shards recreates the single-list hotspot, too many wastes cache lines and
+// slows drain. Standard C++ exposes only the logical processor count, so
+// the probe is: one shard per two hardware threads (SMT siblings share an
+// L1/L2 and gain nothing from separate shards), clamped to [1, 8]. The CLI
+// exposes this as `--shards auto`; an explicit N always wins.
+#pragma once
+
+#include <thread>
+
+namespace hyaline {
+
+/// Logical processors, never zero (hardware_concurrency may return 0 when
+/// the value is not computable).
+inline unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+/// Default retire-shard count for `--shards auto`.
+inline unsigned default_retire_shards() {
+  const unsigned hw = hardware_threads();
+  unsigned s = hw <= 2 ? hw : hw / 2;
+  if (s > 8) s = 8;
+  return s == 0 ? 1 : s;
+}
+
+}  // namespace hyaline

@@ -1,0 +1,82 @@
+// Coarse-grained mutex-guarded FIFO queue: the honesty baseline twin of
+// locked_set (see that header for the rationale). One global std::mutex,
+// an intrusive singly-linked list, immediate reclamation through the
+// guard. Only registered with smr::immediate_domain.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "smr/domain.hpp"
+
+namespace hyaline::ds {
+
+template <class D>
+class locked_queue {
+ public:
+  static_assert(smr::Domain<D>,
+                "locked_queue requires an smr::Domain scheme");
+
+  using domain_type = D;
+  using guard = typename D::guard;
+
+  explicit locked_queue(D& dom) : dom_(dom) {}
+
+  ~locked_queue() {
+    qnode* n = head_;
+    while (n != nullptr) {
+      qnode* nx = n->nxt;
+      delete n;
+      n = nx;
+    }
+  }
+
+  locked_queue(const locked_queue&) = delete;
+  locked_queue& operator=(const locked_queue&) = delete;
+
+  void push(guard& g, std::uint64_t value) {
+    (void)g;
+    qnode* fresh = new qnode(value);
+    dom_.on_alloc(fresh);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (tail_ == nullptr) {
+      head_ = tail_ = fresh;
+    } else {
+      tail_->nxt = fresh;
+      tail_ = fresh;
+    }
+  }
+
+  bool try_pop(guard& g, std::uint64_t& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    qnode* n = head_;
+    if (n == nullptr) return false;
+    head_ = n->nxt;
+    if (head_ == nullptr) tail_ = nullptr;
+    out = n->value;
+    g.retire(n);  // immediate_domain: freed before the lock drops
+    return true;
+  }
+
+  /// Number of queued values; quiescent use only.
+  std::size_t unsafe_size() const {
+    std::size_t n = 0;
+    for (qnode* c = head_; c != nullptr; c = c->nxt) ++n;
+    return n;
+  }
+
+ private:
+  struct qnode : D::node {
+    std::uint64_t value;
+    qnode* nxt = nullptr;
+
+    explicit qnode(std::uint64_t v) : value(v) {}
+  };
+
+  D& dom_;
+  std::mutex mu_;
+  qnode* head_ = nullptr;
+  qnode* tail_ = nullptr;
+};
+
+}  // namespace hyaline::ds

@@ -1,0 +1,109 @@
+// Coarse-grained mutex-guarded hash set: the honesty baseline.
+//
+// Every operation takes one global std::mutex — the implementation anyone
+// would write first, with zero reclamation machinery. Registered as the
+// "Mutex" scheme so figure and sweep output can report lock-free + SMR
+// numbers against this floor instead of only against each other. Nodes
+// still derive from the domain's node header and are retired through the
+// guard (the immediate_domain frees them on the spot), so the allocation
+// path and the leak ledgers match the real cells exactly.
+//
+// Template over the domain only to fit the registry's cell machinery; it
+// is only registered (and only correct) with smr::immediate_domain, since
+// nothing here defers reclamation past the critical section.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "smr/domain.hpp"
+
+namespace hyaline::ds {
+
+template <class D>
+class locked_set {
+ public:
+  static_assert(smr::Domain<D>, "locked_set requires an smr::Domain scheme");
+
+  using domain_type = D;
+  using guard = typename D::guard;
+
+  explicit locked_set(D& dom) : dom_(dom), buckets_(kBuckets, nullptr) {}
+
+  ~locked_set() {
+    for (hnode*& b : buckets_) {
+      hnode* n = b;
+      while (n != nullptr) {
+        hnode* nx = n->nxt;
+        delete n;
+        n = nx;
+      }
+      b = nullptr;
+    }
+  }
+
+  locked_set(const locked_set&) = delete;
+  locked_set& operator=(const locked_set&) = delete;
+
+  bool insert(guard& g, std::uint64_t key, std::uint64_t value) {
+    (void)g;
+    std::lock_guard<std::mutex> lk(mu_);
+    hnode** slot = &buckets_[bucket_of(key)];
+    for (hnode* n = *slot; n != nullptr; n = n->nxt) {
+      if (n->key == key) return false;
+    }
+    hnode* fresh = new hnode(key, value);
+    dom_.on_alloc(fresh);
+    fresh->nxt = *slot;
+    *slot = fresh;
+    return true;
+  }
+
+  bool remove(guard& g, std::uint64_t key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    hnode** link = &buckets_[bucket_of(key)];
+    while (*link != nullptr) {
+      hnode* n = *link;
+      if (n->key == key) {
+        *link = n->nxt;
+        g.retire(n);  // immediate_domain: freed before the lock drops
+        return true;
+      }
+      link = &n->nxt;
+    }
+    return false;
+  }
+
+  bool contains(guard& g, std::uint64_t key) {
+    (void)g;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (hnode* n = buckets_[bucket_of(key)]; n != nullptr; n = n->nxt) {
+      if (n->key == key) return true;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 1024;
+
+  struct hnode : D::node {
+    std::uint64_t key;
+    std::uint64_t value;
+    hnode* nxt = nullptr;
+
+    hnode(std::uint64_t k, std::uint64_t v) : key(k), value(v) {}
+  };
+
+  static std::size_t bucket_of(std::uint64_t key) {
+    // Fibonacci hash: the workload's keys are near-sequential.
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 54) %
+           kBuckets;
+  }
+
+  D& dom_;
+  std::mutex mu_;
+  std::vector<hnode*> buckets_;
+};
+
+}  // namespace hyaline::ds

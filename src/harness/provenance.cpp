@@ -1,0 +1,97 @@
+#include "harness/provenance.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#ifndef HYALINE_GIT_SHA
+#define HYALINE_GIT_SHA "unknown"
+#endif
+
+namespace hyaline::harness {
+namespace {
+
+std::string compiler_id() {
+  std::string s;
+#if defined(__clang__)
+  s = "clang ";
+#elif defined(__GNUC__)
+  s = "gcc ";
+#else
+  s = "cc ";
+#endif
+#ifdef __VERSION__
+  s += __VERSION__;
+#else
+  s += "unknown";
+#endif
+  return s;
+}
+
+std::string cpu_model_name() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  char line[512];
+  std::string model = "unknown";
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    const char* colon = std::strchr(line, ':');
+    if (colon == nullptr) break;
+    ++colon;
+    while (*colon == ' ' || *colon == '\t') ++colon;
+    model = colon;
+    while (!model.empty() &&
+           (model.back() == '\n' || model.back() == '\r')) {
+      model.pop_back();
+    }
+    break;
+  }
+  std::fclose(f);
+  return model;
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        // Other control characters never appear in compiler/CPU strings;
+        // drop them rather than emit invalid JSON if one ever does.
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const provenance& build_provenance() {
+  static const provenance p = [] {
+    provenance v;
+    v.git_sha = HYALINE_GIT_SHA;
+    v.compiler = compiler_id();
+    v.cpu_model = cpu_model_name();
+    const unsigned hw = std::thread::hardware_concurrency();
+    v.hw_threads = hw == 0 ? 1 : hw;
+    return v;
+  }();
+  return p;
+}
+
+std::string provenance_json() {
+  const provenance& p = build_provenance();
+  std::string s = "\"provenance\": {";
+  s += "\"git_sha\": \"" + json_escape(p.git_sha) + "\", ";
+  s += "\"compiler\": \"" + json_escape(p.compiler) + "\", ";
+  s += "\"cpu_model\": \"" + json_escape(p.cpu_model) + "\", ";
+  s += "\"hw_threads\": " + std::to_string(p.hw_threads);
+  s += "}";
+  return s;
+}
+
+}  // namespace hyaline::harness

@@ -1,0 +1,33 @@
+// Build/machine provenance stamped into every machine-readable output.
+//
+// A trajectory file is only comparable to another if both record where
+// they came from: the exact source revision, the compiler that built the
+// binary, and the machine it ran on. The comparator (bench/bench_diff)
+// prints these side by side so a cross-machine or cross-compiler diff is
+// visibly apples-to-oranges before anyone trusts its percentages.
+#pragma once
+
+#include <string>
+
+namespace hyaline::harness {
+
+/// The provenance fields, resolved once per process.
+struct provenance {
+  std::string git_sha;     ///< HYALINE_GIT_SHA compile definition ("unknown"
+                           ///< when built outside a git checkout)
+  std::string compiler;    ///< compiler id + __VERSION__
+  std::string cpu_model;   ///< /proc/cpuinfo "model name" ("unknown" off-Linux)
+  unsigned hw_threads = 0; ///< std::thread::hardware_concurrency (min 1)
+};
+
+/// Resolve the current build/machine provenance.
+const provenance& build_provenance();
+
+/// The provenance as inner JSON-object text:
+///   "provenance": {"git_sha": ..., "compiler": ..., "cpu_model": ...,
+///                  "hw_threads": N}
+/// (key included, no trailing comma) — ready to splice into a config
+/// block. String values are escaped.
+std::string provenance_json();
+
+}  // namespace hyaline::harness

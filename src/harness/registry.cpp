@@ -8,11 +8,14 @@
 #include "ds/bonsai_tree.hpp"
 #include "ds/harris_list.hpp"
 #include "ds/hm_list.hpp"
+#include "ds/locked_queue.hpp"
+#include "ds/locked_set.hpp"
 #include "ds/michael_hashmap.hpp"
 #include "ds/ms_queue.hpp"
 #include "ds/natarajan_tree.hpp"
 #include "ds/treiber_stack.hpp"
 #include "smr/domain.hpp"
+#include "smr/immediate.hpp"
 
 namespace hyaline::harness {
 
@@ -31,6 +34,7 @@ static_assert(smr::Domain<domain_s_dw>);
 static_assert(smr::Domain<domain_s_llsc>);
 static_assert(smr::Domain<domain_1>);
 static_assert(smr::Domain<domain_1s>);
+static_assert(smr::Domain<smr::immediate_domain>);
 
 namespace {
 
@@ -87,6 +91,7 @@ struct entry_opts {
   bool core_lineup = false;   ///< one of the paper's nine plotted schemes
   bool llsc_head = false;     ///< emulated-LL/SC head variant (§4.4)
   const char* llsc_variant = "";  ///< this scheme's LL/SC twin, if any
+  bool external_baseline = false;  ///< coarse-mutex honesty baseline
 };
 
 /// Build one registry entry for scheme D. The structure cells follow the
@@ -106,6 +111,8 @@ scheme_registry::entry make_entry(const char* name, entry_opts opts = {}) {
   caps.llsc_head = opts.llsc_head;
   caps.supports_trim = D::caps.supports_trim;
   caps.core_lineup = opts.core_lineup;
+  caps.burst_entry = D::caps.burst_entry;
+  caps.external_baseline = opts.external_baseline;
 
   constexpr structure_kind set = structure_kind::set;
   constexpr structure_kind container = structure_kind::container;
@@ -181,6 +188,23 @@ scheme_registry::scheme_registry() {
       make_entry<domain_llsc>("Hyaline(llsc)", {.llsc_head = true}));
   schemes_.push_back(
       make_entry<domain_s_llsc>("Hyaline-S(llsc)", {.llsc_head = true}));
+
+  // Honesty baseline: coarse-mutex structures over the immediate-free
+  // pseudo-domain. Not part of the core lineup and tagged
+  // external_baseline so SMR-only sweeps skip it; run it by name
+  // (`--schemes Mutex`) to report the floor speedups are measured against.
+  {
+    scheme_registry::entry mutex_entry{
+        "Mutex", scheme_caps{.external_baseline = true}, "", {}};
+    mutex_entry.cells.push_back(
+        {"lockedset", structure_kind::set,
+         &run_cell<smr::immediate_domain, ds::locked_set>});
+    mutex_entry.cells.push_back(
+        {"lockedqueue", structure_kind::container,
+         &run_container_cell<smr::immediate_domain, ds::locked_queue>,
+         container_order::fifo});
+    schemes_.push_back(std::move(mutex_entry));
+  }
 }
 
 const scheme_registry& scheme_registry::instance() {

@@ -17,6 +17,7 @@
 #include "smr/hyaline.hpp"
 #include "smr/hyaline1.hpp"
 #include "smr/ibr.hpp"
+#include "smr/immediate.hpp"
 #include "smr/leaky.hpp"
 
 namespace hyaline::harness {
@@ -31,6 +32,14 @@ struct scheme_params {
   std::size_t max_slots = 0;  ///< Hyaline-S adaptive growth cap (0 = off)
   std::size_t batch_min = 64;
   std::int64_t ack_threshold = 8192;  ///< Hyaline-S stalled-slot detection
+  /// Retired-node shard count for schemes that support it (EBR, IBR, HP,
+  /// HE, Leaky). 0 = classic per-thread (or global, for Leaky) lists.
+  unsigned retire_shards = 0;
+  /// Amortized guard entry burst for caps.burst_entry schemes (EBR, IBR,
+  /// Hyaline slot caching). Harness default is on — the workload runners
+  /// quiesce idle/exiting threads, which the burst exit relies on. Direct
+  /// users of the raw configs get 0 (classic) unless they opt in.
+  std::uint32_t entry_burst = 64;
 };
 
 inline std::size_t default_slots(const scheme_params& p) {
@@ -47,7 +56,16 @@ template <>
 struct scheme_traits<smr::leaky_domain> {
   static constexpr const char* name = "Leaky";
   static std::unique_ptr<smr::leaky_domain> make(const scheme_params& p) {
-    return std::make_unique<smr::leaky_domain>(p.max_threads);
+    return std::make_unique<smr::leaky_domain>(p.max_threads,
+                                               p.retire_shards);
+  }
+};
+
+template <>
+struct scheme_traits<smr::immediate_domain> {
+  static constexpr const char* name = "Mutex";
+  static std::unique_ptr<smr::immediate_domain> make(const scheme_params& p) {
+    return std::make_unique<smr::immediate_domain>(p.max_threads);
   }
 };
 
@@ -55,7 +73,10 @@ template <>
 struct scheme_traits<smr::ebr_domain> {
   static constexpr const char* name = "Epoch";
   static std::unique_ptr<smr::ebr_domain> make(const scheme_params& p) {
-    return std::make_unique<smr::ebr_domain>(p.max_threads);
+    return std::make_unique<smr::ebr_domain>(
+        smr::ebr_config{.max_threads = p.max_threads,
+                        .entry_burst = p.entry_burst,
+                        .retire_shards = p.retire_shards});
   }
 };
 
@@ -63,7 +84,8 @@ template <>
 struct scheme_traits<smr::hp_domain> {
   static constexpr const char* name = "HP";
   static std::unique_ptr<smr::hp_domain> make(const scheme_params& p) {
-    return std::make_unique<smr::hp_domain>(p.max_threads);
+    return std::make_unique<smr::hp_domain>(smr::hp_config{
+        .max_threads = p.max_threads, .retire_shards = p.retire_shards});
   }
 };
 
@@ -71,7 +93,8 @@ template <>
 struct scheme_traits<smr::he_domain> {
   static constexpr const char* name = "HE";
   static std::unique_ptr<smr::he_domain> make(const scheme_params& p) {
-    return std::make_unique<smr::he_domain>(p.max_threads);
+    return std::make_unique<smr::he_domain>(smr::he_config{
+        .max_threads = p.max_threads, .retire_shards = p.retire_shards});
   }
 };
 
@@ -79,7 +102,10 @@ template <>
 struct scheme_traits<smr::ibr_domain> {
   static constexpr const char* name = "IBR";
   static std::unique_ptr<smr::ibr_domain> make(const scheme_params& p) {
-    return std::make_unique<smr::ibr_domain>(p.max_threads);
+    return std::make_unique<smr::ibr_domain>(
+        smr::ibr_config{.max_threads = p.max_threads,
+                        .entry_burst = p.entry_burst,
+                        .retire_shards = p.retire_shards});
   }
 };
 
@@ -87,8 +113,9 @@ template <>
 struct scheme_traits<domain> {
   static constexpr const char* name = "Hyaline";
   static std::unique_ptr<domain> make(const scheme_params& p) {
-    return std::make_unique<domain>(
-        config{.slots = default_slots(p), .batch_min = p.batch_min});
+    return std::make_unique<domain>(config{.slots = default_slots(p),
+                                           .batch_min = p.batch_min,
+                                           .entry_burst = p.entry_burst});
   }
 };
 
@@ -96,8 +123,9 @@ template <>
 struct scheme_traits<domain_dw> {
   static constexpr const char* name = "Hyaline(dwcas)";
   static std::unique_ptr<domain_dw> make(const scheme_params& p) {
-    return std::make_unique<domain_dw>(
-        config{.slots = default_slots(p), .batch_min = p.batch_min});
+    return std::make_unique<domain_dw>(config{.slots = default_slots(p),
+                                              .batch_min = p.batch_min,
+                                              .entry_burst = p.entry_burst});
   }
 };
 
@@ -106,7 +134,9 @@ struct scheme_traits<domain_llsc> {
   static constexpr const char* name = "Hyaline(llsc)";
   static std::unique_ptr<domain_llsc> make(const scheme_params& p) {
     return std::make_unique<domain_llsc>(
-        config{.slots = default_slots(p), .batch_min = p.batch_min});
+        config{.slots = default_slots(p),
+               .batch_min = p.batch_min,
+               .entry_burst = p.entry_burst});
   }
 };
 
@@ -117,7 +147,8 @@ struct scheme_traits<domain_s> {
     return std::make_unique<domain_s>(config{.slots = default_slots(p),
                                              .max_slots = p.max_slots,
                                              .batch_min = p.batch_min,
-                                             .ack_threshold = p.ack_threshold});
+                                             .ack_threshold = p.ack_threshold,
+                                             .entry_burst = p.entry_burst});
   }
 };
 
@@ -129,7 +160,8 @@ struct scheme_traits<domain_s_llsc> {
         config{.slots = default_slots(p),
                .max_slots = p.max_slots,
                .batch_min = p.batch_min,
-               .ack_threshold = p.ack_threshold});
+               .ack_threshold = p.ack_threshold,
+               .entry_burst = p.entry_burst});
   }
 };
 

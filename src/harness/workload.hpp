@@ -181,6 +181,23 @@ void flush_thread(D& dom) {
   }
 }
 
+template <class D>
+concept has_quiesce = requires(D d) { d.quiesce(); };
+
+/// Clear the calling thread's lingering burst-entry reservation, for
+/// schemes with amortized guard exit (EBR/IBR with entry_burst). Called
+/// wherever a thread stops taking guards — worker exit, after prefill, and
+/// after the final drain loop — so an idle reservation cannot stall epoch
+/// or era advancement for the threads still running. No-op elsewhere.
+template <class D>
+void quiesce_thread(D& dom) {
+  if constexpr (has_quiesce<D>) {
+    dom.quiesce();
+  } else {
+    (void)dom;
+  }
+}
+
 template <class G>
 concept has_trim = requires(G g) { g.trim(); };
 
@@ -354,6 +371,9 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
         ++live;
       }
     }
+    // The prefilling (main) thread takes no further guards: release any
+    // burst-entry reservation so it cannot pin the epoch for the workers.
+    detail::quiesce_thread(dom);
   }
 
   detail::run_stats stats;
@@ -507,6 +527,7 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
       counters.ops.fetch_add(local_ops, std::memory_order_relaxed);
       detail::atomic_max(stats.peak, local_peak);
       detail::flush_thread(dom);
+      detail::quiesce_thread(dom);
       lab.merge_hist(lhist);
       if (lab.tele != nullptr) lab.tele->thread_exit();
     };
@@ -616,6 +637,7 @@ workload_result run_container_workload(D& dom, Q& q,
         return std::pair{true, std::uint64_t{i}};
       });
     }
+    detail::quiesce_thread(dom);  // main thread idles while workers run
   }
   enqueued.fetch_add(cfg.prefill, std::memory_order_relaxed);
 
@@ -718,6 +740,7 @@ workload_result run_container_workload(D& dom, Q& q,
       dequeued.fetch_add(local_deq, std::memory_order_relaxed);
       detail::atomic_max(stats.peak, local_peak);
       detail::flush_thread(dom);
+      detail::quiesce_thread(dom);
       lab.merge_hist(lhist);
       if (lab.tele != nullptr) lab.tele->thread_exit();
     };
@@ -798,6 +821,7 @@ workload_result run_container_workload(D& dom, Q& q,
     }
   }
   detail::flush_thread(dom);
+  detail::quiesce_thread(dom);  // the drain loop above took guards
 
   workload_result r;
   stats.fill(r, cfg.repeats);

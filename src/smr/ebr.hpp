@@ -9,8 +9,10 @@
 // reclamation globally — the non-robustness that Figure 10a demonstrates.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 
 #include "common/align.hpp"
@@ -29,11 +31,24 @@ struct ebr_config {
   unsigned max_threads = 144;
   /// Attempt a global-epoch advance every `advance_freq` retires.
   std::uint64_t advance_freq = 64;
+  /// Amortized guard entry: leave the epoch reservation published for up to
+  /// this many consecutive guards on one thread. A lingering reservation is
+  /// indistinguishable from one long-lived guard spanning the burst, so the
+  /// three-epoch safety argument is untouched; the cost is that an *idle*
+  /// thread can pin the epoch for one un-exited burst, which is why the
+  /// harness quiesces threads that stop taking guards (see workload.hpp).
+  /// 0 (the default) reproduces classic enter/leave exactly.
+  std::uint32_t entry_burst = 0;
+  /// Retired-node sharding: 0 keeps the classic per-thread limbo lists;
+  /// N > 0 routes retires into N concurrent shards (tid % N) scanned on a
+  /// size threshold with neighbour stealing, so reclamation no longer
+  /// depends on the retiring thread coming back.
+  unsigned retire_shards = 0;
 };
 
 class ebr_domain {
  public:
-  static constexpr smr::caps caps{};
+  static constexpr smr::caps caps{.burst_entry = true};
 
   struct node : core::reclaimable {
     node* next = nullptr;
@@ -44,7 +59,13 @@ class ebr_domain {
   using protected_ptr = raw_handle<T>;
 
   explicit ebr_domain(ebr_config cfg = {})
-      : cfg_(validated(cfg)), recs_(cfg_.max_threads) {}
+      : cfg_(validated(cfg)), recs_(cfg_.max_threads) {
+    if (cfg_.retire_shards != 0) {
+      sharded_ =
+          std::make_unique<core::sharded_retire<node>>(cfg_.retire_shards);
+      shard_threshold_ = std::max<std::size_t>(64, 2 * cfg_.max_threads);
+    }
+  }
 
   explicit ebr_domain(unsigned max_threads)
       : ebr_domain(ebr_config{max_threads, 64}) {}
@@ -61,13 +82,31 @@ class ebr_domain {
   class guard {
    public:
     explicit guard(ebr_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {
-      dom_.recs_[lease_.tid()].reservation.store(dom_.epoch_.load(),
-                                                 std::memory_order_seq_cst);
+      rec& r = dom_.recs_[lease_.tid()];
+      const std::uint64_t e = dom_.epoch_.load();
+      if (dom_.cfg_.entry_burst != 0 &&
+          r.reservation.load(std::memory_order_relaxed) == e) {
+        // Burst fast path: our reservation (published by a previous guard
+        // on this thread and never cleared) already equals the current
+        // epoch, so this guard is covered as if the previous one never
+        // left. No store, no fence.
+        return;
+      }
+      r.reservation.store(e, std::memory_order_seq_cst);
+      r.burst_left = dom_.cfg_.entry_burst;
     }
 
     ~guard() {
-      dom_.recs_[lease_.tid()].reservation.store(inactive,
-                                                 std::memory_order_seq_cst);
+      rec& r = dom_.recs_[lease_.tid()];
+      if (r.burst_left > 1) {
+        // Burst fast path: leave the reservation published for the next
+        // guard. Bounded by entry_burst, after which we genuinely leave so
+        // a thread that stops using the structure releases the epoch.
+        --r.burst_left;
+        return;
+      }
+      r.burst_left = 0;
+      r.reservation.store(inactive, std::memory_order_seq_cst);
     }
 
     guard(const guard&) = delete;
@@ -89,10 +128,34 @@ class ebr_domain {
     core::tid_lease lease_;
   };
 
+  /// Burst-entry cleanup for the *calling thread*: clear any reservation
+  /// left lingering by the amortized guard exit so an idle thread cannot
+  /// block epoch advancement. Must be called with no live guard on this
+  /// thread; no-op when burst entry is off.
+  void quiesce() {
+    if (cfg_.entry_burst == 0) return;
+    core::for_each_cached_tid(recs_.pool(), [this](unsigned tid) {
+      rec& r = recs_[tid];
+      r.burst_left = 0;
+      r.reservation.store(inactive, std::memory_order_seq_cst);
+    });
+  }
+
   /// Quiescent-state cleanup: with every reservation inactive, advancing
   /// the epoch twice makes every limbo node reclaimable.
   void drain() {
+    if (cfg_.entry_burst != 0) {
+      // Quiescent by contract: no guard is live anywhere, so any published
+      // reservation is a burst leftover of an idle or exited thread.
+      for (rec& r : recs_) {
+        r.burst_left = 0;
+        r.reservation.store(inactive, std::memory_order_seq_cst);
+      }
+    }
     for (int i = 0; i < 3; ++i) try_advance();
+    if (sharded_ != nullptr) {
+      for (unsigned s = 0; s < sharded_->shards(); ++s) scan_shard(s);
+    }
     for (unsigned t = 0; t < recs_.size(); ++t) reclaim(t);
   }
 
@@ -117,12 +180,27 @@ class ebr_domain {
     std::atomic<std::uint64_t> reservation{inactive};
     core::limbo_queue<node> limbo;  // owner-thread private
     std::uint64_t retire_count = 0;
+    /// Guards left in the current entry burst (owner-thread only).
+    std::uint32_t burst_left = 0;
   };
 
   void retire(unsigned tid, node* n) {
     stats_->on_retire();
     rec& r = recs_[tid];
     n->retire_epoch = epoch_.load();
+    if (sharded_ != nullptr) {
+      const unsigned s = sharded_->shard_of(tid);
+      const bool hot = sharded_->push(s, n, shard_threshold_);
+      if (++r.retire_count % cfg_.advance_freq == 0) try_advance();
+      if (hot) {
+        scan_shard(s);
+        const unsigned nb = (s + 1) % sharded_->shards();
+        if (nb != s && sharded_->hot(nb, shard_threshold_)) {
+          scan_shard(nb);  // steal-on-scan: the neighbour's group is idle
+        }
+      }
+      return;
+    }
     r.limbo.push_back(n);
     if (++r.retire_count % cfg_.advance_freq == 0) {
       try_advance();
@@ -153,9 +231,22 @@ class ebr_domain {
         });
   }
 
+  void scan_shard(unsigned s) {
+    const std::uint64_t e = epoch_.load();
+    sharded_->scan(
+        s, shard_threshold_,
+        [e](const node* n) { return n->retire_epoch + 2 <= e; },
+        [this](node* n) {
+          core::destroy(n);
+          stats_->on_free();
+        });
+  }
+
   const ebr_config cfg_;
   core::thread_registry<rec> recs_;
   core::era_clock epoch_{2};
+  std::unique_ptr<core::sharded_retire<node>> sharded_;  // null = classic
+  std::size_t shard_threshold_ = 0;
   padded_stats stats_;
 };
 

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 
 #include "common/align.hpp"
@@ -30,6 +32,9 @@ struct he_config {
   std::uint64_t era_freq = 64;
   /// Scan this thread's retired list at this size (0 = auto).
   std::size_t scan_threshold = 0;
+  /// Retired-node sharding (see ebr_config::retire_shards). 0 = classic
+  /// per-thread lists. Era publication stays per-thread either way.
+  unsigned retire_shards = 0;
 };
 
 class he_domain {
@@ -60,6 +65,10 @@ class he_domain {
     if (cfg_.scan_threshold == 0) {
       cfg_.scan_threshold = 2 * std::size_t{cfg_.max_threads} * max_hazards;
     }
+    if (cfg_.retire_shards != 0) {
+      sharded_ =
+          std::make_unique<core::sharded_retire<node>>(cfg_.retire_shards);
+    }
   }
 
   explicit he_domain(unsigned max_threads)
@@ -85,10 +94,16 @@ class he_domain {
     explicit guard(he_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {}
 
     ~guard() {
+      // Clear still-leased era slots only; handles self-clear on release,
+      // so the common guard exit writes nothing (see hp_domain::~guard).
+      unsigned mask = slots_.leased_mask();
+      if (mask == 0) return;
       rec& r = dom_.recs_[lease_.tid()];
-      for (unsigned i = 0; i < max_hazards; ++i) {
+      do {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(mask));
         r.eras[i].store(0, std::memory_order_release);
-      }
+        mask &= mask - 1;
+      } while (mask != 0);
     }
 
     guard(const guard&) = delete;
@@ -129,6 +144,9 @@ class he_domain {
   };
 
   void drain() {
+    if (sharded_ != nullptr) {
+      for (unsigned s = 0; s < sharded_->shards(); ++s) scan_shard(s);
+    }
     for (unsigned t = 0; t < recs_.size(); ++t) scan(t);
   }
 
@@ -155,6 +173,17 @@ class he_domain {
   void retire(unsigned tid, node* n) {
     stats_->on_retire();
     n->retire_era = era_.load();
+    if (sharded_ != nullptr) {
+      const unsigned s = sharded_->shard_of(tid);
+      if (sharded_->push(s, n, cfg_.scan_threshold)) {
+        scan_shard(s);
+        const unsigned nb = (s + 1) % sharded_->shards();
+        if (nb != s && sharded_->hot(nb, cfg_.scan_threshold)) {
+          scan_shard(nb);
+        }
+      }
+      return;
+    }
     rec& r = recs_[tid];
     if (r.retired.push(n, cfg_.scan_threshold)) {
       scan(tid);
@@ -181,9 +210,20 @@ class he_domain {
         });
   }
 
+  void scan_shard(unsigned s) {
+    sharded_->scan(
+        s, cfg_.scan_threshold,
+        [this](const node* n) { return can_free(n); },
+        [this](node* n) {
+          core::destroy(n);
+          stats_->on_free();
+        });
+  }
+
   he_config cfg_;
   core::thread_registry<rec> recs_;
   core::era_clock era_{1};
+  std::unique_ptr<core::sharded_retire<node>> sharded_;  // null = classic
   padded_stats stats_;
 };
 

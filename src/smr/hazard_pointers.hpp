@@ -12,7 +12,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -33,6 +35,10 @@ struct hp_config {
   /// Scan when a thread's retired list reaches this size (0 = auto:
   /// 2 * max_threads * max_hazards, the classic H·R rule).
   std::size_t scan_threshold = 0;
+  /// Retired-node sharding (see ebr_config::retire_shards). 0 = classic
+  /// per-thread lists. Hazard publication stays per-thread either way —
+  /// only the retired-node lists (and hence who reclaims them) shard.
+  unsigned retire_shards = 0;
 };
 
 class hp_domain {
@@ -63,6 +69,10 @@ class hp_domain {
     if (cfg_.scan_threshold == 0) {
       cfg_.scan_threshold = 2 * std::size_t{cfg_.max_threads} * max_hazards;
     }
+    if (cfg_.retire_shards != 0) {
+      sharded_ =
+          std::make_unique<core::sharded_retire<node>>(cfg_.retire_shards);
+    }
   }
 
   explicit hp_domain(unsigned max_threads)
@@ -82,12 +92,17 @@ class hp_domain {
     explicit guard(hp_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {}
 
     ~guard() {
-      // Clear this thread's hazards (leave). Handles normally cleared each
-      // slot already; this covers any still-leased slot.
+      // Clear still-leased hazards (leave). Handles self-clear their slot
+      // on release, so the leased mask — and this loop — is normally
+      // empty: the common guard exit writes nothing to the hazard array.
+      unsigned mask = slots_.leased_mask();
+      if (mask == 0) return;
       rec& r = dom_.recs_[lease_.tid()];
-      for (unsigned i = 0; i < max_hazards; ++i) {
+      do {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(mask));
         r.hazards[i].store(nullptr, std::memory_order_release);
-      }
+        mask &= mask - 1;
+      } while (mask != 0);
     }
 
     guard(const guard&) = delete;
@@ -131,6 +146,9 @@ class hp_domain {
   /// Quiescent-state cleanup: with all hazards clear, one scan per thread
   /// frees everything.
   void drain() {
+    if (sharded_ != nullptr) {
+      for (unsigned s = 0; s < sharded_->shards(); ++s) scan_shard(s);
+    }
     for (unsigned t = 0; t < recs_.size(); ++t) scan(t);
   }
 
@@ -149,6 +167,17 @@ class hp_domain {
 
   void retire(unsigned tid, node* n) {
     stats_->on_retire();
+    if (sharded_ != nullptr) {
+      const unsigned s = sharded_->shard_of(tid);
+      if (sharded_->push(s, n, cfg_.scan_threshold)) {
+        scan_shard(s);
+        const unsigned nb = (s + 1) % sharded_->shards();
+        if (nb != s && sharded_->hot(nb, cfg_.scan_threshold)) {
+          scan_shard(nb);
+        }
+      }
+      return;
+    }
     rec& r = recs_[tid];
     if (r.retired.push(n, cfg_.scan_threshold)) {
       scan(tid);
@@ -156,7 +185,7 @@ class hp_domain {
     }
   }
 
-  void scan(unsigned tid) {
+  std::vector<void*> hazard_snapshot() const {
     std::vector<void*> snapshot;
     snapshot.reserve(std::size_t{recs_.size()} * max_hazards);
     for (const rec& r : recs_) {
@@ -166,8 +195,26 @@ class hp_domain {
       }
     }
     std::sort(snapshot.begin(), snapshot.end());
+    return snapshot;
+  }
 
+  void scan(unsigned tid) {
+    std::vector<void*> snapshot = hazard_snapshot();
     recs_[tid].retired.scan(
+        [&snapshot](const node* n) {
+          return !std::binary_search(snapshot.begin(), snapshot.end(),
+                                     static_cast<const void*>(n));
+        },
+        [this](node* n) {
+          core::destroy(n);
+          stats_->on_free();
+        });
+  }
+
+  void scan_shard(unsigned s) {
+    std::vector<void*> snapshot = hazard_snapshot();
+    sharded_->scan(
+        s, cfg_.scan_threshold,
         [&snapshot](const node* n) {
           return !std::binary_search(snapshot.begin(), snapshot.end(),
                                      static_cast<const void*>(n));
@@ -180,6 +227,7 @@ class hp_domain {
 
   hp_config cfg_;
   core::thread_registry<rec> recs_;
+  std::unique_ptr<core::sharded_retire<node>> sharded_;  // null = classic
   padded_stats stats_;
 };
 

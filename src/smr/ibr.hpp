@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 
 #include "common/align.hpp"
@@ -30,6 +31,15 @@ struct ibr_config {
   std::uint64_t era_freq = 64;
   /// Scan this thread's retired list at this size (0 = auto).
   std::size_t scan_threshold = 0;
+  /// Amortized guard entry: keep the [lo, hi] reservation published for up
+  /// to this many consecutive guards on one thread. A lingering interval
+  /// pins exactly what one long-lived guard spanning the burst would pin
+  /// (protect() still extends hi per acquisition), so robustness degrades
+  /// only by the bounded burst length. 0 (default) = classic enter/leave.
+  std::uint32_t entry_burst = 0;
+  /// Retired-node sharding (see ebr_config::retire_shards). 0 = classic
+  /// per-thread lists.
+  unsigned retire_shards = 0;
 };
 
 class ibr_domain {
@@ -38,7 +48,8 @@ class ibr_domain {
   /// concurrent protect() extends it, and free a freshly-born node the
   /// reader is about to return through a frozen (already-unlinked) edge —
   /// so traversals must only cross clean edges (ds/natarajan_tree.hpp).
-  static constexpr smr::caps caps{.robust = true, .needs_clean_edges = true};
+  static constexpr smr::caps caps{
+      .robust = true, .needs_clean_edges = true, .burst_entry = true};
 
   struct node : core::reclaimable {
     node* next = nullptr;
@@ -53,6 +64,10 @@ class ibr_domain {
       : cfg_(validated(cfg)), recs_(cfg_.max_threads) {
     if (cfg_.scan_threshold == 0) {
       cfg_.scan_threshold = 2 * std::size_t{cfg_.max_threads};
+    }
+    if (cfg_.retire_shards != 0) {
+      sharded_ =
+          std::make_unique<core::sharded_retire<node>>(cfg_.retire_shards);
     }
   }
 
@@ -77,18 +92,34 @@ class ibr_domain {
   class guard {
    public:
     explicit guard(ibr_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {
-      const std::uint64_t e = dom_.era_.load();
       rec& r = dom_.recs_[lease_.tid()];
+      if (dom_.cfg_.entry_burst != 0 &&
+          r.lo.load(std::memory_order_relaxed) != inactive) {
+        // Burst fast path: the previous guard's [lo, hi] is still
+        // published, which covers this guard exactly as one long guard
+        // would — protect() extends hi per acquisition regardless. No era
+        // load, no stores.
+        return;
+      }
+      const std::uint64_t e = dom_.era_.load();
       // hi before lo: `lo` is the activity flag scanners test first, so it
       // must become visible last. The reverse order lets can_free observe
       // {lo = e, hi = 0-from-last-leave} — an empty interval — and free
       // nodes retired during this (live) reservation.
       r.hi.store(e, std::memory_order_seq_cst);
       r.lo.store(e, std::memory_order_seq_cst);
+      r.burst_left = dom_.cfg_.entry_burst;
     }
 
     ~guard() {
       rec& r = dom_.recs_[lease_.tid()];
+      if (r.burst_left > 1) {
+        // Burst fast path: keep the interval published for the next guard
+        // (bounded by entry_burst; harness threads quiesce on idle/exit).
+        --r.burst_left;
+        return;
+      }
+      r.burst_left = 0;
       r.lo.store(inactive, std::memory_order_release);
       r.hi.store(0, std::memory_order_release);
     }
@@ -120,7 +151,31 @@ class ibr_domain {
     core::tid_lease lease_;
   };
 
+  /// Clear the calling thread's lingering burst reservation (see
+  /// ebr_domain::quiesce). Must be called with no live guard on this
+  /// thread; no-op when burst entry is off.
+  void quiesce() {
+    if (cfg_.entry_burst == 0) return;
+    core::for_each_cached_tid(recs_.pool(), [this](unsigned tid) {
+      rec& r = recs_[tid];
+      r.burst_left = 0;
+      r.lo.store(inactive, std::memory_order_seq_cst);
+      r.hi.store(0, std::memory_order_seq_cst);
+    });
+  }
+
   void drain() {
+    if (cfg_.entry_burst != 0) {
+      // Quiescent by contract: any published interval is a burst leftover.
+      for (rec& r : recs_) {
+        r.burst_left = 0;
+        r.lo.store(inactive, std::memory_order_seq_cst);
+        r.hi.store(0, std::memory_order_seq_cst);
+      }
+    }
+    if (sharded_ != nullptr) {
+      for (unsigned s = 0; s < sharded_->shards(); ++s) scan_shard(s);
+    }
     for (unsigned t = 0; t < recs_.size(); ++t) scan(t);
   }
 
@@ -145,11 +200,24 @@ class ibr_domain {
     std::atomic<std::uint64_t> lo{inactive};
     std::atomic<std::uint64_t> hi{0};
     core::retired_list<node> retired;  // owner-thread private
+    /// Guards left in the current entry burst (owner-thread only).
+    std::uint32_t burst_left = 0;
   };
 
   void retire(unsigned tid, node* n) {
     stats_->on_retire();
     n->retire_era = era_.load();
+    if (sharded_ != nullptr) {
+      const unsigned s = sharded_->shard_of(tid);
+      if (sharded_->push(s, n, cfg_.scan_threshold)) {
+        scan_shard(s);
+        const unsigned nb = (s + 1) % sharded_->shards();
+        if (nb != s && sharded_->hot(nb, cfg_.scan_threshold)) {
+          scan_shard(nb);
+        }
+      }
+      return;
+    }
     rec& r = recs_[tid];
     if (r.retired.push(n, cfg_.scan_threshold)) {
       scan(tid);
@@ -177,9 +245,20 @@ class ibr_domain {
         });
   }
 
+  void scan_shard(unsigned s) {
+    sharded_->scan(
+        s, cfg_.scan_threshold,
+        [this](const node* n) { return can_free(n); },
+        [this](node* n) {
+          core::destroy(n);
+          stats_->on_free();
+        });
+  }
+
   ibr_config cfg_;
   core::thread_registry<rec> recs_;
   core::era_clock era_{1};
+  std::unique_ptr<core::sharded_retire<node>> sharded_;  // null = classic
   padded_stats stats_;
 };
 

@@ -27,9 +27,14 @@ namespace hyaline::smr {
 /// Fixed-size free-list of hazard slot indices, shared by the
 /// pointer-publication guards (HP, HE). Leases the lowest-numbered free
 /// slot; throws — instead of corrupting a neighbouring slot — when more
-/// than `N` protection handles are live at once.
+/// than `N` protection handles are live at once. Tracks the set of leased
+/// slots as a bitmask so a guard's destructor clears only slots that are
+/// actually still published (handles self-clear on release, so the mask is
+/// normally zero and guard exit touches no hazard array at all).
 template <unsigned N>
 class slot_allocator {
+  static_assert(N <= 32, "leased-slot bitmask holds at most 32 slots");
+
  public:
   slot_allocator() {
     for (unsigned i = 0; i < N; ++i) free_[i] = N - 1 - i;  // lease 0, 1, …
@@ -43,14 +48,23 @@ class slot_allocator {
           std::to_string(N) +
           "); release protected_ptr handles before acquiring more");
     }
-    return free_[--nfree_];
+    const unsigned idx = free_[--nfree_];
+    leased_ |= 1u << idx;
+    return idx;
   }
 
-  void unlease(unsigned idx) { free_[nfree_++] = idx; }
+  void unlease(unsigned idx) {
+    leased_ &= ~(1u << idx);
+    free_[nfree_++] = idx;
+  }
+
+  /// Bit i set ⇔ slot i is currently leased (still published).
+  unsigned leased_mask() const { return leased_; }
 
  private:
   unsigned free_[N];
   unsigned nfree_;
+  unsigned leased_ = 0;
 };
 
 /// Zero-cost handle for schemes whose protection does not need per-pointer

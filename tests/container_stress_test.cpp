@@ -67,7 +67,8 @@ TEST_P(ContainerStressTest, EveryContainerCellConserves) {
       EXPECT_EQ(debug_alloc::live_count(), 0u) << "leaked node allocations";
     }
   }
-  EXPECT_EQ(cells, 12u * 2u);  // 12 schemes x {msqueue, stack}
+  // 12 SMR schemes x {msqueue, stack} + the Mutex baseline's lockedqueue.
+  EXPECT_EQ(cells, 12u * 2u + 1u);
   EXPECT_EQ(debug_alloc::double_frees(), 0u) << "double free detected";
   EXPECT_EQ(debug_alloc::flush_quarantine(), 0u)
       << "write-after-free detected (poison corrupted)";

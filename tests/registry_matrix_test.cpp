@@ -63,12 +63,13 @@ TEST(RegistryMatrix, EveryCellRunsLeakFree) {
       EXPECT_EQ(debug_alloc::live_count(), 0u) << "leaked node allocations";
     }
   }
-  // 12 schemes x (list, hashmap, nmtree), bonsai for the 10 non-HP/HE
-  // schemes, harris for the 6 guard-lifetime epoch-style schemes, and
-  // 12 x the two container cells (msqueue, stack — no capability gates).
-  // A single cell may complete zero ops on a badly oversubscribed CI box;
-  // the matrix as a whole must make progress.
-  EXPECT_EQ(cells, 12u * 3u + 10u + 6u + 12u * 2u);
+  // 12 SMR schemes x (list, hashmap, nmtree), bonsai for the 10 non-HP/HE
+  // schemes, harris for the 6 guard-lifetime epoch-style schemes,
+  // 12 x the two container cells (msqueue, stack — no capability gates),
+  // plus the Mutex honesty baseline's own two cells (lockedset,
+  // lockedqueue). A single cell may complete zero ops on a badly
+  // oversubscribed CI box; the matrix as a whole must make progress.
+  EXPECT_EQ(cells, 12u * 3u + 10u + 6u + 12u * 2u + 2u);
   EXPECT_GT(total_ops, 0u);
   EXPECT_EQ(debug_alloc::double_frees(), 0u) << "double free detected";
   EXPECT_EQ(debug_alloc::flush_quarantine(), 0u)
@@ -89,11 +90,27 @@ TEST(RegistryMatrix, LineupAndCapabilitiesMatchThePaper) {
     EXPECT_NE(e->runner_for("hashmap"), nullptr) << name;
   }
 
+  // The coarse-mutex honesty baseline rides along tagged
+  // external_baseline, outside the core lineup, with its own two
+  // structures — SMR-only sweeps key off exactly this flag.
+  {
+    const auto* mutex_entry = reg.find("Mutex");
+    ASSERT_NE(mutex_entry, nullptr);
+    EXPECT_TRUE(mutex_entry->caps.external_baseline);
+    EXPECT_FALSE(mutex_entry->caps.core_lineup);
+    EXPECT_NE(mutex_entry->runner_for("lockedset"), nullptr);
+    EXPECT_NE(mutex_entry->runner_for("lockedqueue"), nullptr);
+    EXPECT_EQ(mutex_entry->runner_for("hashmap"), nullptr);
+  }
+
   // Bonsai excludes pointer-publication schemes; Harris's original list
   // additionally excludes every robust scheme (guard-lifetime pinning
-  // only). The container family has no capability gate: every scheme
-  // carries both cells, tagged with the container structure-kind.
+  // only). The container family has no capability gate: every SMR scheme
+  // carries both cells, tagged with the container structure-kind. The
+  // external baseline registers none of the shared structures, so it is
+  // skipped here.
   for (const auto& scheme : reg.schemes()) {
+    if (scheme.caps.external_baseline) continue;
     const bool snapshot_safe = !scheme.caps.pointer_publication;
     const bool epoch_style = snapshot_safe && !scheme.caps.robust;
     EXPECT_EQ(scheme.runner_for("bonsai") != nullptr, snapshot_safe)
