@@ -169,7 +169,7 @@ void measure(const opcost_options& o, std::vector<row>& rows) {
       }
       const auto t1 = clock_type::now();
       rows.push_back({name, "protect", ns_per(t0, t1, o.iters)});
-      g.retire(static_cast<pnode*>(src.load()));
+      g.retire(static_cast<pnode*>(src.load(std::memory_order_relaxed)));
     }
   }
 
@@ -200,8 +200,8 @@ void measure(const opcost_options& o, std::vector<row>& rows) {
   }
 
   dom->drain();
-  const auto retired = dom->counters().retired.load();
-  const auto freed = dom->counters().freed.load();
+  const auto retired = dom->counters().retired.load(std::memory_order_relaxed);
+  const auto freed = dom->counters().freed.load(std::memory_order_relaxed);
   if (retired != freed) {
     std::fprintf(stderr, "%s: leak after drain — retired %llu, freed %llu\n",
                  name, static_cast<unsigned long long>(retired),

@@ -56,8 +56,8 @@ int main() {
         }
         g.trim();
       }
-      hits += h;
-      misses += m;
+      hits.fetch_add(h, std::memory_order_relaxed);
+      misses.fetch_add(m, std::memory_order_relaxed);
       dom.flush();
     });
   }
@@ -65,12 +65,12 @@ int main() {
 
   std::printf("cache size: %zu, hits: %llu, misses: %llu\n",
               cache.unsafe_size(),
-              static_cast<unsigned long long>(hits.load()),
-              static_cast<unsigned long long>(misses.load()));
+              static_cast<unsigned long long>(hits.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(misses.load(std::memory_order_relaxed)));
   const auto& c = dom.counters();
   std::printf("retired=%llu freed=%llu unreclaimed-before-drain=%llu\n",
-              static_cast<unsigned long long>(c.retired.load()),
-              static_cast<unsigned long long>(c.freed.load()),
+              static_cast<unsigned long long>(c.retired.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(c.freed.load(std::memory_order_relaxed)),
               static_cast<unsigned long long>(c.unreclaimed()));
   dom.drain();
   return 0;

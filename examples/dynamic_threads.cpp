@@ -61,9 +61,9 @@ int main() {
               kWaves * kThreadsPerWave, dom.slot_count());
   std::printf("allocated=%llu freed-or-live: retired=%llu freed=%llu "
               "unreclaimed=%llu\n",
-              static_cast<unsigned long long>(c.allocated.load()),
-              static_cast<unsigned long long>(c.retired.load()),
-              static_cast<unsigned long long>(c.freed.load()),
+              static_cast<unsigned long long>(c.allocated.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(c.retired.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(c.freed.load(std::memory_order_relaxed)),
               static_cast<unsigned long long>(c.unreclaimed()));
   return 0;
 }

@@ -88,8 +88,8 @@ int main() {
   std::printf("jobs=%llu results=%llu retired=%llu freed=%llu\n",
               static_cast<unsigned long long>(kProducers * kJobs),
               static_cast<unsigned long long>(count),
-              static_cast<unsigned long long>(c.retired.load()),
-              static_cast<unsigned long long>(c.freed.load()));
+              static_cast<unsigned long long>(c.retired.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(c.freed.load(std::memory_order_relaxed)));
 
   if (count != kProducers * kJobs) {
     std::fprintf(stderr, "lost or duplicated results!\n");
@@ -100,7 +100,7 @@ int main() {
     return 1;
   }
   dom.drain();
-  if (c.retired.load() != c.freed.load()) {
+  if (c.retired.load(std::memory_order_relaxed) != c.freed.load(std::memory_order_relaxed)) {
     std::fprintf(stderr, "leak: retired != freed after drain\n");
     return 1;
   }

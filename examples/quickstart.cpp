@@ -58,9 +58,9 @@ int main() {
   std::printf("elements left: %zu\n", map.unsafe_size());
   const auto& c = dom.counters();
   std::printf("allocated=%llu retired=%llu freed=%llu unreclaimed=%llu\n",
-              static_cast<unsigned long long>(c.allocated.load()),
-              static_cast<unsigned long long>(c.retired.load()),
-              static_cast<unsigned long long>(c.freed.load()),
+              static_cast<unsigned long long>(c.allocated.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(c.retired.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(c.freed.load(std::memory_order_relaxed)),
               static_cast<unsigned long long>(c.unreclaimed()));
   dom.drain();
   std::printf("after drain: unreclaimed=%llu\n",

@@ -40,12 +40,12 @@ void demo(const char* name, MakeDom make_dom) {
   std::thread stalled([&] {
     typename D::guard g(*dom);
     map.contains(g, 7);
-    stalled_ready.store(true);
-    while (!stop.load()) {
+    stalled_ready.store(true, std::memory_order_release);
+    while (!stop.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   });
-  while (!stalled_ready.load()) {
+  while (!stalled_ready.load(std::memory_order_acquire)) {
   }
 
   // Two active workers churn inserts/removes for one second.
@@ -53,7 +53,7 @@ void demo(const char* name, MakeDom make_dom) {
   for (unsigned t = 0; t < 2; ++t) {
     workers.emplace_back([&, t] {
       hyaline::xoshiro256 rng(t + 42);
-      while (!stop.load()) {
+      while (!stop.load(std::memory_order_acquire)) {
         typename D::guard g(*dom);
         const std::uint64_t k = rng.below(4096);
         if (rng.below(2) == 0) {
@@ -67,7 +67,7 @@ void demo(const char* name, MakeDom make_dom) {
 
   std::this_thread::sleep_for(std::chrono::seconds(1));
   const auto unreclaimed = dom->counters().unreclaimed();
-  stop.store(true);
+  stop.store(true, std::memory_order_release);
   stalled.join();
   for (auto& th : workers) th.join();
   dom->drain();

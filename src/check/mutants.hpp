@@ -206,6 +206,7 @@ class mutant_stack {
     snode* head = head_.load(std::memory_order_acquire);
     for (;;) {
       fresh->next.store(head, std::memory_order_relaxed);
+      // seq_cst: mutant mirrors treiber_stack's push linearization CAS.
       if (head_.compare_exchange_weak(head, fresh,
                                       std::memory_order_seq_cst)) {
         pushes_.fetch_add(1, std::memory_order_relaxed);
@@ -236,6 +237,7 @@ class mutant_stack {
           detail::nth_pop() && trap_.arm(top, next);
       if (trapped) trap_.await();
       snode* expected = top;
+      // seq_cst: mutant mirrors treiber_stack's pop linearization CAS.
       const bool won = head_.compare_exchange_strong(
           expected, next, std::memory_order_seq_cst);
       if (trapped) trap_.disarm();
@@ -286,16 +288,20 @@ class mutant_queue {
       handle t = g.protect(tail_);
       qnode* tail = t.get();
       qnode* next = tail->next.load(std::memory_order_acquire);
+      // seq_cst: mutant mirrors ms_queue's validating tail re-read.
       if (tail != tail_.load(std::memory_order_seq_cst)) continue;
       if (next != nullptr) {
         if (next == tail) break;  // mutation-made self-link; bail out
+        // seq_cst: mutant mirrors ms_queue's helping tail swing.
         tail_.compare_exchange_strong(tail, next,
                                       std::memory_order_seq_cst);
         continue;
       }
       qnode* expected = nullptr;
+      // seq_cst: mutant mirrors ms_queue's enqueue linearization CAS.
       if (tail->next.compare_exchange_strong(expected, fresh,
                                              std::memory_order_seq_cst)) {
+        // seq_cst: mutant mirrors ms_queue's post-link tail swing.
         tail_.compare_exchange_strong(tail, fresh,
                                       std::memory_order_seq_cst);
         pushes_.fetch_add(1, std::memory_order_relaxed);
@@ -347,12 +353,14 @@ class mutant_queue {
       if (head == tail) {
         if (trapped) trap_.disarm();
         if (next == tail) return false;  // self-link; report empty
+        // seq_cst: mutant mirrors ms_queue's helping tail swing.
         tail_.compare_exchange_strong(tail, next,
                                       std::memory_order_seq_cst);
         continue;
       }
       out = next->value.load(std::memory_order_relaxed);
       qnode* expected = head;
+      // seq_cst: mutant mirrors ms_queue's dequeue linearization CAS.
       const bool won = head_.compare_exchange_strong(
           expected, next, std::memory_order_seq_cst);
       if (trapped) trap_.disarm();

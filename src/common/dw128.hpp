@@ -7,6 +7,7 @@
 // builtins behind a tiny typed interface so the head policies stay readable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace hyaline {
@@ -23,34 +24,52 @@ inline constexpr std::uint64_t hi64(u128 v) { return static_cast<std::uint64_t>(
 
 /// A 16-byte-aligned atomically accessed 128-bit cell.
 ///
-/// All operations are sequentially consistent: head updates are the
+/// Call sites supply the memory order explicitly (no defaults), mirroring
+/// the repo's atomics convention. Hyaline head updates are the
 /// linearization points of enter/leave/retire and the paper's correctness
-/// argument (§5) assumes a total order on them.
+/// argument (§5) assumes a total order on them, so the head policies pass
+/// seq_cst with per-site justifications.
 class alignas(16) atomic128 {
  public:
   atomic128() : v_(0) {}
   explicit atomic128(u128 v) : v_(v) {}
 
-  u128 load() const {
-    return __atomic_load_n(&v_, __ATOMIC_SEQ_CST);
+  u128 load(std::memory_order order) const {
+    return __atomic_load_n(&v_, to_builtin(order));
   }
 
-  void store(u128 v) {
-    __atomic_store_n(&v_, v, __ATOMIC_SEQ_CST);
+  void store(u128 v, std::memory_order order) {
+    __atomic_store_n(&v_, v, to_builtin(order));
   }
 
-  /// Single-call CAS; on failure `expected` is updated with the current value.
-  bool compare_exchange(u128& expected, u128 desired) {
+  /// Single-call CAS; on failure `expected` is updated with the current
+  /// value. The failure order is derived from `order` (release components
+  /// are dropped, as the standard requires).
+  bool compare_exchange(u128& expected, u128 desired,
+                        std::memory_order order) {
     return __atomic_compare_exchange_n(&v_, &expected, desired,
-                                       /*weak=*/false, __ATOMIC_SEQ_CST,
-                                       __ATOMIC_SEQ_CST);
+                                       /*weak=*/false, to_builtin(order),
+                                       fail_order(order));
   }
 
-  u128 exchange(u128 desired) {
-    return __atomic_exchange_n(&v_, desired, __ATOMIC_SEQ_CST);
+  u128 exchange(u128 desired, std::memory_order order) {
+    return __atomic_exchange_n(&v_, desired, to_builtin(order));
   }
 
  private:
+  // GCC defines std::memory_order enumerator values to coincide with the
+  // __ATOMIC_* constants, so the conversion is a cast.
+  static constexpr int to_builtin(std::memory_order order) {
+    return static_cast<int>(order);
+  }
+  static constexpr int fail_order(std::memory_order order) {
+    switch (order) {
+      case std::memory_order_acq_rel: return __ATOMIC_ACQUIRE;
+      case std::memory_order_release: return __ATOMIC_RELAXED;
+      default: return static_cast<int>(order);
+    }
+  }
+
   u128 v_;
 };
 

@@ -62,16 +62,24 @@ class head_packed {
  public:
   using val = head_val<Node>;
 
-  val load() const { return decode(word_.load(std::memory_order_seq_cst)); }
+  val snapshot() const {
+    // seq_cst: head snapshots feed CAS loops whose successes are
+    // linearization points; the paper's §5 argument assumes a total order
+    // over head reads and updates.
+    return decode(word_.load(std::memory_order_seq_cst));
+  }
 
   /// enter: HRef += 1 with a wait-free fetch_add; returns the old tuple.
   val faa_enter() {
+    // seq_cst: enter's FAA is a linearization point and must be totally
+    // ordered against concurrent retire/leave head updates.
     return decode(word_.fetch_add(ref_one, std::memory_order_seq_cst));
   }
 
   /// retire: HPtr := new_ptr, HRef unchanged.
   bool cas_retire(const val& expected, Node* new_ptr) {
     std::uint64_t e = encode(expected);
+    // seq_cst: head-update linearization point (see class comment).
     return word_.compare_exchange_strong(
         e, encode({expected.ref, new_ptr}), std::memory_order_seq_cst);
   }
@@ -79,6 +87,7 @@ class head_packed {
   /// leave (HRef > 1): HRef -= 1, HPtr unchanged.
   bool cas_leave_dec(const val& expected) {
     std::uint64_t e = encode(expected);
+    // seq_cst: head-update linearization point (see class comment).
     return word_.compare_exchange_strong(e, e - ref_one,
                                          std::memory_order_seq_cst);
   }
@@ -87,6 +96,8 @@ class head_packed {
   leave_last_result cas_leave_last(const val& expected) {
     assert(expected.ref == 1);
     std::uint64_t e = encode(expected);
+    // seq_cst: terminal head transition; the leaver that wins owns the
+    // final Adjs adjustment, so it must be totally ordered with enters.
     return word_.compare_exchange_strong(e, 0, std::memory_order_seq_cst)
                ? leave_last_result::nulled
                : leave_last_result::retry;
@@ -122,36 +133,52 @@ class head_dw {
  public:
   using val = head_val<Node>;
 
-  val load() const { return decode(cell_.load()); }
+  val snapshot() const {
+    // seq_cst: head snapshots feed CAS loops whose successes are
+    // linearization points (paper §5 total-order argument).
+    return decode(cell_.load(std::memory_order_seq_cst));
+  }
 
   val faa_enter() {
-    u128 cur = cell_.load();
+    // seq_cst: enter emulated as a CAS loop; the winning CAS is a
+    // linearization point totally ordered with retire/leave.
+    u128 cur = cell_.load(std::memory_order_seq_cst);
     for (;;) {
       const u128 next = pack128(lo64(cur) + 1, hi64(cur));
-      if (cell_.compare_exchange(cur, next)) return decode(cur);
+      // seq_cst: head-update linearization point (see class comment).
+      if (cell_.compare_exchange(cur, next, std::memory_order_seq_cst)) {
+        return decode(cur);
+      }
       // cur reloaded by compare_exchange on failure.
     }
   }
 
   bool cas_retire(const val& expected, Node* new_ptr) {
     u128 e = encode(expected);
+    // seq_cst: head-update linearization point (see class comment).
     return cell_.compare_exchange(
         e, pack128(expected.ref,
-                   reinterpret_cast<std::uint64_t>(new_ptr)));
+                   reinterpret_cast<std::uint64_t>(new_ptr)),
+        std::memory_order_seq_cst);
   }
 
   bool cas_leave_dec(const val& expected) {
     u128 e = encode(expected);
+    // seq_cst: head-update linearization point (see class comment).
     return cell_.compare_exchange(
         e, pack128(expected.ref - 1,
-                   reinterpret_cast<std::uint64_t>(expected.ptr)));
+                   reinterpret_cast<std::uint64_t>(expected.ptr)),
+        std::memory_order_seq_cst);
   }
 
   leave_last_result cas_leave_last(const val& expected) {
     assert(expected.ref == 1);
     u128 e = encode(expected);
-    return cell_.compare_exchange(e, 0) ? leave_last_result::nulled
-                                        : leave_last_result::retry;
+    // seq_cst: terminal head transition {1,p} -> {0,Null}; must be totally
+    // ordered with concurrent enters that could re-claim the list.
+    return cell_.compare_exchange(e, 0, std::memory_order_seq_cst)
+               ? leave_last_result::nulled
+               : leave_last_result::retry;
   }
 
  private:
@@ -177,7 +204,7 @@ class head_llsc {
  public:
   using val = head_val<Node>;
 
-  val load() const {
+  val snapshot() const {
     // A plain double-word read; on real hardware this would be an LL of one
     // word plus a dependent load of the other, which is what ll() models.
     auto r = granule_.ll(0);

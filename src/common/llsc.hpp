@@ -50,7 +50,12 @@ class llsc_granule {
   /// Load-linked on word `idx`. Returns a reservation whose snapshot holds
   /// both words; `word(idx)` is the LL result and `word(1-idx)` is what the
   /// dependent ordinary load between LL and SC would observe.
-  reservation ll(int /*idx*/) const { return reservation{cell_.load()}; }
+  reservation ll(int /*idx*/) const {
+    // seq_cst: LL snapshots take part in the total order of head updates
+    // (the paper's Figure 7 correctness argument orders LL/SC pairs
+    // against concurrent enter/leave/retire linearization points).
+    return reservation{cell_.load(std::memory_order_seq_cst)};
+  }
 
   /// Store-conditional of `value` into word `idx`. Succeeds only if the
   /// entire granule still matches the reservation snapshot.
@@ -58,12 +63,19 @@ class llsc_granule {
     u128 expected = r.snapshot;
     const u128 desired = idx == 0 ? pack128(value, hi64(expected))
                                   : pack128(lo64(expected), value);
-    return cell_.compare_exchange(expected, desired);
+    // seq_cst: a successful SC is a head-update linearization point; the
+    // paper's §5 argument assumes a single total order over them.
+    return cell_.compare_exchange(expected, desired,
+                                  std::memory_order_seq_cst);
   }
 
   /// Plain (non-reserving) double-word read, for debugging/tests only; real
   /// hardware would not provide this atomically.
-  u128 unsafe_load() const { return cell_.load(); }
+  u128 unsafe_load() const {
+    // seq_cst: debug/test-only snapshot; keep it ordered with SCs so test
+    // assertions never observe a torn or stale interleaving.
+    return cell_.load(std::memory_order_seq_cst);
+  }
 
  private:
   atomic128 cell_{};

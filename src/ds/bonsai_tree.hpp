@@ -59,6 +59,8 @@ class bonsai_tree {
       bnode* new_root = insert_rec(ctx, old_root, key, value);
       ctx.seal();  // clear fresh flags before publication
       bnode* expected = old_root;
+      // seq_cst: root swap is the insert linearization point (the whole
+      // path is copied; the swap publishes it atomically).
       if (root_.compare_exchange_strong(expected, new_root,
                                         std::memory_order_seq_cst)) {
         ctx.commit(g);
@@ -77,6 +79,7 @@ class bonsai_tree {
       bnode* new_root = remove_rec(ctx, old_root, key);
       ctx.seal();  // clear fresh flags before publication
       bnode* expected = old_root;
+      // seq_cst: root swap is the remove linearization point.
       if (root_.compare_exchange_strong(expected, new_root,
                                         std::memory_order_seq_cst)) {
         ctx.commit(g);

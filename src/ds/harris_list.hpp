@@ -77,6 +77,8 @@ class harris_list {
       }
       fresh->next.store(right, std::memory_order_relaxed);
       lnode* expected = right;
+      // seq_cst: insert linearization point; the oracle assumes a total
+      // order over link updates.
       if (left->next.compare_exchange_strong(expected, fresh,
                                              std::memory_order_seq_cst)) {
         return true;
@@ -94,12 +96,15 @@ class harris_list {
       lnode* right_next = right->next.load(std::memory_order_acquire);
       if (has_tag(right_next, 1)) continue;  // someone else is removing it
       lnode* expected = right_next;
+      // seq_cst: logical-delete mark is the remove linearization point.
       if (right->next.compare_exchange_strong(expected,
                                               with_tag(right_next, 1),
                                               std::memory_order_seq_cst)) {
         // Best effort immediate snip of just this node; otherwise a later
         // search retires it as part of a segment.
         expected = right;
+        // seq_cst: immediate snip; ordered before the retire so scanners
+        // see the node unreachable once retired.
         if (left->next.compare_exchange_strong(expected, right_next,
                                                std::memory_order_seq_cst)) {
           g.retire(right);
@@ -182,6 +187,8 @@ class harris_list {
       // retire it — the retirement pattern the paper contrasts with
       // Michael's per-node timely retire.
       lnode* expected = left_next;
+      // seq_cst: segment snip unlinking [left_next, right); ordered
+      // before the segment's retires below.
       if (left->next.compare_exchange_strong(expected, right,
                                              std::memory_order_seq_cst)) {
         lnode* n = left_next;

@@ -64,6 +64,8 @@ class hm_list {
       }
       fresh->next.store(w.curr, std::memory_order_relaxed);
       lnode* expected = w.curr;
+      // seq_cst: insert linearization point; the oracle assumes a total
+      // order over the list's link updates.
       if (w.prev->compare_exchange_strong(expected, fresh,
                                           std::memory_order_seq_cst)) {
         return true;
@@ -79,12 +81,15 @@ class hm_list {
       // Logically delete: mark curr's next.
       lnode* next = w.next;
       lnode* expected = next;
+      // seq_cst: logical-delete mark is the remove linearization point.
       if (!w.curr->next.compare_exchange_strong(
               expected, with_tag(next, 1), std::memory_order_seq_cst)) {
         continue;  // next changed or already marked; re-find
       }
       // Physically unlink; on failure, a find() will clean up later.
       expected = w.curr;
+      // seq_cst: physical unlink; must be ordered before the retire so
+      // scanners see the node unreachable once it is in a retired list.
       if (w.prev->compare_exchange_strong(expected, next,
                                           std::memory_order_seq_cst)) {
         g.retire(w.curr);
@@ -169,6 +174,8 @@ class hm_list {
         // curr is logically deleted: unlink it from prev.
         lnode* next = untag(next_raw);
         lnode* expected = curr;
+        // seq_cst: helping unlink of a marked node; participates in the
+        // same total order as remove()'s unlink.
         if (!prev->compare_exchange_strong(expected, next,
                                            std::memory_order_seq_cst)) {
           goto retry;
@@ -178,6 +185,8 @@ class hm_list {
         curr = w.curr_h.get();
         continue;
       }
+      // seq_cst: validating re-read after the hazard publication in
+      // protect(); it must not be ordered before that publication.
       if (prev->load(std::memory_order_seq_cst) != curr) goto retry;
       if (curr->key >= key) {
         w.prev = prev;

@@ -69,16 +69,23 @@ class ms_queue {
       handle t = g.protect(tail_);
       qnode* tail = t.get();
       qnode* next = tail->next.load(std::memory_order_acquire);
+      // seq_cst: validating re-read after the hazard publication in
+      // protect(); it must not be ordered before that publication.
       if (tail != tail_.load(std::memory_order_seq_cst)) continue;
       if (next != nullptr) {
         // Tail is lagging: help swing it, then retry.
+        // seq_cst: helping CAS participates in the total order of tail
+        // swings the MS-queue invariants are argued over.
         tail_.compare_exchange_strong(tail, next,
                                       std::memory_order_seq_cst);
         continue;
       }
       qnode* expected = nullptr;
+      // seq_cst: enqueue linearization point (link at the tail).
       if (tail->next.compare_exchange_strong(expected, fresh,
                                              std::memory_order_seq_cst)) {
+        // seq_cst: tail swing after a successful link, totally ordered
+        // with other tail updates and the validating re-reads above.
         tail_.compare_exchange_strong(tail, fresh,
                                       std::memory_order_seq_cst);
         return;
@@ -97,16 +104,21 @@ class ms_queue {
       qnode* next = nh.get();
       // See the header comment: head->next never changes once set, so only
       // head_ itself proves `next` has not been dequeued and retired.
+      // seq_cst: validating re-read after the hazard publications in
+      // protect(); it must not be ordered before them.
       if (head != head_.load(std::memory_order_seq_cst)) continue;
       if (next == nullptr) return false;  // empty (just the dummy)
       if (head == tail) {
         // Tail lags behind an in-flight enqueue: help it past the dummy.
+        // seq_cst: helping CAS; same total-order argument as in enqueue.
         tail_.compare_exchange_strong(tail, next,
                                       std::memory_order_seq_cst);
         continue;
       }
       out = next->value;  // next is protected; read before the CAS races
       qnode* expected = head;
+      // seq_cst: dequeue linearization point (head swing), totally
+      // ordered with enqueues for the oracle's FIFO check.
       if (head_.compare_exchange_strong(expected, next,
                                         std::memory_order_seq_cst)) {
         g.retire(head);  // old dummy; `next` is the new dummy

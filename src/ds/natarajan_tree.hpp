@@ -94,11 +94,15 @@ class natarajan_tree {
         new_internal->right.store(new_leaf, std::memory_order_relaxed);
       }
       tnode* expected = old_leaf;  // clean edge required
+      // seq_cst: insert linearization point (clean-edge swap); the oracle
+      // assumes a total order over edge updates.
       if (child_addr->compare_exchange_strong(expected, new_internal,
                                               std::memory_order_seq_cst)) {
         return true;
       }
       // Help if the failure was an in-progress deletion of old_leaf.
+      // seq_cst: re-read of the contended edge decides whether to help a
+      // concurrent deletion; must be ordered after the failed CAS.
       tnode* raw = child_addr->load(std::memory_order_seq_cst);
       if (untag(raw) == old_leaf && tag_of(raw) != 0) cleanup(g, key, r);
     }
@@ -117,12 +121,15 @@ class natarajan_tree {
         std::atomic<tnode*>* child_addr =
             key < parent->key ? &parent->left : &parent->right;
         tnode* expected = leaf;  // clean edge required
+        // seq_cst: FLAG injection is the remove linearization point.
         if (child_addr->compare_exchange_strong(
                 expected, with_tag(leaf, flag_bit),
                 std::memory_order_seq_cst)) {
           injected = true;
           if (cleanup(g, key, r)) return true;
         } else {
+          // seq_cst: re-read of the contended edge decides whether to help;
+          // must be ordered after the failed injection CAS.
           tnode* raw = child_addr->load(std::memory_order_seq_cst);
           if (untag(raw) == leaf && tag_of(raw) != 0) cleanup(g, key, r);
         }
@@ -276,8 +283,12 @@ class natarajan_tree {
 
   /// Set the TAG bit on an edge (idempotent; pointer becomes immutable).
   static void set_tag(std::atomic<tnode*>& edge) {
+    // seq_cst: TAG protocol read/CAS participate in the same total
+    // order as the splice CASes that interpret the tag bits.
     tnode* v = edge.load(std::memory_order_seq_cst);
     while (!has_tag(v, tag_bit)) {
+      // seq_cst: see set_tag's comment above — tag and splice CASes
+      // must agree on one total order.
       if (edge.compare_exchange_weak(v, with_tag(v, tag_bit),
                                      std::memory_order_seq_cst)) {
         return;
@@ -304,17 +315,23 @@ class natarajan_tree {
       child_addr = &parent->right;
       sibling_addr = &parent->left;
     }
+    // seq_cst: reads which child carries the in-progress FLAG; must be
+    // ordered with the injection CAS that set it.
     if (!has_tag(child_addr->load(std::memory_order_seq_cst), flag_bit)) {
       // The deletion in progress is of the *other* child; it survives on
       // the path side and the flagged one goes.
       sibling_addr = child_addr;
     }
     set_tag(*sibling_addr);
+    // seq_cst: read of the now-TAGged (immutable) sibling edge, ordered
+    // after set_tag's CAS above.
     tnode* sib = sibling_addr->load(std::memory_order_seq_cst);
     // Keep the sibling's FLAG (its own deletion continues from ancestor),
     // clear the TAG.
     tnode* desired = with_tag(untag(sib), tag_of(sib) & flag_bit);
     tnode* expected = successor;  // clean edge
+    // seq_cst: the splice CAS that wins the fragment; totally ordered
+    // with the FLAG/TAG protocol so exactly one caller retires it.
     if (!succ_addr->compare_exchange_strong(expected, desired,
                                             std::memory_order_seq_cst)) {
       return false;
@@ -326,8 +343,11 @@ class natarajan_tree {
     tnode* n = successor;
     while (n != parent) {
       const bool left_path = key < n->key;
+      // seq_cst: frozen-fragment edges (all FLAG/TAGged) — immutable by
+      // protocol, read in the splice's total order before retiring.
       tnode* on = untag((left_path ? n->left : n->right)
                             .load(std::memory_order_seq_cst));
+      // seq_cst: same frozen-fragment read as above.
       tnode* off = untag((left_path ? n->right : n->left)
                              .load(std::memory_order_seq_cst));
       g.retire(off);  // an intermediate's flagged leaf
@@ -335,6 +355,7 @@ class natarajan_tree {
       n = on;
     }
     g.retire(parent);
+    // seq_cst: frozen-fragment read (see the loop above).
     g.retire(untag(removed_addr->load(std::memory_order_seq_cst)));
     return true;
   }

@@ -60,6 +60,8 @@ class treiber_stack {
     snode* head = head_.load(std::memory_order_acquire);
     for (;;) {
       fresh->next.store(head, std::memory_order_relaxed);
+      // seq_cst: push linearization point; the oracle assumes a single
+      // total order over the stack's head updates.
       if (head_.compare_exchange_weak(head, fresh,
                                       std::memory_order_seq_cst)) {
         return;
@@ -77,6 +79,8 @@ class treiber_stack {
       // this read is safe even if a competitor pops `top` first.
       snode* next = top->next.load(std::memory_order_acquire);
       snode* expected = top;
+      // seq_cst: pop linearization point, totally ordered with pushes;
+      // also orders the retire after the unlink for the SMR scanners.
       if (head_.compare_exchange_strong(expected, next,
                                         std::memory_order_seq_cst)) {
         out = top->value;  // we won the pop; top stays protected by h

@@ -59,8 +59,8 @@ workload_result run_cell(const scheme_params& params,
     r = run_workload(*dom, s, cfg);
   }
   dom->drain();
-  r.retired = dom->counters().retired.load();
-  r.freed = dom->counters().freed.load();
+  r.retired = dom->counters().retired.load(std::memory_order_relaxed);
+  r.freed = dom->counters().freed.load(std::memory_order_relaxed);
   return r;
 }
 
@@ -81,8 +81,8 @@ workload_result run_container_cell(const scheme_params& params,
     r = run_container_workload(*dom, q, cfg);
   }
   dom->drain();
-  r.retired = dom->counters().retired.load();
-  r.freed = dom->counters().freed.load();
+  r.retired = dom->counters().retired.load(std::memory_order_relaxed);
+  r.freed = dom->counters().freed.load(std::memory_order_relaxed);
   return r;
 }
 

@@ -442,8 +442,20 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
       if (lab.tele != nullptr) lab.tele->thread_enter();
       while (!start.load(std::memory_order_acquire)) {
       }
+      // Each worker completes at least one op before honoring `stop`:
+      // under heavy instrumentation (TSan) on a loaded machine the
+      // duration deadline can expire before a worker is first
+      // scheduled, and a zero-op rep is indistinguishable from a hang
+      // to the validators downstream. Only for fault-free runs: a
+      // worker stalled by the director at t=0 never counts an op, so
+      // the guarantee would turn its release into a spin.
+      auto keep_going = [&] {
+        return ((local_ops == 0 && lab.dir == nullptr) ||
+                !stop.load(std::memory_order_relaxed)) &&
+               within_limit();
+      };
       if (!cfg.use_trim) {
-        while (!stop.load(std::memory_order_relaxed) && within_limit()) {
+        while (keep_going()) {
           if (lab.dir != nullptr) {
             if (lab.dir->exited(tid, gen)) break;
             if (lab.dir->stalled(tid)) {
@@ -485,13 +497,10 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
         // happen under the held guard (a stall here pins exactly what
         // the long-lived guard pins).
         constexpr std::uint64_t regrip_every = 1024;
-        while (!stop.load(std::memory_order_relaxed) && within_limit()) {
+        while (keep_going()) {
           if (lab.dir != nullptr && lab.dir->exited(tid, gen)) break;
           guard_t g(dom);
-          for (std::uint64_t i = 0;
-               i < regrip_every && !stop.load(std::memory_order_relaxed) &&
-               within_limit();
-               ++i) {
+          for (std::uint64_t i = 0; i < regrip_every && keep_going(); ++i) {
             if (lab.dir != nullptr) {
               if (lab.dir->exited(tid, gen)) break;
               if (lab.dir->stalled(tid)) {
@@ -692,10 +701,18 @@ workload_result run_container_workload(D& dom, Q& q,
       auto within_limit = [&] {
         return cfg.op_limit == 0 || local_ops < cfg.op_limit;
       };
+      // As in the set workload: guarantee one op per worker even when
+      // the deadline beats the scheduler (e.g. TSan on a loaded box),
+      // but only in fault-free runs — stalled workers never count ops.
+      auto keep_going = [&] {
+        return ((local_ops == 0 && lab.dir == nullptr) ||
+                !stop.load(std::memory_order_relaxed)) &&
+               within_limit();
+      };
       if (lab.tele != nullptr) lab.tele->thread_enter();
       while (!start.load(std::memory_order_acquire)) {
       }
-      while (!stop.load(std::memory_order_relaxed) && within_limit()) {
+      while (keep_going()) {
         if (lab.dir != nullptr) {
           if (lab.dir->exited(tid, gen)) break;
           if (lab.dir->stalled(tid)) {

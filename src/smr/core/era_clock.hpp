@@ -21,16 +21,28 @@ class era_clock {
   era_clock(const era_clock&) = delete;
   era_clock& operator=(const era_clock&) = delete;
 
-  std::uint64_t load(std::memory_order mo = std::memory_order_seq_cst) const {
-    return era_->load(mo);
+  /// No default order: every call site spells how strong a read it needs
+  /// (the relaxed-ordering audit in the README leans on this being
+  /// visible at the call site).
+  std::uint64_t load(std::memory_order order) const {
+    return era_->load(order);
   }
 
   /// Unconditional advance (IBR/HE/Hyaline-S allocation clock).
-  void advance() { era_->fetch_add(1, std::memory_order_seq_cst); }
+  void advance() {
+    // seq_cst: the bump is the boundary that separates "allocated in era
+    // e" from "retired in era >= e"; scanners compare stamps taken on
+    // both sides of it, so it must take part in the single total order
+    // with the reservation publications.
+    era_->fetch_add(1, std::memory_order_seq_cst);
+  }
 
   /// Conditional advance from a known value (EBR: only the thread that
   /// verified every reservation caught up moves the epoch).
   bool try_advance(std::uint64_t expected) {
+    // seq_cst: must not be reordered before the per-thread reservation
+    // scan that justified the advance (store-load pairing with guard
+    // entry publication).
     return era_->compare_exchange_strong(expected, expected + 1,
                                          std::memory_order_seq_cst);
   }
@@ -55,7 +67,10 @@ T* protect_with_era(const std::atomic<T*>& src, const era_clock& clock,
                     std::uint64_t reserved, Publish&& publish) {
   for (;;) {
     T* p = src.load(std::memory_order_acquire);
-    const std::uint64_t e = clock.load();
+    // seq_cst: the validating re-read must be ordered after the seq_cst
+    // publication inside `publish` (store-load); an acquire load could
+    // float above the published store and accept a stale era.
+    const std::uint64_t e = clock.load(std::memory_order_seq_cst);
     if (e == reserved) return p;
     reserved = publish(e);
   }

@@ -83,7 +83,12 @@ class ebr_domain {
    public:
     explicit guard(ebr_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {
       rec& r = dom_.recs_[lease_.tid()];
-      const std::uint64_t e = dom_.epoch_.load();
+      // Audit(ebr-entry-load): acquire, not seq_cst. Reading a stale-low
+      // epoch publishes an older reservation, which only pins the epoch
+      // longer (conservative); the three-epoch grace period tolerates one
+      // epoch of entry staleness by design, and the seq_cst reservation
+      // store below is what actually orders the guard against scanners.
+      const std::uint64_t e = dom_.epoch_.load(std::memory_order_acquire);
       if (dom_.cfg_.entry_burst != 0 &&
           r.reservation.load(std::memory_order_relaxed) == e) {
         // Burst fast path: our reservation (published by a previous guard
@@ -92,6 +97,9 @@ class ebr_domain {
         // left. No store, no fence.
         return;
       }
+      // seq_cst: Dekker store-load pairing with try_advance — the
+      // publication must be ordered before this thread's structure reads,
+      // and before any scanner load that could miss it and advance.
       r.reservation.store(e, std::memory_order_seq_cst);
       r.burst_left = dom_.cfg_.entry_burst;
     }
@@ -106,7 +114,12 @@ class ebr_domain {
         return;
       }
       r.burst_left = 0;
-      r.reservation.store(inactive, std::memory_order_seq_cst);
+      // Audit(ebr-exit-clear): release, not seq_cst (IBR's dtor already
+      // did this). A scanner's seq_cst load that observes `inactive`
+      // synchronizes with this store, so every critical-section read
+      // happens-before any free it enables; nothing pairs with the
+      // store-load direction at guard exit. Saves an XCHG per guard.
+      r.reservation.store(inactive, std::memory_order_release);
     }
 
     guard(const guard&) = delete;
@@ -137,7 +150,8 @@ class ebr_domain {
     core::for_each_cached_tid(recs_.pool(), [this](unsigned tid) {
       rec& r = recs_[tid];
       r.burst_left = 0;
-      r.reservation.store(inactive, std::memory_order_seq_cst);
+      // Audit(ebr-exit-clear): release, same argument as the guard dtor.
+      r.reservation.store(inactive, std::memory_order_release);
     });
   }
 
@@ -149,7 +163,8 @@ class ebr_domain {
       // reservation is a burst leftover of an idle or exited thread.
       for (rec& r : recs_) {
         r.burst_left = 0;
-        r.reservation.store(inactive, std::memory_order_seq_cst);
+        // Audit(ebr-exit-clear): release, same argument as the guard dtor.
+        r.reservation.store(inactive, std::memory_order_release);
       }
     }
     for (int i = 0; i < 3; ++i) try_advance();
@@ -187,7 +202,11 @@ class ebr_domain {
   void retire(unsigned tid, node* n) {
     stats_->on_retire();
     rec& r = recs_[tid];
-    n->retire_epoch = epoch_.load();
+    // seq_cst: the retire stamp must not read stale-low. A stamp one
+    // behind the true epoch frees at stamp+2 while a reader reserved at
+    // the true epoch can still be live (the advance that frees does not
+    // wait for it) — a real use-after-free, so this stays strong.
+    n->retire_epoch = epoch_.load(std::memory_order_seq_cst);
     if (sharded_ != nullptr) {
       const unsigned s = sharded_->shard_of(tid);
       const bool hot = sharded_->push(s, n, shard_threshold_);
@@ -210,8 +229,15 @@ class ebr_domain {
 
   /// Advance the global epoch if every active thread has observed it.
   void try_advance() {
-    const std::uint64_t e = epoch_.load();
+    // Audit(ebr-advance-load): acquire, not seq_cst. A stale-low `e`
+    // either flags fewer stragglers and then fails the seq_cst CAS in
+    // try_advance(e) (which validates `e` against the real clock), or
+    // returns early — both conservative.
+    const std::uint64_t e = epoch_.load(std::memory_order_acquire);
     for (const rec& r : recs_) {
+      // seq_cst: Dekker pairing with guard-entry publication. An acquire
+      // load here could be ordered before a concurrent entry store and
+      // miss a reservation that the advance must wait for.
       const std::uint64_t res =
           r.reservation.load(std::memory_order_seq_cst);
       if (res != inactive && res < e) return;  // straggler (or stalled)
@@ -222,7 +248,12 @@ class ebr_domain {
   /// Free this thread's limbo nodes at least two epochs old. The limbo
   /// list is FIFO by retire epoch, so we pop from the head.
   void reclaim(unsigned tid) {
-    const std::uint64_t e = epoch_.load();
+    // Audit(ebr-reclaim-load): acquire, not seq_cst. Any epoch value read
+    // was genuinely reached, and reading it acquire completes the chain
+    // leaver-release-clear -> advance CAS -> this load, so the departed
+    // readers' accesses happen-before the frees below. Stale-low only
+    // delays frees.
+    const std::uint64_t e = epoch_.load(std::memory_order_acquire);
     recs_[tid].limbo.reclaim_ready(
         [e](const node* n) { return n->retire_epoch + 2 <= e; },
         [this](node* n) {
@@ -232,7 +263,8 @@ class ebr_domain {
   }
 
   void scan_shard(unsigned s) {
-    const std::uint64_t e = epoch_.load();
+    // Audit(ebr-reclaim-load): acquire, same argument as reclaim().
+    const std::uint64_t e = epoch_.load(std::memory_order_acquire);
     sharded_->scan(
         s, shard_threshold_,
         [e](const node* n) { return n->retire_epoch + 2 <= e; },

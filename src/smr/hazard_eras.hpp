@@ -83,7 +83,10 @@ class he_domain {
     stats_->on_alloc();
     thread_local std::uint64_t alloc_counter = 0;
     era_.tick(alloc_counter, cfg_.era_freq);
-    n->birth_era = era_.load();
+    // Audit(he-birth-load): acquire, not seq_cst. A stale-low birth era
+    // only widens [birth, retire], so the node matches more published
+    // eras and is freed later — strictly conservative.
+    n->birth_era = era_.load(std::memory_order_acquire);
   }
 
   stats& counters() { return *stats_; }
@@ -118,6 +121,9 @@ class he_domain {
       T* p = core::protect_with_era(
           src, dom_.era_, he.load(std::memory_order_relaxed),
           [&he](std::uint64_t e) {
+            // seq_cst: era publication must be ordered before the
+            // validating clock re-read in protect_with_era (store-load
+            // pairing with can_free's scan).
             he.store(e, std::memory_order_seq_cst);
             return e;
           });
@@ -172,7 +178,10 @@ class he_domain {
 
   void retire(unsigned tid, node* n) {
     stats_->on_retire();
-    n->retire_era = era_.load();
+    // seq_cst: a stale-low retire stamp shrinks [birth, retire] and lets
+    // can_free miss a published era that still covers the node — early
+    // free, so this read stays in the total order.
+    n->retire_era = era_.load(std::memory_order_seq_cst);
     if (sharded_ != nullptr) {
       const unsigned s = sharded_->shard_of(tid);
       if (sharded_->push(s, n, cfg_.scan_threshold)) {
@@ -194,6 +203,9 @@ class he_domain {
   bool can_free(const node* n) const {
     for (const rec& r : recs_) {
       for (unsigned i = 0; i < max_hazards; ++i) {
+        // seq_cst: Dekker pairing with the protect() era publication — a
+        // weaker load could be ordered before a concurrent publish and
+        // free a node the reader has just validated.
         const std::uint64_t e = r.eras[i].load(std::memory_order_seq_cst);
         if (e != 0 && n->birth_era <= e && e <= n->retire_era) return false;
       }

@@ -117,7 +117,12 @@ class hp_domain {
       std::atomic<void*>& hp = dom_.recs_[lease_.tid()].hazards[idx];
       T* p = src.load(std::memory_order_acquire);
       for (;;) {
+        // seq_cst: the classic HP store-load pairing — the hazard
+        // publication must precede the validating re-read of `src` in the
+        // single total order, and pair with hazard_snapshot's scan;
+        // release/acquire would let the re-read float above the store.
         hp.store(untag(p), std::memory_order_seq_cst);
+        // seq_cst: the validating re-read half of the pairing above.
         T* q = src.load(std::memory_order_seq_cst);
         if (q == p) return {this, idx, p};
         p = q;
@@ -190,6 +195,9 @@ class hp_domain {
     snapshot.reserve(std::size_t{recs_.size()} * max_hazards);
     for (const rec& r : recs_) {
       for (unsigned i = 0; i < max_hazards; ++i) {
+        // seq_cst: Dekker pairing with protect()'s hazard publication — a
+        // weaker scan load could be ordered before a concurrent publish
+        // and free a node its reader has just validated.
         void* h = r.hazards[i].load(std::memory_order_seq_cst);
         if (h != nullptr) snapshot.push_back(h);
       }

@@ -157,7 +157,12 @@ class basic_domain {
     if constexpr (Robust) {
       auto& b = builders_.local();
       alloc_era_.tick(b.alloc_counter, cfg_.era_freq);
-      n->w0.store(alloc_era_.load(), std::memory_order_relaxed);
+      // Audit(hyaline-birth-load): acquire, not seq_cst. A stale-low
+      // birth era makes the node look older, so era-checking skips fewer
+      // handoffs and the node is retained longer — conservative (same
+      // argument as IBR/HE birth stamps).
+      n->w0.store(alloc_era_.load(std::memory_order_acquire),
+                  std::memory_order_relaxed);
     }
   }
 
@@ -225,6 +230,9 @@ class basic_domain {
         slot_rec& sl = dom_.slots_.at(slot_);
         return smr::raw_handle<T>(smr::core::protect_with_era(
             src, dom_.alloc_era_,
+            // seq_cst: shared slot reservation (CAS-maxed by every thread on
+            // the slot); reads stay in touch()'s total order so the validate
+            // loop never accepts a stale reservation.
             sl.access_era.load(std::memory_order_seq_cst),
             [this, &sl](std::uint64_t e) { return dom_.touch(sl, e); }));
       }
@@ -271,7 +279,7 @@ class basic_domain {
   }
 
   /// Introspection for tests: head tuple of a slot.
-  head_val debug_head(std::size_t slot) { return slots_.at(slot).head.load(); }
+  head_val debug_head(std::size_t slot) { return slots_.at(slot).head.snapshot(); }
   /// Introspection for tests: access era / ack of a slot (Hyaline-S).
   std::uint64_t debug_access_era(std::size_t slot) {
     return slots_.at(slot).access_era.load(std::memory_order_relaxed);
@@ -380,7 +388,7 @@ class basic_domain {
     node* curr;
     node* next = nullptr;
     for (;;) {
-      const head_val h = sl.head.load();
+      const head_val h = sl.head.snapshot();
       curr = h.ptr;
       if (curr != handle) {
         assert(curr != nullptr);
@@ -414,6 +422,8 @@ class basic_domain {
         // them as stalled and hops threads into genuinely stalled slots,
         // un-staling their eras and unbounding memory.
         if (handle == nullptr) {
+          // seq_cst: Ack accounting is read by enter()'s stall heuristic and
+          // must stay ordered with the head CASes it mirrors.
           sl.ack.fetch_sub(1, std::memory_order_seq_cst);
         }
       }
@@ -423,7 +433,7 @@ class basic_domain {
 
   node* trim(std::size_t slot, node* handle) {
     slot_rec& sl = slots_.at(slot);
-    const head_val h = sl.head.load();  // do not alter Head
+    const head_val h = sl.head.snapshot();  // do not alter Head
     node* curr = h.ptr;
     if (curr != handle) {
       node* defer = nullptr;
@@ -490,11 +500,14 @@ class basic_domain {
     for (std::size_t i = 0; i < k; ++i) {
       slot_rec& sl = slots_.at(i);
       for (;;) {
-        const head_val h = sl.head.load();
+        const head_val h = sl.head.snapshot();
         bool skip = h.ref == 0;
         if constexpr (Robust) {
           // Fig. 5 retire: also skip slots whose access era predates every
           // node in the batch — threads there can hold no references.
+          // seq_cst: Dekker pairing with touch()'s era publication — a weaker
+          // read could miss a reservation made just before this scan and skip
+          // a slot whose thread still needs the batch.
           skip = skip || sl.access_era.load(std::memory_order_seq_cst) <
                              min_birth;
         }
@@ -504,9 +517,17 @@ class basic_domain {
           break;
         }
         assert(carrier != nullptr && "batch must hold >= k carriers");
+        // Read the batch-internal next BEFORE publishing this carrier:
+        // the moment cas_retire lands, concurrent leavers plus a later
+        // retirer's REF #2 can drive the batch to zero and free it, so
+        // carrier->w1 afterwards is a use-after-free read (same
+        // read-before-releasing discipline as traverse()).
+        node* const next_carrier = carrier->w1;
         set_next(carrier, h.ptr);
         if (!sl.head.cas_retire(h, carrier)) continue;
         if constexpr (Robust) {
+          // seq_cst: Ack credit for the HRef snapshot just displaced; ordered
+          // with the winning cas_retire so credits and debits balance.
           sl.ack.fetch_add(static_cast<std::int64_t>(h.ref),
                            std::memory_order_seq_cst);
         }
@@ -516,7 +537,7 @@ class basic_domain {
           node* pred = refs_of(h.ptr);
           adjust(pred, adjs_of(pred) + h.ref, defer);
         }
-        carrier = carrier->w1;
+        carrier = next_carrier;
         break;
       }
     }
@@ -549,6 +570,8 @@ class basic_domain {
     }
     if constexpr (Robust) {
       if (batches != 0) {
+        // seq_cst: Ack debit for the batches this traversal consumed; same
+        // total-order argument as the credit in retire().
         sl.ack.fetch_sub(batches, std::memory_order_seq_cst);
       }
     } else {
@@ -591,8 +614,12 @@ class basic_domain {
 
   /// Fig. 5 touch: CAS-max of the slot's shared access era.
   std::uint64_t touch(slot_rec& sl, std::uint64_t era) {
+    // seq_cst: CAS-max read of the shared reservation; must observe the
+    // latest published era or the max could regress transiently.
     std::uint64_t access = sl.access_era.load(std::memory_order_seq_cst);
     while (access < era) {
+      // seq_cst: era publication — pairs store-load with the retire-side
+      // access_era scan, like every reservation publication in the repo.
       if (sl.access_era.compare_exchange_weak(access, era,
                                               std::memory_order_seq_cst)) {
         return era;

@@ -81,7 +81,10 @@ class basic_domain1 {
     if constexpr (Robust) {
       auto& b = builders_.local();
       alloc_era_.tick(b.alloc_counter, cfg_.era_freq);
-      n->w0.store(alloc_era_.load(), std::memory_order_relaxed);
+      // Audit(hyaline-birth-load): acquire, not seq_cst — see
+      // hyaline.hpp's on_alloc; stale-low birth eras only retain longer.
+      n->w0.store(alloc_era_.load(std::memory_order_acquire),
+                  std::memory_order_relaxed);
     }
   }
 
@@ -121,8 +124,13 @@ class basic_domain1 {
         slot_rec& sl = dom_.slots_[slot_];
         return smr::raw_handle<T>(smr::core::protect_with_era(
             src, dom_.alloc_era_,
+            // seq_cst: this thread's own reservation word, but scanners read
+            // it seq_cst — keep the read in the same total order.
             sl.access_era.load(std::memory_order_seq_cst),
             [&sl](std::uint64_t e) {
+              // seq_cst: era publication must be ordered before the validating
+              // clock re-read in protect_with_era (store-load pairing with the
+              // retire-side access_era scan).
               sl.access_era.store(e, std::memory_order_seq_cst);
               return e;
             }));
@@ -221,12 +229,17 @@ class basic_domain1 {
 
   void enter(std::size_t slot) {
     // Fig. 4: Heads[slot] = {HRef=1, HPtr=Null}. Wait-free.
+    // seq_cst: enter publication — pairs store-load with retire()'s
+    // slot scan; a release store could be missed by a concurrent scan
+    // that then skips refcounting this thread.
     slots_[slot].word.store(1, std::memory_order_seq_cst);
   }
 
   void leave(std::size_t slot, node* handle) {
     // Fig. 4: SWAP out the whole list; the leaver owns every node in it.
     const std::uintptr_t old =
+        // seq_cst: leave's SWAP is a linearization point — it atomically
+        // takes ownership of the slot list against concurrent retires.
         slots_[slot].word.exchange(0, std::memory_order_seq_cst);
     node* head = decode_ptr(old);
     if (head != nullptr) {
@@ -238,6 +251,8 @@ class basic_domain1 {
 
   node* trim(std::size_t slot, node* handle) {
     node* curr =
+        // seq_cst: trim snapshots the slot word in the same total order as
+        // the retire CASes that extend the list.
         decode_ptr(slots_[slot].word.load(std::memory_order_seq_cst));
     if (curr != nullptr && curr != handle) {
       node* defer = nullptr;
@@ -298,24 +313,36 @@ class basic_domain1 {
     for (std::size_t i = 0; i < n_slots; ++i) {
       slot_rec& sl = slots_[i];
       for (;;) {
+        // seq_cst: Dekker pairing with enter()'s publication — a weaker
+        // read could miss a freshly entered thread and skip its refcount.
         const std::uintptr_t w = sl.word.load(std::memory_order_seq_cst);
         bool skip = (w & 1) == 0;
         if constexpr (Robust) {
+          // seq_cst: Dekker pairing with protect()'s era publication (see
+          // hyaline.hpp's retire-side scan).
           skip = skip || sl.access_era.load(std::memory_order_seq_cst) <
                              min_birth;
         }
         if (skip) break;
         assert(carrier != nullptr);
+        // Read the batch-internal next before publishing the carrier —
+        // same discipline as hyaline.hpp's finalize_batch. Here the batch
+        // provably survives until the final adjust below (its counter
+        // only ever decrements until +Inserts lands), but the hoist
+        // keeps the invariant uniform and TSan-checkable.
+        node* const next_carrier = carrier->w1;
         set_next(carrier, decode_ptr(w));
         const std::uintptr_t neww =
             reinterpret_cast<std::uintptr_t>(carrier) | 1;
         std::uintptr_t expected = w;
+        // seq_cst: retire's list-extension CAS is a linearization point
+        // ordered against enter/leave on the slot word.
         if (!sl.word.compare_exchange_strong(expected, neww,
                                              std::memory_order_seq_cst)) {
           continue;
         }
         ++inserts;  // Fig. 4: REF #2 replaced with Inserts++
-        carrier = carrier->w1;
+        carrier = next_carrier;
         break;
       }
     }

@@ -83,7 +83,10 @@ class ibr_domain {
     stats_->on_alloc();
     thread_local std::uint64_t alloc_counter = 0;
     era_.tick(alloc_counter, cfg_.era_freq);
-    n->birth_era = era_.load();
+    // Audit(ibr-birth-load): acquire, not seq_cst. A stale-low birth era
+    // makes the node look older, so its lifetime interval intersects more
+    // reservations and it is freed later — strictly conservative.
+    n->birth_era = era_.load(std::memory_order_acquire);
   }
 
   stats& counters() { return *stats_; }
@@ -101,11 +104,19 @@ class ibr_domain {
         // load, no stores.
         return;
       }
-      const std::uint64_t e = dom_.era_.load();
+      // Audit(ibr-entry-load): acquire, not seq_cst. A stale-low era only
+      // widens what this reservation pins: lo lower than current pins
+      // strictly more retired nodes, and hi lower is harmless because the
+      // constructor grants no pointers — protect() extends hi through its
+      // seq_cst validation loop before any acquisition.
+      const std::uint64_t e = dom_.era_.load(std::memory_order_acquire);
       // hi before lo: `lo` is the activity flag scanners test first, so it
       // must become visible last. The reverse order lets can_free observe
       // {lo = e, hi = 0-from-last-leave} — an empty interval — and free
       // nodes retired during this (live) reservation.
+      // seq_cst: both stores pair store-load with can_free's scan; the
+      // publication must precede this thread's structure reads in the
+      // single total order or a scanner could miss a live interval.
       r.hi.store(e, std::memory_order_seq_cst);
       r.lo.store(e, std::memory_order_seq_cst);
       r.burst_left = dom_.cfg_.entry_burst;
@@ -120,6 +131,10 @@ class ibr_domain {
         return;
       }
       r.burst_left = 0;
+      // release: the scanner's seq_cst read of the cleared words
+      // synchronizes with these stores, ordering this guard's reads
+      // before any free they unblock (hazard-clear pattern; no
+      // store-load pairing is needed on the way out).
       r.lo.store(inactive, std::memory_order_release);
       r.hi.store(0, std::memory_order_release);
     }
@@ -135,6 +150,9 @@ class ibr_domain {
       return raw_handle<T>(core::protect_with_era(
           src, dom_.era_, r.hi.load(std::memory_order_relaxed),
           [&r](std::uint64_t e) {
+            // seq_cst: the hi extension must be ordered before the
+            // validating era re-read in protect_with_era (store-load) so
+            // a scanner cannot free the node between publish and check.
             r.hi.store(e, std::memory_order_seq_cst);
             return e;
           }));
@@ -159,8 +177,10 @@ class ibr_domain {
     core::for_each_cached_tid(recs_.pool(), [this](unsigned tid) {
       rec& r = recs_[tid];
       r.burst_left = 0;
-      r.lo.store(inactive, std::memory_order_seq_cst);
-      r.hi.store(0, std::memory_order_seq_cst);
+      // Audit(ibr-quiesce-clear): release, same hazard-clear argument as
+      // the guard destructor above.
+      r.lo.store(inactive, std::memory_order_release);
+      r.hi.store(0, std::memory_order_release);
     });
   }
 
@@ -169,8 +189,9 @@ class ibr_domain {
       // Quiescent by contract: any published interval is a burst leftover.
       for (rec& r : recs_) {
         r.burst_left = 0;
-        r.lo.store(inactive, std::memory_order_seq_cst);
-        r.hi.store(0, std::memory_order_seq_cst);
+        // Audit(ibr-quiesce-clear): release, same argument as quiesce().
+        r.lo.store(inactive, std::memory_order_release);
+        r.hi.store(0, std::memory_order_release);
       }
     }
     if (sharded_ != nullptr) {
@@ -206,7 +227,10 @@ class ibr_domain {
 
   void retire(unsigned tid, node* n) {
     stats_->on_retire();
-    n->retire_era = era_.load();
+    // seq_cst: a stale-low retire stamp shrinks the node's lifetime
+    // interval, so can_free misses reservations that still cover it and
+    // frees early — this read must stay in the total order.
+    n->retire_era = era_.load(std::memory_order_seq_cst);
     if (sharded_ != nullptr) {
       const unsigned s = sharded_->shard_of(tid);
       if (sharded_->push(s, n, cfg_.scan_threshold)) {
@@ -227,8 +251,12 @@ class ibr_domain {
 
   bool can_free(const node* n) const {
     for (const rec& r : recs_) {
+      // seq_cst: Dekker pairing with the guard's interval publication —
+      // weaker loads could be ordered before a concurrent entry/extension
+      // store and free a node the reader is about to use.
       const std::uint64_t lo = r.lo.load(std::memory_order_seq_cst);
       if (lo == inactive) continue;
+      // seq_cst: same Dekker pairing as the lo read above.
       const std::uint64_t hi = r.hi.load(std::memory_order_seq_cst);
       // Intervals intersect iff birth <= hi && retire >= lo.
       if (n->birth_era <= hi && n->retire_era >= lo) return false;

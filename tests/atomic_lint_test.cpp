@@ -1,0 +1,270 @@
+// Unit tests for tools/atomic_lint: feed the lint engine known-bad
+// snippets and assert each violation class fires, plus clean-snippet
+// controls proving the rules do not over-report (shadowing locals,
+// declarations, comments, strings, digit separators).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "../tools/atomic_lint/lint_core.hpp"
+
+namespace {
+
+using atomic_lint::lint_source;
+using atomic_lint::violation;
+
+std::vector<violation> lint(const std::string& src) {
+  return lint_source("snippet.cpp", src);
+}
+
+bool has_rule(const std::vector<violation>& vs, const std::string& rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const violation& v) { return v.rule == rule; });
+}
+
+std::size_t count_rule(const std::vector<violation>& vs,
+                       const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(vs.begin(), vs.end(),
+                    [&](const violation& v) { return v.rule == rule; }));
+}
+
+// ------------------------------------------------------------- implicit --
+
+TEST(AtomicLint, ImplicitSeqCstLoadStore) {
+  const std::string src = R"(
+    std::atomic<int> x{0};
+    int f() { x.store(1); return x.load(); }
+  )";
+  const auto vs = lint(src);
+  EXPECT_EQ(count_rule(vs, "implicit-seq-cst"), 2u);
+}
+
+TEST(AtomicLint, ImplicitSeqCstRmw) {
+  const std::string src = R"(
+    std::atomic<unsigned> c{0};
+    void bump() { c.fetch_add(1); }
+    bool cas(unsigned& e) { return c.compare_exchange_weak(e, e + 1); }
+  )";
+  const auto vs = lint(src);
+  EXPECT_EQ(count_rule(vs, "implicit-seq-cst"), 2u);
+}
+
+TEST(AtomicLint, ImplicitThroughPointer) {
+  const std::string src = R"(
+    void g(std::atomic<long>* p) { p->fetch_sub(2); }
+  )";
+  EXPECT_TRUE(has_rule(lint(src), "implicit-seq-cst"));
+}
+
+TEST(AtomicLint, ExplicitOrderIsClean) {
+  const std::string src = R"(
+    std::atomic<int> x{0};
+    int f() {
+      x.store(1, std::memory_order_release);
+      return x.load(std::memory_order_acquire);
+    }
+    bool cas(int& e) {
+      return x.compare_exchange_strong(e, 7, std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+    }
+  )";
+  EXPECT_FALSE(has_rule(lint(src), "implicit-seq-cst"));
+}
+
+TEST(AtomicLint, BuiltinAtomicOrderIsClean) {
+  const std::string src = R"(
+    bool cas16(__uint128_t* p, __uint128_t& e, __uint128_t d) {
+      return __atomic_compare_exchange_n(p, &e, d, false, __ATOMIC_ACQ_REL,
+                                         __ATOMIC_ACQUIRE);  // seq_cst: n/a
+    }
+  )";
+  EXPECT_FALSE(has_rule(lint(src), "implicit-seq-cst"));
+}
+
+TEST(AtomicLint, OrderForwardingWrapperIsClean) {
+  // Wrappers that forward a caller-supplied order through a parameter
+  // named `order` are the sanctioned pattern (era_clock, head policies).
+  const std::string src = R"(
+    struct clock_word {
+      std::atomic<uint64_t> era_{0};
+      uint64_t load(std::memory_order order) const noexcept {
+        return era_.load(order);
+      }
+    };
+  )";
+  EXPECT_FALSE(has_rule(lint(src), "implicit-seq-cst"));
+}
+
+TEST(AtomicLint, MultilineCallArgumentsAreParsed) {
+  const std::string src = R"(
+    std::atomic<int> x{0};
+    bool f(int& e) {
+      return x.compare_exchange_weak(
+          e, e + 1,
+          std::memory_order_acq_rel,
+          std::memory_order_relaxed);
+    }
+  )";
+  EXPECT_FALSE(has_rule(lint(src), "implicit-seq-cst"));
+}
+
+// -------------------------------------------------- unjustified seq_cst --
+
+TEST(AtomicLint, UnjustifiedSeqCst) {
+  const std::string src = R"(
+    std::atomic<int> x{0};
+    void f() { x.store(1, std::memory_order_seq_cst); }
+  )";
+  EXPECT_TRUE(has_rule(lint(src), "unjustified-seq-cst"));
+}
+
+TEST(AtomicLint, JustifiedSeqCstSameLine) {
+  const std::string src =
+      "std::atomic<int> x{0};\n"
+      "void f() { x.store(1, std::memory_order_seq_cst); }"
+      "  // seq_cst: store-load fence pairs with scanner\n";
+  EXPECT_FALSE(has_rule(lint(src), "unjustified-seq-cst"));
+}
+
+TEST(AtomicLint, JustifiedSeqCstCommentAbove) {
+  const std::string src = R"(
+    std::atomic<int> x{0};
+    // seq_cst: publication must be ordered before the validating
+    // re-read on the other side (Dekker pairing with the scanner).
+    void f() { x.store(1, std::memory_order_seq_cst); }
+  )";
+  EXPECT_FALSE(has_rule(lint(src), "unjustified-seq-cst"));
+}
+
+TEST(AtomicLint, JustificationDoesNotCarryTooFar) {
+  // A `// seq_cst:` comment more than four lines above must not excuse
+  // the site.
+  const std::string src = R"(
+    // seq_cst: only this first site is justified
+    std::atomic<int> x{0};
+    void f() { x.store(1, std::memory_order_seq_cst); }
+    int a;
+    int b;
+    int c;
+    int d;
+    void g() { x.store(2, std::memory_order_seq_cst); }
+  )";
+  EXPECT_EQ(count_rule(lint(src), "unjustified-seq-cst"), 1u);
+}
+
+TEST(AtomicLint, UnjustifiedBuiltinSeqCst) {
+  const std::string src = R"(
+    void f(long* p) { __atomic_store_n(p, 1, __ATOMIC_SEQ_CST); }
+  )";
+  EXPECT_TRUE(has_rule(lint(src), "unjustified-seq-cst"));
+}
+
+// ----------------------------------------------------------- consume --
+
+TEST(AtomicLint, ConsumeBanned) {
+  const std::string src = R"(
+    std::atomic<int*> p{nullptr};
+    int* f() { return p.load(std::memory_order_consume); }
+  )";
+  const auto vs = lint(src);
+  EXPECT_TRUE(has_rule(vs, "consume-banned"));
+}
+
+// ------------------------------------------------------------- fences --
+
+TEST(AtomicLint, FenceNeedsOrder) {
+  const std::string src = R"(
+    void f() { std::atomic_thread_fence(); }
+  )";
+  EXPECT_TRUE(has_rule(lint(src), "fence-needs-order"));
+}
+
+TEST(AtomicLint, FenceWithOrderIsCleanButSeqCstNeedsJustification) {
+  const std::string src = R"(
+    void f() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+  )";
+  const auto vs = lint(src);
+  EXPECT_FALSE(has_rule(vs, "fence-needs-order"));
+  EXPECT_TRUE(has_rule(vs, "unjustified-seq-cst"));
+}
+
+// ------------------------------------------------------ compound ops --
+
+TEST(AtomicLint, CompoundOpOnAtomic) {
+  const std::string src = R"(
+    struct stats { std::atomic<uint64_t> hits{0}; };
+    void f(stats& s) { s.hits += 3; }
+    std::atomic<int> n{0};
+    void g() { ++n; }
+  )";
+  const auto vs = lint(src);
+  EXPECT_EQ(count_rule(vs, "atomic-compound-op"), 2u);
+}
+
+TEST(AtomicLint, ShadowingLocalIsNotFlagged) {
+  // `head` is an atomic member in one class but a plain local elsewhere
+  // in the same file: ambiguous names must not be flagged.
+  const std::string src = R"(
+    struct stack { std::atomic<node*> head{nullptr}; };
+    void walk(node* h) {
+      node* head = h;
+      head = head->next;
+      ++head;
+    }
+  )";
+  EXPECT_FALSE(has_rule(lint(src), "atomic-compound-op"));
+}
+
+TEST(AtomicLint, PointerToAtomicAssignIsNotFlagged) {
+  const std::string src = R"(
+    void descend(std::atomic<node*>* child_addr, node* p) {
+      child_addr = &p->left;
+    }
+  )";
+  EXPECT_FALSE(has_rule(lint(src), "atomic-compound-op"));
+}
+
+// ------------------------------------------------------------ lexer --
+
+TEST(AtomicLint, CommentsAndStringsAreIgnored) {
+  const std::string src = R"__(
+    // x.load() in a comment is fine
+    /* x.store(1) in a block comment too */
+    const char* s = "x.fetch_add(1)";
+    const char* r = R"lit(x.exchange(2))lit";
+  )__";
+  EXPECT_TRUE(lint(src).empty());
+}
+
+TEST(AtomicLint, DigitSeparatorsDoNotBreakLexing) {
+  // 1'000'000 must not open a char literal and swallow the rest of the
+  // file (which would hide the violation that follows).
+  const std::string src = R"(
+    constexpr int kIters = 1'000'000;
+    std::atomic<int> x{0};
+    void f() { x.store(kIters); }
+  )";
+  EXPECT_TRUE(has_rule(lint(src), "implicit-seq-cst"));
+}
+
+TEST(AtomicLint, CleanControlSnippet) {
+  const std::string src = R"(
+    struct reservation {
+      std::atomic<uint64_t> era{0};
+      void publish(uint64_t e) {
+        // seq_cst: Dekker pairing — the store must be ordered before the
+        // validating re-read of the clock on this side, and the scanner's
+        // read of `era` on the other.
+        era.store(e, std::memory_order_seq_cst);
+      }
+      void clear() { era.store(0, std::memory_order_release); }
+      uint64_t read() const { return era.load(std::memory_order_acquire); }
+    };
+  )";
+  EXPECT_TRUE(lint(src).empty());
+}
+
+}  // namespace

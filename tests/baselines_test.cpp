@@ -65,10 +65,10 @@ TEST(Leaky, NeverFreesDuringRun) {
     leaky_domain::guard g(dom);
     for (int i = 0; i < 100; ++i) g.retire(make_node(dom));
   }
-  EXPECT_EQ(dom.counters().freed.load(), 0u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u);
   EXPECT_EQ(dom.counters().unreclaimed(), 100u);
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), 100u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 100u);
 }
 
 // ------------------------------------------------------------------ EBR --
@@ -95,9 +95,9 @@ TEST(Ebr, NodesFreeAfterTwoEpochs) {
     ebr_domain::guard g(dom);
     for (int i = 0; i < 8; ++i) g.retire(make_node(dom));
   }
-  EXPECT_GT(dom.counters().freed.load(), 0u);
+  EXPECT_GT(dom.counters().freed.load(std::memory_order_relaxed), 0u);
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), dom.counters().retired.load(std::memory_order_relaxed));
 }
 
 TEST(Ebr, StalledReaderPinsTheEpoch) {
@@ -112,11 +112,11 @@ TEST(Ebr, StalledReaderPinsTheEpoch) {
   }
   EXPECT_LE(dom.debug_epoch(), e0 + 1)
       << "the stalled reservation must block advances past its epoch";
-  EXPECT_EQ(dom.counters().freed.load(), 0u)
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u)
       << "non-robust: nothing reclaims while a reader is stalled";
   delete pinned;
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), dom.counters().retired.load(std::memory_order_relaxed));
 }
 
 // ------------------------------------------------------------------- HP --
@@ -131,18 +131,18 @@ TEST(Hp, HazardProtectsNodeFromScan) {
   EXPECT_EQ(h.get(), victim);
   {
     hp_domain::guard writer(dom);     // nested: its own tid and hazards
-    src.store(nullptr);
+    src.store(nullptr, std::memory_order_release);
     writer.retire(victim);            // threshold 1: scan runs immediately
     for (int i = 0; i < 10; ++i) {    // more retires, more scans
       writer.retire(make_node(dom));
     }
   }
-  EXPECT_LT(dom.counters().freed.load(), dom.counters().retired.load())
+  EXPECT_LT(dom.counters().freed.load(std::memory_order_relaxed), dom.counters().retired.load(std::memory_order_relaxed))
       << "the hazarded victim must survive every scan";
   // The handle dies; the hazard slot clears and the victim is reclaimable.
   h.reset();
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), dom.counters().retired.load(std::memory_order_relaxed));
 }
 
 TEST(Hp, ProtectReloadsUntilStable) {
@@ -152,7 +152,7 @@ TEST(Hp, ProtectReloadsUntilStable) {
   std::atomic<hp_domain::node*> src{a};
   hp_domain::guard g(dom);
   EXPECT_EQ(g.protect(src).get(), a);
-  src.store(b);
+  src.store(b, std::memory_order_release);
   EXPECT_EQ(g.protect(src).get(), b);
   delete a;
   delete b;
@@ -182,9 +182,9 @@ TEST(Hp, ScanThresholdBoundsRetiredList) {
     for (int i = 0; i < 64; ++i) g.retire(make_node(dom));
   }
   // No hazards held: every scan frees the whole list.
-  EXPECT_GE(dom.counters().freed.load(), 56u);
+  EXPECT_GE(dom.counters().freed.load(std::memory_order_relaxed), 56u);
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), 64u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 64u);
 }
 
 // ------------------------------------------------------------------- HE --
@@ -201,11 +201,11 @@ TEST(He, BirthAndRetireErasBracketLifetimes) {
     writer.retire(victim);
     for (int i = 0; i < 10; ++i) writer.retire(make_node(dom));
   }
-  EXPECT_LT(dom.counters().freed.load(), dom.counters().retired.load())
+  EXPECT_LT(dom.counters().freed.load(std::memory_order_relaxed), dom.counters().retired.load(std::memory_order_relaxed))
       << "reader's published era lies inside the victim's interval";
   h.reset();
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), dom.counters().retired.load(std::memory_order_relaxed));
 }
 
 TEST(He, OldReservationDoesNotPinNewNodes) {
@@ -219,7 +219,7 @@ TEST(He, OldReservationDoesNotPinNewNodes) {
     he_domain::guard writer(dom);
     // Nodes born after the reader's reservation are reclaimable.
     for (int i = 0; i < 32; ++i) writer.retire(make_node(dom));
-    freed_before = dom.counters().freed.load();
+    freed_before = dom.counters().freed.load(std::memory_order_relaxed);
   }
   EXPECT_GT(freed_before, 0u)
       << "robust: a parked era only pins its own interval";
@@ -240,10 +240,10 @@ TEST(Ibr, IntervalOverlapBlocksJustThatNode) {
     writer.retire(victim);
     for (int i = 0; i < 10; ++i) writer.retire(make_node(dom));
   }
-  EXPECT_LT(dom.counters().freed.load(), dom.counters().retired.load());
+  EXPECT_LT(dom.counters().freed.load(std::memory_order_relaxed), dom.counters().retired.load(std::memory_order_relaxed));
   delete reader;  // reservation interval closes
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), dom.counters().retired.load(std::memory_order_relaxed));
 }
 
 TEST(Ibr, StalledReaderPinsOnlyItsInterval) {
@@ -253,11 +253,11 @@ TEST(Ibr, StalledReaderPinsOnlyItsInterval) {
     ibr_domain::guard writer(dom);
     for (int i = 0; i < 64; ++i) writer.retire(make_node(dom));
   }
-  EXPECT_GT(dom.counters().freed.load(), 0u)
+  EXPECT_GT(dom.counters().freed.load(std::memory_order_relaxed), 0u)
       << "nodes born after the parked interval must still reclaim";
   delete parked_guard;
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), dom.counters().retired.load(std::memory_order_relaxed));
 }
 
 TEST(Ibr, ProtectExtendsUpperBound) {
@@ -314,8 +314,8 @@ TYPED_TEST(BaselineChurnTest, ConcurrentChurnReclaimsEverything) {
   }
   for (auto& th : ts) th.join();
   dom.drain();
-  EXPECT_EQ(dom.counters().retired.load(), std::uint64_t{kThreads} * kOps);
-  EXPECT_EQ(dom.counters().freed.load(), std::uint64_t{kThreads} * kOps);
+  EXPECT_EQ(dom.counters().retired.load(std::memory_order_relaxed), std::uint64_t{kThreads} * kOps);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), std::uint64_t{kThreads} * kOps);
 }
 
 }  // namespace

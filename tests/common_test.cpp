@@ -29,7 +29,7 @@ TEST(Padded, OccupiesFullCacheLines) {
 
 TEST(Padded, ForwardsConstructorArguments) {
   padded<std::atomic<std::uint64_t>> v{42};
-  EXPECT_EQ(v->load(), 42u);
+  EXPECT_EQ(v->load(std::memory_order_relaxed), 42u);
 }
 
 TEST(Rng, DeterministicPerSeed) {
@@ -66,15 +66,17 @@ TEST(TaggedPtr, RoundTrip) {
 
 TEST(Atomic128, LoadStoreCas) {
   atomic128 a;
-  EXPECT_EQ(a.load(), u128{0});
-  a.store(pack128(1, 2));
-  EXPECT_EQ(lo64(a.load()), 1u);
-  EXPECT_EQ(hi64(a.load()), 2u);
+  EXPECT_EQ(a.load(std::memory_order_relaxed), u128{0});
+  a.store(pack128(1, 2), std::memory_order_relaxed);
+  EXPECT_EQ(lo64(a.load(std::memory_order_relaxed)), 1u);
+  EXPECT_EQ(hi64(a.load(std::memory_order_relaxed)), 2u);
   u128 expected = pack128(1, 2);
-  EXPECT_TRUE(a.compare_exchange(expected, pack128(3, 4)));
-  EXPECT_EQ(lo64(a.load()), 3u);
+  EXPECT_TRUE(a.compare_exchange(expected, pack128(3, 4),
+                                 std::memory_order_relaxed));
+  EXPECT_EQ(lo64(a.load(std::memory_order_relaxed)), 3u);
   expected = pack128(9, 9);
-  EXPECT_FALSE(a.compare_exchange(expected, pack128(5, 5)));
+  EXPECT_FALSE(a.compare_exchange(expected, pack128(5, 5),
+                                  std::memory_order_relaxed));
   EXPECT_EQ(lo64(expected), 3u) << "failed CAS reports current value";
   EXPECT_EQ(hi64(expected), 4u);
 }
@@ -86,14 +88,15 @@ TEST(Atomic128, ConcurrentCasCounts) {
   for (int t = 0; t < kThreads; ++t) {
     ts.emplace_back([&] {
       for (int i = 0; i < kIters; ++i) {
-        u128 cur = a.load();
-        while (!a.compare_exchange(cur, pack128(lo64(cur) + 1, hi64(cur)))) {
+        u128 cur = a.load(std::memory_order_relaxed);
+        while (!a.compare_exchange(cur, pack128(lo64(cur) + 1, hi64(cur)),
+                                   std::memory_order_acq_rel)) {
         }
       }
     });
   }
   for (auto& th : ts) th.join();
-  EXPECT_EQ(lo64(a.load()), std::uint64_t{kThreads} * kIters);
+  EXPECT_EQ(lo64(a.load(std::memory_order_relaxed)), std::uint64_t{kThreads} * kIters);
 }
 
 TEST(Llsc, ScSucceedsWhenGranuleUnchanged) {

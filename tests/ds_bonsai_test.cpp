@@ -79,14 +79,14 @@ TYPED_TEST(BonsaiTest, UpdateChurnRetiresPathCopies) {
       ASSERT_TRUE(this->ds_->insert(g, k, k));
     }
   }
-  const auto retired_before = this->dom_->counters().retired.load();
+  const auto retired_before = this->dom_->counters().retired.load(std::memory_order_relaxed);
   {
     auto g = this->guard();
     ASSERT_TRUE(this->ds_->remove(g, 32));
     ASSERT_TRUE(this->ds_->insert(g, 32, 1));
   }
   // Each update copies O(log n) path nodes and retires the originals.
-  EXPECT_GT(this->dom_->counters().retired.load(), retired_before + 2);
+  EXPECT_GT(this->dom_->counters().retired.load(std::memory_order_relaxed), retired_before + 2);
 }
 
 TYPED_TEST(BonsaiTest, MixedStressFourThreads) {
@@ -119,10 +119,10 @@ TYPED_TEST(BonsaiTest, ReadersSeeConsistentSnapshots) {
         this->ds_->remove(g, 1);
       }
     }
-    stop.store(true);
+    stop.store(true, std::memory_order_release);
   });
   std::thread reader([&] {
-    while (!stop.load()) {
+    while (!stop.load(std::memory_order_acquire)) {
       typename TypeParam::guard g(*this->dom_);
       std::uint64_t v2 = 0, v1 = 0;
       const bool has2 = this->ds_->get(g, 2, v2);
@@ -130,12 +130,12 @@ TYPED_TEST(BonsaiTest, ReadersSeeConsistentSnapshots) {
       // Round i writes 1 (value i) before 2 (value i). Key 2's value read
       // *first* therefore can never exceed key 1's value read *second*:
       // round numbers only grow with time.
-      if (has2 && has1 && v1 < v2) violations.fetch_add(1);
+      if (has2 && has1 && v1 < v2) violations.fetch_add(1, std::memory_order_relaxed);
     }
   });
   writer.join();
   reader.join();
-  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(violations.load(std::memory_order_relaxed), 0);
 }
 
 }  // namespace

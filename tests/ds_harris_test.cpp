@@ -66,7 +66,7 @@ TYPED_TEST(HarrisListTest, SegmentSnipRetiresWholeRuns) {
     ASSERT_TRUE(this->ds_->contains(g, 60));  // walks across the gap
   }
   EXPECT_EQ(this->ds_->unsafe_size(), 16u);
-  EXPECT_EQ(this->dom_->counters().retired.load(), 48u);
+  EXPECT_EQ(this->dom_->counters().retired.load(std::memory_order_relaxed), 48u);
 }
 
 TYPED_TEST(HarrisListTest, MixedStressFourThreads) {
@@ -88,11 +88,11 @@ TYPED_TEST(HarrisListTest, ContendedSingleKey) {
           if (this->ds_->remove(g, 42)) --local;
         }
       }
-      net.fetch_add(local);
+      net.fetch_add(local, std::memory_order_relaxed);
     });
   }
   for (auto& th : ts) th.join();
-  EXPECT_EQ(this->ds_->unsafe_size(), static_cast<std::size_t>(net.load()));
+  EXPECT_EQ(this->ds_->unsafe_size(), static_cast<std::size_t>(net.load(std::memory_order_relaxed)));
 }
 
 }  // namespace

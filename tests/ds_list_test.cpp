@@ -82,7 +82,7 @@ TYPED_TEST(ListTest, InterleavedInsertRemoveChurnsReclamation) {
     }
   }
   EXPECT_EQ(this->ds_->unsafe_size(), 0u);
-  EXPECT_GE(this->dom_->counters().retired.load(), 50u * 16u);
+  EXPECT_GE(this->dom_->counters().retired.load(std::memory_order_relaxed), 50u * 16u);
 }
 
 TYPED_TEST(ListTest, MixedStressFourThreads) {
@@ -124,11 +124,11 @@ TYPED_TEST(ListTest, ContendedSingleKey) {
           if (this->ds_->remove(g, 42)) --local;
         }
       }
-      net.fetch_add(local);
+      net.fetch_add(local, std::memory_order_relaxed);
     });
   }
   for (auto& th : ts) th.join();
-  EXPECT_EQ(this->ds_->unsafe_size(), static_cast<std::size_t>(net.load()));
+  EXPECT_EQ(this->ds_->unsafe_size(), static_cast<std::size_t>(net.load(std::memory_order_relaxed)));
 }
 
 }  // namespace

@@ -109,11 +109,11 @@ TYPED_TEST(NmTreeTest, ContendedNeighborKeys) {
           if (this->ds_->remove(g, k)) --local;
         }
       }
-      net.fetch_add(local);
+      net.fetch_add(local, std::memory_order_relaxed);
     });
   }
   for (auto& th : ts) th.join();
-  EXPECT_EQ(this->ds_->unsafe_size(), static_cast<std::size_t>(net.load()));
+  EXPECT_EQ(this->ds_->unsafe_size(), static_cast<std::size_t>(net.load(std::memory_order_relaxed)));
 }
 
 }  // namespace

@@ -147,7 +147,7 @@ TYPED_TEST(QueueTest, MpmcConservation) {
   done_producing.store(true, std::memory_order_release);
   for (unsigned c = 0; c < kConsumers; ++c) ts[kProducers + c].join();
 
-  EXPECT_EQ(popped.load(), kProducers * kItems);
+  EXPECT_EQ(popped.load(std::memory_order_relaxed), kProducers * kItems);
   EXPECT_EQ(this->ds_->unsafe_size(), 0u);
   for (std::uint64_t v = 0; v < kProducers * kItems; ++v) {
     ASSERT_EQ(seen[v].load(std::memory_order_relaxed), 1) << "lost " << v;

@@ -48,8 +48,8 @@ class ds_fixture : public ::testing::Test {
   ~ds_fixture() override {
     ds_.reset();   // structure teardown frees live nodes directly
     dom_->drain(); // retired-but-unreclaimed nodes drain here
-    EXPECT_EQ(dom_->counters().retired.load(),
-              dom_->counters().freed.load())
+    EXPECT_EQ(dom_->counters().retired.load(std::memory_order_relaxed),
+              dom_->counters().freed.load(std::memory_order_relaxed))
         << "leak: retired nodes were never freed";
   }
 
@@ -87,12 +87,12 @@ void run_mixed_stress(D& dom, DS<D>& s, unsigned threads, int ops,
             break;
         }
       }
-      net.fetch_add(local);
+      net.fetch_add(local, std::memory_order_relaxed);
     });
   }
   for (auto& th : ts) th.join();
-  ASSERT_GE(net.load(), 0);
-  EXPECT_EQ(s.unsafe_size(), static_cast<std::size_t>(net.load()));
+  ASSERT_GE(net.load(std::memory_order_relaxed), 0);
+  EXPECT_EQ(s.unsafe_size(), static_cast<std::size_t>(net.load(std::memory_order_relaxed)));
 }
 
 using AllSchemes =

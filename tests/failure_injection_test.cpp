@@ -66,8 +66,8 @@ TYPED_TEST(FailureInjectionTest, ChurnHasNoUafDoubleFreeOrLeak) {
     }
     for (auto& th : ts) th.join();
     dom->drain();
-    EXPECT_EQ(dom->counters().retired.load(),
-              dom->counters().freed.load());
+    EXPECT_EQ(dom->counters().retired.load(std::memory_order_relaxed),
+              dom->counters().freed.load(std::memory_order_relaxed));
   }
   EXPECT_EQ(debug_alloc::live_count(), 0u) << "leaked nodes";
   EXPECT_EQ(debug_alloc::double_frees(), 0u) << "double free detected";
@@ -87,7 +87,7 @@ TYPED_TEST(FailureInjectionTest, GuardChurnWithLongHolders) {
     std::atomic<bool> stop{false};
     std::atomic<typename TypeParam::node*> shared{nullptr};
     std::thread holder([&] {
-      while (!stop.load()) {
+      while (!stop.load(std::memory_order_acquire)) {
         typename TypeParam::guard g(*dom);
         g.protect(shared);
         std::this_thread::yield();
@@ -104,7 +104,7 @@ TYPED_TEST(FailureInjectionTest, GuardChurnWithLongHolders) {
       harness::detail::flush_thread(*dom);
     });
     churner.join();
-    stop.store(true);
+    stop.store(true, std::memory_order_release);
     holder.join();
     dom->drain();
   }

@@ -27,7 +27,7 @@ using Policies = ::testing::Types<head_packed<fake_node>, head_dw<fake_node>,
 TYPED_TEST_SUITE(HeadPolicyTest, Policies);
 
 TYPED_TEST(HeadPolicyTest, InitiallyEmpty) {
-  auto v = this->head_.load();
+  auto v = this->head_.snapshot();
   EXPECT_EQ(v.ref, 0u);
   EXPECT_EQ(v.ptr, nullptr);
 }
@@ -38,21 +38,21 @@ TYPED_TEST(HeadPolicyTest, FaaEnterReturnsOldAndIncrements) {
   EXPECT_EQ(old.ptr, nullptr);
   old = this->head_.faa_enter();
   EXPECT_EQ(old.ref, 1u);
-  EXPECT_EQ(this->head_.load().ref, 2u);
+  EXPECT_EQ(this->head_.snapshot().ref, 2u);
 }
 
 TYPED_TEST(HeadPolicyTest, CasRetireSwapsPointerKeepsRef) {
   this->head_.faa_enter();
-  auto v = this->head_.load();
+  auto v = this->head_.snapshot();
   EXPECT_TRUE(this->head_.cas_retire(v, &this->n1_));
-  auto after = this->head_.load();
+  auto after = this->head_.snapshot();
   EXPECT_EQ(after.ref, 1u);
   EXPECT_EQ(after.ptr, &this->n1_);
 }
 
 TYPED_TEST(HeadPolicyTest, CasRetireFailsOnStaleSnapshot) {
   this->head_.faa_enter();
-  auto v = this->head_.load();
+  auto v = this->head_.snapshot();
   this->head_.faa_enter();  // snapshot goes stale
   EXPECT_FALSE(this->head_.cas_retire(v, &this->n1_));
 }
@@ -60,30 +60,30 @@ TYPED_TEST(HeadPolicyTest, CasRetireFailsOnStaleSnapshot) {
 TYPED_TEST(HeadPolicyTest, CasLeaveDecDecrements) {
   this->head_.faa_enter();
   this->head_.faa_enter();
-  auto v = this->head_.load();
+  auto v = this->head_.snapshot();
   EXPECT_TRUE(this->head_.cas_leave_dec(v));
-  EXPECT_EQ(this->head_.load().ref, 1u);
+  EXPECT_EQ(this->head_.snapshot().ref, 1u);
 }
 
 TYPED_TEST(HeadPolicyTest, CasLeaveLastNullsPointer) {
   this->head_.faa_enter();
-  auto v = this->head_.load();
+  auto v = this->head_.snapshot();
   ASSERT_TRUE(this->head_.cas_retire(v, &this->n1_));
-  v = this->head_.load();
+  v = this->head_.snapshot();
   ASSERT_EQ(v.ref, 1u);
   EXPECT_EQ(this->head_.cas_leave_last(v), leave_last_result::nulled);
-  auto after = this->head_.load();
+  auto after = this->head_.snapshot();
   EXPECT_EQ(after.ref, 0u);
   EXPECT_EQ(after.ptr, nullptr);
 }
 
 TYPED_TEST(HeadPolicyTest, CasLeaveLastRetriesOnStaleSnapshot) {
   this->head_.faa_enter();
-  auto v = this->head_.load();
+  auto v = this->head_.snapshot();
   this->head_.faa_enter();
   // v.ref == 1 but the head says 2 now: the transition must not happen.
   EXPECT_EQ(this->head_.cas_leave_last(v), leave_last_result::retry);
-  EXPECT_EQ(this->head_.load().ref, 2u);
+  EXPECT_EQ(this->head_.snapshot().ref, 2u);
 }
 
 TYPED_TEST(HeadPolicyTest, ConcurrentEnterLeaveBalances) {
@@ -94,7 +94,7 @@ TYPED_TEST(HeadPolicyTest, ConcurrentEnterLeaveBalances) {
       for (int i = 0; i < kIters; ++i) {
         this->head_.faa_enter();
         for (;;) {
-          auto v = this->head_.load();
+          auto v = this->head_.snapshot();
           if (v.ref == 1) {
             if (this->head_.cas_leave_last(v) != leave_last_result::retry)
               break;
@@ -106,7 +106,7 @@ TYPED_TEST(HeadPolicyTest, ConcurrentEnterLeaveBalances) {
     });
   }
   for (auto& th : ts) th.join();
-  EXPECT_EQ(this->head_.load().ref, 0u);
+  EXPECT_EQ(this->head_.snapshot().ref, 0u);
 }
 
 // LL/SC-specific: the "claimed" outcome when a concurrent enter re-claims
@@ -115,20 +115,20 @@ TEST(HeadLlsc, LeaveLastClaimedByConcurrentEnter) {
   head_llsc<fake_node> head;
   fake_node n;
   head.faa_enter();
-  auto v = head.load();
+  auto v = head.snapshot();
   ASSERT_TRUE(head.cas_retire(v, &n));
-  v = head.load();
+  v = head.snapshot();
 
   // Interleave: another thread hammers enter while we try the terminal
   // transition. We should observe at least one claimed or nulled outcome,
   // and never corrupt the tuple.
   std::atomic<bool> stop{false};
   std::thread claimer([&] {
-    while (!stop.load()) {
+    while (!stop.load(std::memory_order_acquire)) {
       head.faa_enter();
       // undo so the main thread can reach ref==1 again
       for (;;) {
-        auto w = head.load();
+        auto w = head.snapshot();
         if (w.ref <= 1) break;
         if (head.cas_leave_dec(w)) break;
       }
@@ -143,14 +143,14 @@ TEST(HeadLlsc, LeaveLastClaimedByConcurrentEnter) {
   for (long i = 0;
        i < 2000 || (nulled + claimed + retry == 0 && i < 200'000'000L);
        ++i) {
-    auto w = head.load();
+    auto w = head.snapshot();
     if (w.ref != 1) continue;
     switch (head.cas_leave_last(w)) {
       case leave_last_result::nulled:
         ++nulled;
         head.faa_enter();  // restore ref for the next round
         {
-          auto x = head.load();
+          auto x = head.snapshot();
           head.cas_retire(x, &n);
         }
         break;
@@ -162,10 +162,10 @@ TEST(HeadLlsc, LeaveLastClaimedByConcurrentEnter) {
         break;
     }
   }
-  stop.store(true);
+  stop.store(true, std::memory_order_release);
   claimer.join();
   EXPECT_GT(nulled + claimed + retry, 0);
-  auto fin = head.load();
+  auto fin = head.snapshot();
   EXPECT_TRUE(fin.ptr == &n || fin.ptr == nullptr);
 }
 

@@ -67,9 +67,9 @@ TYPED_TEST(Hyaline1Test, SoleOwnerFreesOnLeave) {
       g.protect(src);
     }
     for (int i = 0; i < 3; ++i) g.retire(make_node(dom));
-    EXPECT_EQ(dom.counters().freed.load(), 0u);
+    EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u);
   }
-  EXPECT_EQ(dom.counters().freed.load(), 3u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3u);
 }
 
 TYPED_TEST(Hyaline1Test, EachOwnerMustReleaseItsSlotList) {
@@ -86,10 +86,10 @@ TYPED_TEST(Hyaline1Test, EachOwnerMustReleaseItsSlotList) {
   }
   for (int i = 0; i < 3; ++i) g0->retire(make_node(dom));
   delete g0;
-  EXPECT_EQ(dom.counters().freed.load(), 0u)
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u)
       << "slot 1's owner still references the batch";
   delete g1;
-  EXPECT_EQ(dom.counters().freed.load(), 3u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3u);
 }
 
 TYPED_TEST(Hyaline1Test, InactiveSlotsAreSkipped) {
@@ -102,7 +102,7 @@ TYPED_TEST(Hyaline1Test, InactiveSlotsAreSkipped) {
     }
     for (int i = 0; i < 9; ++i) g.retire(make_node(dom));
   }
-  EXPECT_EQ(dom.counters().freed.load(), 9u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 9u);
 }
 
 TYPED_TEST(Hyaline1Test, FlushPadsWithDummies) {
@@ -112,8 +112,8 @@ TYPED_TEST(Hyaline1Test, FlushPadsWithDummies) {
     g.retire(make_node(dom));
     dom.flush();
   }
-  EXPECT_EQ(dom.counters().retired.load(), 1u);
-  EXPECT_EQ(dom.counters().freed.load(), 1u);
+  EXPECT_EQ(dom.counters().retired.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 1u);
 }
 
 TYPED_TEST(Hyaline1Test, TrimReclaimsOlderBatches) {
@@ -125,11 +125,11 @@ TYPED_TEST(Hyaline1Test, TrimReclaimsOlderBatches) {
   }
   for (int i = 0; i < 3; ++i) g.retire(make_node(dom));  // batch 1
   for (int i = 0; i < 3; ++i) g.retire(make_node(dom));  // batch 2 (head)
-  EXPECT_EQ(dom.counters().freed.load(), 0u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u);
   g.trim();
-  EXPECT_EQ(dom.counters().freed.load(), 3u) << "batch 1 reclaimed by trim";
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3u) << "batch 1 reclaimed by trim";
   g.trim();
-  EXPECT_EQ(dom.counters().freed.load(), 3u) << "trim is idempotent here";
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3u) << "trim is idempotent here";
 }
 
 TYPED_TEST(Hyaline1Test, ConcurrentChurnReclaimsEverything) {
@@ -149,7 +149,7 @@ TYPED_TEST(Hyaline1Test, ConcurrentChurnReclaimsEverything) {
   }
   for (auto& th : ts) th.join();
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), std::uint64_t{kThreads} * kOps);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), std::uint64_t{kThreads} * kOps);
 }
 
 TEST(Hyaline1S, EraAdvancesAndSlotErasTrack) {
@@ -173,17 +173,17 @@ TEST(Hyaline1S, StalledThreadWithStaleEraIsSkipped) {
   std::atomic<bool> ready{false};
   std::thread parked([&] {
     domain_1s::guard g(dom);  // active but never dereferences
-    ready.store(true);
-    while (hold.load()) std::this_thread::yield();
+    ready.store(true, std::memory_order_release);
+    while (hold.load(std::memory_order_acquire)) std::this_thread::yield();
   });
-  while (!ready.load()) std::this_thread::yield();
+  while (!ready.load(std::memory_order_acquire)) std::this_thread::yield();
   {
     domain_1s::guard g(dom);
     for (int i = 0; i < 3; ++i) g.retire(make_node(dom));
   }
-  EXPECT_EQ(dom.counters().freed.load(), 3u)
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3u)
       << "fully robust: the stalled slot is skipped via its stale era";
-  hold.store(false);
+  hold.store(false, std::memory_order_release);
   parked.join();
 }
 
@@ -195,7 +195,7 @@ TEST(Hyaline1, EnterAfterLeaveReusesSlotSafely) {
     g.retire(make_node(dom));
   }
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), dom.counters().retired.load(std::memory_order_relaxed));
 }
 
 }  // namespace

@@ -65,18 +65,18 @@ TEST(HyalineS, RetireSkipsSlotsWithStaleEras) {
   std::atomic<bool> entered{false};
   std::thread parked([&] {
     domain_s::guard g(dom, 1);  // enters slot 1, derefs nothing
-    entered.store(true);
-    while (hold.load()) std::this_thread::yield();
+    entered.store(true, std::memory_order_release);
+    while (hold.load(std::memory_order_acquire)) std::this_thread::yield();
   });
-  while (!entered.load()) std::this_thread::yield();
+  while (!entered.load(std::memory_order_acquire)) std::this_thread::yield();
 
   {
     domain_s::guard g(dom, 0);
     for (int i = 0; i < 3; ++i) g.retire(make_node(dom));
   }
-  EXPECT_EQ(dom.counters().freed.load(), 3u)
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3u)
       << "the parked thread's slot has a stale era and must be skipped";
-  hold.store(false);
+  hold.store(false, std::memory_order_release);
   parked.join();
 }
 
@@ -91,22 +91,22 @@ TEST(HyalineS, FreshEraSlotIsCoveredAndBlocksReclamation) {
   std::thread parked([&] {
     domain_s::guard g(dom, 1);
     g.protect(src);  // slot 1 era becomes current
-    ready.store(true);
-    while (hold.load()) std::this_thread::yield();
+    ready.store(true, std::memory_order_release);
+    while (hold.load(std::memory_order_acquire)) std::this_thread::yield();
   });
-  while (!ready.load()) std::this_thread::yield();
+  while (!ready.load(std::memory_order_acquire)) std::this_thread::yield();
 
   {
     domain_s::guard g(dom, 0);
     for (int i = 0; i < 3; ++i) g.retire(make_node(dom));
   }
-  EXPECT_EQ(dom.counters().freed.load(), 0u)
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u)
       << "slot 1 has a fresh era: the batch must wait for the thread";
   EXPECT_GT(dom.debug_ack(1), 0) << "Ack accumulated the HRef snapshot";
-  hold.store(false);
+  hold.store(false, std::memory_order_release);
   parked.join();
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), dom.counters().retired.load());
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), dom.counters().retired.load(std::memory_order_relaxed));
   delete seen;
 }
 
@@ -144,10 +144,10 @@ TEST(HyalineS, EnterHopsPastAckedOutSlot) {
   std::thread parked([&] {
     domain_s::guard g(dom, 0);
     g.protect(src);
-    ready.store(true);
-    while (hold.load()) std::this_thread::yield();
+    ready.store(true, std::memory_order_release);
+    while (hold.load(std::memory_order_acquire)) std::this_thread::yield();
   });
-  while (!ready.load()) std::this_thread::yield();
+  while (!ready.load(std::memory_order_acquire)) std::this_thread::yield();
   {
     domain_s::guard g(dom, 1);
     for (int i = 0; i < 3; ++i) g.retire(make_node(dom));
@@ -157,7 +157,7 @@ TEST(HyalineS, EnterHopsPastAckedOutSlot) {
     domain_s::guard g(dom, 0);  // wants slot 0, must hop to slot 1
     EXPECT_EQ(g.slot(), 1u);
   }
-  hold.store(false);
+  hold.store(false, std::memory_order_release);
   parked.join();
   dom.drain();
   delete seen;
@@ -174,10 +174,10 @@ TEST(HyalineS, AdaptiveGrowthWhenAllSlotsStalled) {
   std::thread parked([&] {
     domain_s::guard g(dom, 0);
     g.protect(src);
-    ready.store(true);
-    while (hold.load()) std::this_thread::yield();
+    ready.store(true, std::memory_order_release);
+    while (hold.load(std::memory_order_acquire)) std::this_thread::yield();
   });
-  while (!ready.load()) std::this_thread::yield();
+  while (!ready.load(std::memory_order_acquire)) std::this_thread::yield();
   {
     domain_s::guard g(dom, 0);
     for (int i = 0; i < 2; ++i) g.retire(make_node(dom));
@@ -188,7 +188,7 @@ TEST(HyalineS, AdaptiveGrowthWhenAllSlotsStalled) {
     EXPECT_GT(dom.slot_count(), 1u);
     EXPECT_GE(g.slot(), 1u) << "the new guard lands in a fresh slot";
   }
-  hold.store(false);
+  hold.store(false, std::memory_order_release);
   parked.join();
   dom.drain();
   delete seen;
@@ -204,10 +204,10 @@ TEST(HyalineS, NoGrowthWithoutMaxSlots) {
   std::thread parked([&] {
     domain_s::guard g(dom, 0);
     g.protect(src);
-    ready.store(true);
-    while (hold.load()) std::this_thread::yield();
+    ready.store(true, std::memory_order_release);
+    while (hold.load(std::memory_order_acquire)) std::this_thread::yield();
   });
-  while (!ready.load()) std::this_thread::yield();
+  while (!ready.load(std::memory_order_acquire)) std::this_thread::yield();
   {
     domain_s::guard g(dom, 0);
     for (int i = 0; i < 2; ++i) g.retire(make_node(dom));
@@ -217,7 +217,7 @@ TEST(HyalineS, NoGrowthWithoutMaxSlots) {
     EXPECT_EQ(dom.slot_count(), 1u) << "capped variant degrades instead";
     EXPECT_EQ(g.slot(), 0u);
   }
-  hold.store(false);
+  hold.store(false, std::memory_order_release);
   parked.join();
   dom.drain();
   delete seen;
@@ -236,10 +236,10 @@ TEST(HyalineS, StalledThreadDoesNotStopActiveReclamation) {
   std::thread stalled([&] {
     domain_s::guard g(dom, 1);
     g.protect(src);
-    ready.store(true);
-    while (hold.load()) std::this_thread::yield();
+    ready.store(true, std::memory_order_release);
+    while (hold.load(std::memory_order_acquire)) std::this_thread::yield();
   });
-  while (!ready.load()) std::this_thread::yield();
+  while (!ready.load(std::memory_order_acquire)) std::this_thread::yield();
 
   constexpr int kOps = 20000;
   for (int i = 0; i < kOps; ++i) {
@@ -250,7 +250,7 @@ TEST(HyalineS, StalledThreadDoesNotStopActiveReclamation) {
   const auto unreclaimed = dom.counters().unreclaimed();
   EXPECT_LT(unreclaimed, static_cast<std::uint64_t>(kOps) / 4)
       << "reclamation must keep pace despite the stalled thread";
-  hold.store(false);
+  hold.store(false, std::memory_order_release);
   stalled.join();
   dom.drain();
   delete seen;
@@ -273,7 +273,7 @@ TEST(HyalineS, ConcurrentChurnWithDerefs) {
   }
   for (auto& th : ts) th.join();
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), std::uint64_t{kThreads} * kOps);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), std::uint64_t{kThreads} * kOps);
 }
 
 }  // namespace

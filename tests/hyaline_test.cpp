@@ -74,11 +74,11 @@ TYPED_TEST(HyalineTest, BatchFreedAfterSoleRetirerLeaves) {
   {
     typename TypeParam::guard g(dom, 0);
     for (int i = 0; i < 3; ++i) g.retire(this->make_node(dom));  // batch full
-    EXPECT_EQ(dom.counters().retired.load(), 3u);
-    EXPECT_EQ(dom.counters().freed.load(), 0u)
+    EXPECT_EQ(dom.counters().retired.load(std::memory_order_relaxed), 3u);
+    EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u)
         << "we are still inside the critical section";
   }
-  EXPECT_EQ(dom.counters().freed.load(), 3u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3u);
 }
 
 TYPED_TEST(HyalineTest, NestedGuardHoldsReclamation) {
@@ -91,11 +91,11 @@ TYPED_TEST(HyalineTest, NestedGuardHoldsReclamation) {
     typename TypeParam::guard inner(dom, 0);
     for (int i = 0; i < 3; ++i) inner.retire(this->make_node(dom));
   }
-  EXPECT_EQ(dom.counters().freed.load(), 0u)
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u)
       << "outer guard still references the batch";
   delete outer;  // last reference: the leaver deallocates (asynchronous
                  // tracking — no one had to "check" anything)
-  EXPECT_EQ(dom.counters().freed.load(), 3u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3u);
 }
 
 TYPED_TEST(HyalineTest, LateEnterDoesNotBlockOlderBatch) {
@@ -110,10 +110,10 @@ TYPED_TEST(HyalineTest, LateEnterDoesNotBlockOlderBatch) {
   for (int i = 0; i < 3; ++i) g1->retire(this->make_node(dom));
   auto* g2 = new typename TypeParam::guard(dom, 0);  // enters after retire
   delete g1;
-  EXPECT_EQ(dom.counters().freed.load(), 0u)
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u)
       << "g2's handle-inclusive traversal still owes one reference";
   delete g2;
-  EXPECT_EQ(dom.counters().freed.load(), 3u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3u);
 }
 
 TYPED_TEST(HyalineTest, FlushPadsPartialBatchWithDummies) {
@@ -121,11 +121,11 @@ TYPED_TEST(HyalineTest, FlushPadsPartialBatchWithDummies) {
   {
     typename TypeParam::guard g(dom, 0);
     g.retire(this->make_node(dom));  // 1 < batch size 3
-    EXPECT_EQ(dom.counters().freed.load(), 0u);
+    EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u);
     dom.flush();  // §2.4: finalize immediately by allocating dummy nodes
   }
-  EXPECT_EQ(dom.counters().retired.load(), 1u) << "dummies are not counted";
-  EXPECT_EQ(dom.counters().freed.load(), 1u);
+  EXPECT_EQ(dom.counters().retired.load(std::memory_order_relaxed), 1u) << "dummies are not counted";
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 1u);
 }
 
 TYPED_TEST(HyalineTest, DrainReclaimsForeignBuilders) {
@@ -136,9 +136,9 @@ TYPED_TEST(HyalineTest, DrainReclaimsForeignBuilders) {
     // exits without flushing — fully "off the hook"
   });
   t.join();
-  EXPECT_EQ(dom.counters().freed.load(), 0u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u);
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), 1u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 1u);
 }
 
 TYPED_TEST(HyalineTest, TrimReclaimsOlderBatches) {
@@ -148,13 +148,13 @@ TYPED_TEST(HyalineTest, TrimReclaimsOlderBatches) {
   typename TypeParam::guard g1(dom, 1);  // keep slot 1 active too
   for (int i = 0; i < 3; ++i) g.retire(this->make_node(dom));  // batch 1
   for (int i = 0; i < 3; ++i) g.retire(this->make_node(dom));  // batch 2
-  EXPECT_EQ(dom.counters().freed.load(), 0u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u);
   g.trim();
   g1.trim();
   // Batch 1 was displaced by batch 2 in both slots and both active guards
   // trimmed past it: it must be reclaimed. Batch 2 is still each slot's
   // head (trim skips the first node), so it stays.
-  EXPECT_EQ(dom.counters().freed.load(), 3u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3u);
 }
 
 TYPED_TEST(HyalineTest, TrimThenLeaveReclaimsEverything) {
@@ -164,15 +164,15 @@ TYPED_TEST(HyalineTest, TrimThenLeaveReclaimsEverything) {
     for (int i = 0; i < 9; ++i) g.retire(this->make_node(dom));
     g.trim();
   }
-  EXPECT_EQ(dom.counters().freed.load(), 9u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 9u);
 }
 
 TYPED_TEST(HyalineTest, StatsCountAllocations) {
   TypeParam dom(this->small_cfg());
   typename TypeParam::guard g(dom, 0);
   for (int i = 0; i < 5; ++i) g.retire(this->make_node(dom));
-  EXPECT_EQ(dom.counters().allocated.load(), 5u);
-  EXPECT_EQ(dom.counters().retired.load(), 5u);
+  EXPECT_EQ(dom.counters().allocated.load(std::memory_order_relaxed), 5u);
+  EXPECT_EQ(dom.counters().retired.load(std::memory_order_relaxed), 5u);
 }
 
 TYPED_TEST(HyalineTest, EmptySlotsAccumulateEmptyAdjustment) {
@@ -187,7 +187,7 @@ TYPED_TEST(HyalineTest, EmptySlotsAccumulateEmptyAdjustment) {
     typename TypeParam::guard g(dom, 2);
     for (int i = 0; i < 5; ++i) g.retire(this->make_node(dom));
   }
-  EXPECT_EQ(dom.counters().freed.load(), 5u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 5u);
 }
 
 TYPED_TEST(HyalineTest, ManyBatchesInterleavedGuards) {
@@ -199,9 +199,9 @@ TYPED_TEST(HyalineTest, ManyBatchesInterleavedGuards) {
     typename TypeParam::guard g(dom, 0);
     for (int i = 0; i < 30; ++i) g.retire(this->make_node(dom));
   }
-  EXPECT_EQ(dom.counters().freed.load(), 0u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 0u);
   for (auto* g : guards) delete g;
-  EXPECT_EQ(dom.counters().freed.load(), 30u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 30u);
 }
 
 TYPED_TEST(HyalineTest, ConcurrentChurnReclaimsEverything) {
@@ -222,21 +222,21 @@ TYPED_TEST(HyalineTest, ConcurrentChurnReclaimsEverything) {
   }
   for (auto& th : ts) th.join();
   dom.drain();
-  EXPECT_EQ(dom.counters().retired.load(),
+  EXPECT_EQ(dom.counters().retired.load(std::memory_order_relaxed),
             std::uint64_t{kThreads} * kOps);
-  EXPECT_EQ(dom.counters().freed.load(), std::uint64_t{kThreads} * kOps);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), std::uint64_t{kThreads} * kOps);
 }
 
 TYPED_TEST(HyalineTest, TypedRetireRunsEachTypesDestructor) {
   // API v2: retire<T> captures T's deleter per node, so one domain can
   // reclaim a mix of node types — and each gets its own destructor.
   struct counting_node : TypeParam::node {
-    ~counting_node() { g_destroy_count.fetch_add(1); }
+    ~counting_node() { g_destroy_count.fetch_add(1, std::memory_order_relaxed); }
   };
   struct other_node : TypeParam::node {
-    ~other_node() { g_destroy_count.fetch_add(100); }
+    ~other_node() { g_destroy_count.fetch_add(100, std::memory_order_relaxed); }
   };
-  g_destroy_count.store(0);
+  g_destroy_count.store(0, std::memory_order_relaxed);
   TypeParam dom(this->small_cfg());
   {
     typename TypeParam::guard g(dom, 0);
@@ -251,8 +251,8 @@ TYPED_TEST(HyalineTest, TypedRetireRunsEachTypesDestructor) {
     for (int i = 0; i < 2; ++i) g.retire(this->make_node(dom));  // plain
   }
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), 6u);
-  EXPECT_EQ(g_destroy_count.load(), 103) << "3 counting + 1 other node";
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 6u);
+  EXPECT_EQ(g_destroy_count.load(std::memory_order_relaxed), 103) << "3 counting + 1 other node";
 }
 
 TYPED_TEST(HyalineTest, TransparentGuardNeedsNoHint) {
@@ -262,7 +262,7 @@ TYPED_TEST(HyalineTest, TransparentGuardNeedsNoHint) {
     EXPECT_LT(g.slot(), dom.slot_count());
     for (int i = 0; i < 3; ++i) g.retire(this->make_node(dom));
   }
-  EXPECT_EQ(dom.counters().freed.load(), 3u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3u);
 }
 
 TEST(HyalineConfig, RejectsNonPowerOfTwoSlots) {
@@ -288,8 +288,8 @@ TYPED_TEST(HyalineTest, MultipleDomainsAreIsolated) {
     typename TypeParam::guard gb(b, 0);
     for (int i = 0; i < 3; ++i) ga.retire(this->make_node(a));
   }
-  EXPECT_EQ(a.counters().freed.load(), 3u);
-  EXPECT_EQ(b.counters().retired.load(), 0u);
+  EXPECT_EQ(a.counters().freed.load(std::memory_order_relaxed), 3u);
+  EXPECT_EQ(b.counters().retired.load(std::memory_order_relaxed), 0u);
 }
 
 TEST(HyalineConfig, DefaultsArePowersOfTwo) {

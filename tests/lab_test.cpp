@@ -5,11 +5,16 @@
 // exit status.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "lab/fault_plan.hpp"
 #include "lab/telemetry.hpp"
+#include "smr/stats.hpp"
 
 namespace hyaline::lab {
 namespace {
@@ -228,6 +233,55 @@ TEST(RecoveryCheckTest, UncheckedWithoutWindowSamples) {
   v = check_recovery(series({{100, 100}, {500, 100}}), 200, 400, 1000);
   EXPECT_FALSE(v.checked);
   EXPECT_FALSE(v.recovered);
+}
+
+// Regression test for the sampler's synchronization contract: every read
+// the sampler thread performs concurrently with workers goes through an
+// atomic (per-tid op slots, active count, domain counters), and points()
+// is only consumed after stop() joins. Hammer the worker side from
+// several threads with the sampler live at its fastest cadence; under
+// ThreadSanitizer (HYALINE_TSAN=ON) any unsynchronized sampler read is a
+// reported race, and in all builds the final cumulative sample must equal
+// the exact op/retire totals (join gives the sampler a coherent view).
+TEST(TelemetrySamplerTest, ConcurrentWorkersRaceFree) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kOpsPerThread = 20000;
+  smr::stats stats;
+  telemetry_collector tc(kThreads, /*sample_ms=*/1, &stats);
+  tc.start();
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      tc.thread_enter();
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        tc.on_op(t);
+        if (i % 3 == 0) stats.on_retire();
+        if (i % 6 == 0) stats.on_free();
+      }
+      tc.thread_exit();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Let a few post-join ticks land: the closing sample in stop() is
+  // elided when a regular tick fired within half a cadence, so without
+  // this the last sample could predate the final worker ops.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  tc.stop();
+  const std::vector<sample_point>& pts = tc.points();
+  ASSERT_FALSE(pts.empty());
+  // Cumulative counters are monotone across the series...
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].ops, pts[i - 1].ops);
+    EXPECT_GE(pts[i].retired, pts[i - 1].retired);
+    EXPECT_GE(pts[i].t_ms, pts[i - 1].t_ms);
+  }
+  // ...and the closing sample (taken after every worker exited and the
+  // join ordered their writes before it) sees the exact totals.
+  const sample_point& last = pts.back();
+  EXPECT_EQ(last.ops, kThreads * kOpsPerThread);
+  EXPECT_EQ(last.retired, stats.retired.load(std::memory_order_relaxed));
+  EXPECT_EQ(last.freed, stats.freed.load(std::memory_order_relaxed));
+  EXPECT_EQ(last.active_threads, 0u);
 }
 
 }  // namespace

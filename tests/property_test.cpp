@@ -127,7 +127,7 @@ TEST_P(BatchSizeSweep, ExactReclamationAtAnyBatchSize) {
     }
   }
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), 3000u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 3000u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, BatchSizeSweep,
@@ -156,7 +156,7 @@ TEST_P(SlotCountSweep, ExactReclamationAtAnySlotCount) {
   }
   for (auto& th : ts) th.join();
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), 6000u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 6000u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Slots, SlotCountSweep,
@@ -188,7 +188,7 @@ TEST_P(EraFreqSweep, ExactReclamationAtAnyEraFreq) {
   }
   for (auto& th : ts) th.join();
   dom.drain();
-  EXPECT_EQ(dom.counters().freed.load(), 6000u);
+  EXPECT_EQ(dom.counters().freed.load(std::memory_order_relaxed), 6000u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Freqs, EraFreqSweep,

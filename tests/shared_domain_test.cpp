@@ -174,9 +174,9 @@ TYPED_TEST(SharedDomainTest, MixedTypeBatchesDrainExactly) {
     }
     harness::detail::flush_thread(*dom);
     dom->drain();
-    EXPECT_EQ(dom->counters().retired.load(),
-              dom->counters().freed.load());
-    EXPECT_GE(dom->counters().retired.load(), 400u);
+    EXPECT_EQ(dom->counters().retired.load(std::memory_order_relaxed),
+              dom->counters().freed.load(std::memory_order_relaxed));
+    EXPECT_GE(dom->counters().retired.load(std::memory_order_relaxed), 400u);
   }
   EXPECT_EQ(debug_alloc::live_count(), 0u);
   EXPECT_EQ(debug_alloc::double_frees(), 0u);

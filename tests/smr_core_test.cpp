@@ -110,15 +110,15 @@ TEST(EraClock, TickAdvancesEveryFreq) {
   era_clock clock(1);
   std::uint64_t counter = 0;
   for (int i = 0; i < 10; ++i) clock.tick(counter, 4);
-  EXPECT_EQ(clock.load(), 1u + 10 / 4);
+  EXPECT_EQ(clock.load(std::memory_order_relaxed), 1u + 10 / 4);
 }
 
 TEST(EraClock, TryAdvanceIsConditional) {
   era_clock clock(2);
   EXPECT_FALSE(clock.try_advance(1));  // stale observation
-  EXPECT_EQ(clock.load(), 2u);
+  EXPECT_EQ(clock.load(std::memory_order_relaxed), 2u);
   EXPECT_TRUE(clock.try_advance(2));
-  EXPECT_EQ(clock.load(), 3u);
+  EXPECT_EQ(clock.load(std::memory_order_relaxed), 3u);
 }
 
 TEST(EraClock, ProtectWithEraRereadsUntilStable) {
@@ -132,7 +132,7 @@ TEST(EraClock, ProtectWithEraRereadsUntilStable) {
                                       ++publishes;
                                       // Swap the source mid-loop once, like
                                       // a concurrent writer would.
-                                      if (publishes == 1) src.store(&b);
+                                      if (publishes == 1) src.store(&b, std::memory_order_release);
                                       return e;
                                     });
   EXPECT_EQ(got, &b);
@@ -239,7 +239,7 @@ TEST(TidLease, NoTidDoubleLeasedUnderConcurrentChurn) {
     }
     for (std::thread& t : ts) t.join();
   }
-  EXPECT_FALSE(double_leased.load()) << "two live threads shared a tid";
+  EXPECT_FALSE(double_leased.load(std::memory_order_relaxed)) << "two live threads shared a tid";
 }
 
 TEST(ThreadHint, DistinctPerThreadStableWithin) {

@@ -40,7 +40,7 @@ TEST(Transparency, HundredsOfThreadLifetimesOverFourSlots) {
     for (auto& th : ts) th.join();
   }
   dom.drain();
-  EXPECT_EQ(dom.counters().retired.load(), dom.counters().freed.load());
+  EXPECT_EQ(dom.counters().retired.load(std::memory_order_relaxed), dom.counters().freed.load(std::memory_order_relaxed));
 }
 
 // --- robustness under stalled threads, end to end ------------------------
@@ -57,10 +57,10 @@ std::uint64_t unreclaimed_with_stalled_thread(D& dom, bool deref_first) {
   std::thread stalled([&] {
     typename D::guard g(dom);
     if (deref_first) map.contains(g, 7);
-    ready.store(true);
-    while (hold.load()) std::this_thread::yield();
+    ready.store(true, std::memory_order_release);
+    while (hold.load(std::memory_order_acquire)) std::this_thread::yield();
   });
-  while (!ready.load()) std::this_thread::yield();
+  while (!ready.load(std::memory_order_acquire)) std::this_thread::yield();
 
   for (int i = 0; i < 20000; ++i) {
     typename D::guard g(dom);
@@ -69,7 +69,7 @@ std::uint64_t unreclaimed_with_stalled_thread(D& dom, bool deref_first) {
     map.insert(g, k, k);
   }
   const std::uint64_t unreclaimed = dom.counters().unreclaimed();
-  hold.store(false);
+  hold.store(false, std::memory_order_release);
   stalled.join();
   dom.drain();
   return unreclaimed;
@@ -136,7 +136,7 @@ TEST(Trim, ConcurrentTrimmersReclaimEverything) {
   }
   for (auto& th : ts) th.join();
   dom.drain();
-  EXPECT_EQ(dom.counters().retired.load(), dom.counters().freed.load());
+  EXPECT_EQ(dom.counters().retired.load(std::memory_order_relaxed), dom.counters().freed.load(std::memory_order_relaxed));
 }
 
 // --- the workload harness itself -----------------------------------------
@@ -153,7 +153,7 @@ TEST(Harness, ReportsThroughputAndReclaims) {
   EXPECT_GT(r.total_ops, 0u);
   EXPECT_GT(r.mops, 0.0);
   dom->drain();
-  EXPECT_EQ(dom->counters().retired.load(), dom->counters().freed.load());
+  EXPECT_EQ(dom->counters().retired.load(std::memory_order_relaxed), dom->counters().freed.load(std::memory_order_relaxed));
 }
 
 TEST(Harness, StalledThreadsModeRuns) {
@@ -169,7 +169,7 @@ TEST(Harness, StalledThreadsModeRuns) {
   const auto r = harness::run_workload(*dom, map, cfg);
   EXPECT_GT(r.total_ops, 0u);
   dom->drain();
-  EXPECT_EQ(dom->counters().retired.load(), dom->counters().freed.load());
+  EXPECT_EQ(dom->counters().retired.load(std::memory_order_relaxed), dom->counters().freed.load(std::memory_order_relaxed));
 }
 
 TEST(Harness, TrimModeRuns) {
@@ -184,7 +184,7 @@ TEST(Harness, TrimModeRuns) {
   const auto r = harness::run_workload(*dom, map, cfg);
   EXPECT_GT(r.total_ops, 0u);
   dom->drain();
-  EXPECT_EQ(dom->counters().retired.load(), dom->counters().freed.load());
+  EXPECT_EQ(dom->counters().retired.load(std::memory_order_relaxed), dom->counters().freed.load(std::memory_order_relaxed));
 }
 
 TEST(Harness, ReadMostlyMixRuns) {
@@ -202,7 +202,7 @@ TEST(Harness, ReadMostlyMixRuns) {
   const auto r = harness::run_workload(*dom, tree, cfg);
   EXPECT_GT(r.total_ops, 0u);
   dom->drain();
-  EXPECT_EQ(dom->counters().retired.load(), dom->counters().freed.load());
+  EXPECT_EQ(dom->counters().retired.load(std::memory_order_relaxed), dom->counters().freed.load(std::memory_order_relaxed));
 }
 
 // --- oversubscription ----------------------------------------------------
@@ -212,7 +212,7 @@ TEST(Oversubscription, SixteenThreadsOverFourSlots) {
   ds::natarajan_tree<domain> tree(dom);
   test_support::run_mixed_stress(dom, tree, 16, 1500, 128);
   dom.drain();
-  EXPECT_EQ(dom.counters().retired.load(), dom.counters().freed.load());
+  EXPECT_EQ(dom.counters().retired.load(std::memory_order_relaxed), dom.counters().freed.load(std::memory_order_relaxed));
 }
 
 }  // namespace

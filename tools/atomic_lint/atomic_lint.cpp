@@ -1,0 +1,140 @@
+// atomic_lint — enforce the repo's atomics conventions (see lint_core.hpp
+// for the rule list). Runs in CI and as a CTest over src/, bench/,
+// examples/, tools/ and tests/; exits 1 when the tree has violations.
+//
+//   atomic_lint [--json report.json] path...
+//
+// Paths may be files or directories (recursed, {.hpp,.h,.cpp,.cc} only).
+// The JSON report is machine-readable: an array of
+// {file, line, rule, detail} objects.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "atomic_lint: --json needs a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: atomic_lint [--json report.json] path...\n");
+      return 0;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "atomic_lint: no paths given (try --help)\n");
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "atomic_lint: no such file or directory: %s\n",
+                   root.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<atomic_lint::violation> all;
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "atomic_lint: cannot read %s\n",
+                   f.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    for (atomic_lint::violation& v :
+         atomic_lint::lint_source(f.string(), text)) {
+      all.push_back(std::move(v));
+    }
+  }
+
+  for (const atomic_lint::violation& v : all) {
+    std::fprintf(stderr, "%s:%u: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.detail.c_str());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "[\n";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const atomic_lint::violation& v = all[i];
+      out << "  {\"file\": \"" << json_escape(v.file) << "\", \"line\": "
+          << v.line << ", \"rule\": \"" << json_escape(v.rule)
+          << "\", \"detail\": \"" << json_escape(v.detail) << "\"}"
+          << (i + 1 < all.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
+
+  std::map<std::string, unsigned> by_rule;
+  for (const atomic_lint::violation& v : all) ++by_rule[v.rule];
+  std::fprintf(stderr, "atomic_lint: %zu file(s), %zu violation(s)",
+               files.size(), all.size());
+  for (const auto& [rule, n] : by_rule) {
+    std::fprintf(stderr, " %s=%u", rule.c_str(), n);
+  }
+  std::fprintf(stderr, "\n");
+  return all.empty() ? 0 : 1;
+}

@@ -1,0 +1,484 @@
+// Atomic-ordering lint — the repo's atomics conventions, mechanically
+// enforced (ISSUE 7, tentpole leg 2).
+//
+// Rules (each violation carries the kebab-case rule id):
+//
+//   implicit-seq-cst    an operation on a std::atomic (or one of the
+//                       repo's ordering-parameterized wrappers: era_clock,
+//                       head-policy words, dw128) that does not spell its
+//                       memory order: bare `load()`, `store(v)`,
+//                       `fetch_add(v)`, two-argument compare_exchange, ...
+//   atomic-compound-op  `++`/`--`/`+=`/`=` on a declared std::atomic
+//                       variable — sugar for a seq_cst RMW/store nobody
+//                       audited. Spell fetch_add/store with an order.
+//   unjustified-seq-cst a `memory_order_seq_cst` (or `__ATOMIC_SEQ_CST`)
+//                       site with no `// seq_cst:` justification comment on
+//                       the same line or within the 4 lines above it.
+//                       seq_cst is the expensive order; every use must say
+//                       which reordering it is paying to rule out.
+//   fence-needs-order   atomic_thread_fence/atomic_signal_fence whose
+//                       argument is not a literal memory_order constant.
+//   consume-banned      memory_order_consume anywhere. Its specification
+//                       is unimplementable (every compiler silently
+//                       promotes it to acquire); write acquire.
+//
+// The linter is lexical, not a C++ parser: it strips comments and string
+// literals, then pattern-matches call forms (`.op(` / `->op(`) and
+// declaration forms (`atomic<...> name`). That is exact enough for this
+// tree (and the unit tests pin each rule on known-good/known-bad
+// snippets); it is not a general-purpose tool.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atomic_lint {
+
+struct violation {
+  std::string file;
+  unsigned line = 0;
+  std::string rule;
+  std::string detail;
+};
+
+namespace detail {
+
+/// Source with comments / string / char literals blanked (newlines kept so
+/// offsets map to the same lines), plus the comment text collected per
+/// 1-based line for the justification rule.
+struct stripped {
+  std::string code;
+  std::vector<std::string> comment_by_line;  // index 0 unused
+};
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline stripped strip(std::string_view src) {
+  stripped out;
+  out.code.assign(src.size(), ' ');
+  std::size_t line_count = 1;
+  for (char c : src) line_count += c == '\n';
+  out.comment_by_line.assign(line_count + 1, std::string());
+
+  enum class st { code, line_comment, block_comment, str, chr, raw_str };
+  st state = st::code;
+  std::string raw_delim;  // for raw strings: ")delim\""
+  unsigned line = 1;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '\n') {
+      out.code[i] = '\n';
+      ++line;
+      if (state == st::line_comment) state = st::code;
+      continue;
+    }
+    switch (state) {
+      case st::code:
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+          state = st::line_comment;
+        } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+          state = st::block_comment;
+          ++i;
+          if (i < src.size() && src[i] == '\n') ++line;
+        } else if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"' &&
+                   (i == 0 || !ident_char(src[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t j = i + 2;
+          raw_delim = ")";
+          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
+          raw_delim += '"';
+          i = j;  // at '(' (or end)
+          state = st::raw_str;
+        } else if (c == '"') {
+          state = st::str;
+        } else if (c == '\'' && (i == 0 || !ident_char(src[i - 1]))) {
+          state = st::chr;  // skip digit separators like 1'000
+        } else {
+          out.code[i] = c;
+        }
+        break;
+      case st::line_comment:
+        out.comment_by_line[line] += c;
+        break;
+      case st::block_comment:
+        if (c == '*' && i + 1 < src.size() && src[i + 1] == '/') {
+          state = st::code;
+          ++i;
+        } else {
+          out.comment_by_line[line] += c;
+        }
+        break;
+      case st::str:
+        if (c == '\\') {
+          ++i;
+          if (i < src.size() && src[i] == '\n') ++line;
+        } else if (c == '"') {
+          state = st::code;
+        }
+        break;
+      case st::chr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = st::code;
+        }
+        break;
+      case st::raw_str:
+        if (c == ')' && src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = st::code;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+inline std::vector<std::size_t> line_starts(std::string_view code) {
+  std::vector<std::size_t> starts{0, 0};  // lines are 1-based
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+inline unsigned line_of(const std::vector<std::size_t>& starts,
+                        std::size_t pos) {
+  unsigned lo = 1, hi = static_cast<unsigned>(starts.size() - 1);
+  while (lo < hi) {
+    const unsigned mid = (lo + hi + 1) / 2;
+    if (starts[mid] <= pos) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+/// Span of a balanced parenthesized argument list starting at `open`
+/// (which must index a '('). Returns the exclusive end (index past ')'),
+/// or npos when unbalanced.
+inline std::size_t match_paren(std::string_view code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+inline bool args_name_an_order(std::string_view args) {
+  if (args.find("memory_order") != std::string_view::npos ||
+      args.find("__ATOMIC_") != std::string_view::npos) {
+    return true;
+  }
+  // Ordering-forwarding wrappers (era_clock::load, the head-policy words):
+  // the wrapper's own body passes the caller's order through a parameter
+  // that must be named exactly `order` to count.
+  std::size_t pos = 0;
+  while ((pos = args.find("order", pos)) != std::string_view::npos) {
+    const bool own_token =
+        (pos == 0 || !ident_char(args[pos - 1])) &&
+        (pos + 5 >= args.size() || !ident_char(args[pos + 5]));
+    if (own_token) return true;
+    pos += 5;
+  }
+  return false;
+}
+
+/// One-line context snippet for a violation.
+inline std::string snippet(std::string_view src,
+                           const std::vector<std::size_t>& starts,
+                           unsigned line) {
+  const std::size_t b = starts[line];
+  std::size_t e = src.find('\n', b);
+  if (e == std::string_view::npos) e = src.size();
+  std::string s(src.substr(b, e - b));
+  const std::size_t first = s.find_first_not_of(" \t");
+  if (first != std::string::npos) s.erase(0, first);
+  if (s.size() > 80) s = s.substr(0, 77) + "...";
+  return s;
+}
+
+}  // namespace detail
+
+/// Operations whose call sites must spell a memory order. `clear` /
+/// `wait` / `notify_*` are omitted: the first collides with every
+/// container in the standard library, and none of them appears in this
+/// tree (the unit tests would catch one sneaking in via the seq_cst
+/// justification rule the moment it was spelled explicitly).
+inline const char* const kOrderedOps[] = {
+    "load",          "store",
+    "exchange",      "fetch_add",
+    "fetch_sub",     "fetch_and",
+    "fetch_or",      "fetch_xor",
+    "test_and_set",  "compare_exchange_weak",
+    "compare_exchange_strong",
+};
+
+/// Lint one translation unit. `file` is used only for labeling.
+inline std::vector<violation> lint_source(std::string_view file,
+                                          std::string_view src) {
+  std::vector<violation> out;
+  const detail::stripped s = detail::strip(src);
+  const std::string_view code = s.code;
+  const std::vector<std::size_t> starts = detail::line_starts(code);
+
+  const auto add = [&](std::size_t pos, const char* rule, std::string msg) {
+    const unsigned line = detail::line_of(starts, pos);
+    out.push_back({std::string(file), line, rule,
+                   msg + " | " + detail::snippet(src, starts, line)});
+  };
+
+  // --- implicit-seq-cst: `.op(...)` / `->op(...)` without an order ------
+  for (const char* op : kOrderedOps) {
+    const std::string_view opv{op};
+    std::size_t pos = 0;
+    while ((pos = code.find(opv, pos)) != std::string_view::npos) {
+      const std::size_t at = pos;
+      pos += opv.size();
+      // Must be a member call: preceded by '.' or '->', followed by '('.
+      const bool dot = at >= 1 && code[at - 1] == '.';
+      const bool arrow = at >= 2 && code[at - 2] == '-' && code[at - 1] == '>';
+      if (!dot && !arrow) continue;
+      if (at + opv.size() >= code.size()) continue;
+      if (detail::ident_char(code[at + opv.size()])) continue;  // longer id
+      std::size_t open = at + opv.size();
+      while (open < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[open])) != 0) {
+        ++open;
+      }
+      if (open >= code.size() || code[open] != '(') continue;
+      // `.load` as a member-pointer or declaration never parses this way;
+      // a call through `std::mem_fn` would, but none exists in-tree.
+      const std::size_t close = detail::match_paren(code, open);
+      if (close == std::string_view::npos) continue;
+      const std::string_view args = code.substr(open + 1, close - open - 2);
+      if (!detail::args_name_an_order(args)) {
+        add(at, "implicit-seq-cst",
+            std::string("'") + op +
+                "' call without an explicit memory order (defaults to "
+                "seq_cst)");
+      }
+      pos = close;
+    }
+  }
+
+  // --- unjustified-seq-cst / consume-banned -----------------------------
+  for (const std::string_view needle :
+       {std::string_view("memory_order_seq_cst"),
+        std::string_view("__ATOMIC_SEQ_CST")}) {
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string_view::npos) {
+      const unsigned line = detail::line_of(starts, pos);
+      bool justified = false;
+      const unsigned lookback = line > 4 ? line - 4 : 1;
+      for (unsigned l = lookback; l <= line && !justified; ++l) {
+        justified = s.comment_by_line[l].find("seq_cst:") != std::string::npos;
+      }
+      if (!justified) {
+        add(pos, "unjustified-seq-cst",
+            "seq_cst with no '// seq_cst:' justification comment on the "
+            "line or the 4 lines above");
+      }
+      pos += needle.size();
+    }
+  }
+  for (const std::string_view needle :
+       {std::string_view("memory_order_consume"),
+        std::string_view("__ATOMIC_CONSUME")}) {
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string_view::npos) {
+      add(pos, "consume-banned",
+          "memory_order_consume is banned (compilers promote it to acquire; "
+          "write acquire)");
+      pos += needle.size();
+    }
+  }
+
+  // --- fence-needs-order ------------------------------------------------
+  for (const std::string_view fence :
+       {std::string_view("atomic_thread_fence"),
+        std::string_view("atomic_signal_fence")}) {
+    std::size_t pos = 0;
+    while ((pos = code.find(fence, pos)) != std::string_view::npos) {
+      const std::size_t at = pos;
+      pos += fence.size();
+      if (at >= 1 && detail::ident_char(code[at - 1])) continue;
+      std::size_t open = at + fence.size();
+      while (open < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[open])) != 0) {
+        ++open;
+      }
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = detail::match_paren(code, open);
+      if (close == std::string_view::npos) continue;
+      std::string arg(code.substr(open + 1, close - open - 2));
+      std::erase_if(arg, [](char c) {
+        return std::isspace(static_cast<unsigned char>(c)) != 0;
+      });
+      const bool literal = arg == "std::memory_order_relaxed" ||
+                           arg == "std::memory_order_acquire" ||
+                           arg == "std::memory_order_release" ||
+                           arg == "std::memory_order_acq_rel" ||
+                           arg == "std::memory_order_seq_cst" ||
+                           arg == "memory_order_relaxed" ||
+                           arg == "memory_order_acquire" ||
+                           arg == "memory_order_release" ||
+                           arg == "memory_order_acq_rel" ||
+                           arg == "memory_order_seq_cst";
+      if (!literal) {
+        add(at, "fence-needs-order",
+            "fence must name a literal memory_order constant, got '" + arg +
+                "'");
+      }
+    }
+  }
+
+  // --- atomic-compound-op -----------------------------------------------
+  // Collect variables declared `...atomic<...> name` (covers std::atomic
+  // members, locals, and padded<std::atomic<..>> once the inner match
+  // fires). Then flag ++/--/compound/plain assignment on those names.
+  //
+  // Heuristic limits, chosen to make false positives structurally
+  // impossible at the cost of missing some true ones:
+  //   - pointers/references to atomics are not registered (assigning the
+  //     pointer is not an atomic op);
+  //   - a name that is *also* declared with a non-atomic type anywhere in
+  //     the file (`Node* next`, `std::uint64_t lo = ...`) is dropped
+  //     entirely — the lexical pass cannot scope-resolve it;
+  //   - an occurrence that is itself a declaration (preceded by another
+  //     identifier, `*`, `&` or `>`) is never flagged.
+  std::vector<std::string> atomics;
+  {
+    std::size_t pos = 0;
+    while ((pos = code.find("atomic<", pos)) != std::string_view::npos) {
+      if (pos >= 1 && detail::ident_char(code[pos - 1]) &&
+          !(pos >= 5 && code.compare(pos - 5, 5, "std::") == 0)) {
+        ++pos;
+        continue;  // some_other_atomic<...>
+      }
+      // Balance the template argument list.
+      std::size_t i = pos + 6;  // at '<'
+      int depth = 0;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>' && --depth == 0) break;
+      }
+      pos = i;
+      if (i >= code.size()) break;
+      ++i;
+      // Skip further template closers / whitespace of an enclosing
+      // `padded<std::atomic<T>>`-style declaration; a `*` or `&` means the
+      // declared entity is a pointer/reference to an atomic, whose
+      // assignment is not an atomic operation — skip those.
+      bool ptr_or_ref = false;
+      while (i < code.size() &&
+             (code[i] == '>' || code[i] == '&' || code[i] == '*' ||
+              std::isspace(static_cast<unsigned char>(code[i])) != 0)) {
+        ptr_or_ref = ptr_or_ref || code[i] == '&' || code[i] == '*';
+        ++i;
+      }
+      if (ptr_or_ref) continue;
+      if (i >= code.size() || !detail::ident_char(code[i])) continue;
+      std::size_t e = i;
+      while (e < code.size() && detail::ident_char(code[e])) ++e;
+      const std::string name(code.substr(i, e - i));
+      if (name == "const" || name == "constexpr" || name == "static") {
+        continue;  // qualifier between type and name: rare, skip
+      }
+      if (std::find(atomics.begin(), atomics.end(), name) == atomics.end()) {
+        atomics.push_back(name);
+      }
+    }
+  }
+  for (const std::string& name : atomics) {
+    // Pass 1: a name also declared with a NON-atomic type anywhere in the
+    // file (`Node* head_`, `std::uint64_t lo = ...`) is ambiguous to a
+    // lexical pass — drop it entirely rather than risk flagging the plain
+    // variable.
+    bool ambiguous = false;
+    for (std::size_t pos = 0;
+         (pos = code.find(name, pos)) != std::string_view::npos;
+         pos += name.size()) {
+      if (pos >= 1 && detail::ident_char(code[pos - 1])) continue;
+      const std::size_t after = pos + name.size();
+      if (after < code.size() && detail::ident_char(code[after])) continue;
+      std::size_t b = pos;
+      while (b >= 1 &&
+             std::isspace(static_cast<unsigned char>(code[b - 1])) != 0) {
+        --b;
+      }
+      const bool decl_like =
+          b >= 1 && (detail::ident_char(code[b - 1]) || code[b - 1] == '*' ||
+                     code[b - 1] == '&' || code[b - 1] == '>');
+      if (decl_like) {
+        const std::size_t from = pos > 64 ? pos - 64 : 0;
+        if (code.substr(from, pos - from).find("atomic<") ==
+            std::string_view::npos) {
+          ambiguous = true;
+          break;
+        }
+      }
+    }
+    if (ambiguous) continue;
+
+    std::size_t pos = 0;
+    while ((pos = code.find(name, pos)) != std::string_view::npos) {
+      const std::size_t at = pos;
+      pos += name.size();
+      if (at >= 1 && detail::ident_char(code[at - 1])) continue;
+      if (pos < code.size() && detail::ident_char(code[pos])) continue;
+      // The declaration itself (preceded by the type) is never a use.
+      std::size_t b = at;
+      while (b >= 1 &&
+             std::isspace(static_cast<unsigned char>(code[b - 1])) != 0) {
+        --b;
+      }
+      if (b >= 1 && (detail::ident_char(code[b - 1]) || code[b - 1] == '*' ||
+                     code[b - 1] == '&' || code[b - 1] == '>')) {
+        continue;
+      }
+      // Prefix ++x / --x (`b` already points past any leading whitespace).
+      if (b >= 2 && ((code[b - 1] == '+' && code[b - 2] == '+') ||
+                     (code[b - 1] == '-' && code[b - 2] == '-'))) {
+        add(at, "atomic-compound-op",
+            "'" + name + "' is std::atomic: prefix ++/-- is a seq_cst RMW; "
+            "spell fetch_add/fetch_sub with an order");
+        continue;
+      }
+      // Postfix / compound / assignment.
+      std::size_t a = pos;
+      while (a < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[a])) != 0) {
+        ++a;
+      }
+      if (a + 1 < code.size()) {
+        const char c0 = code[a], c1 = code[a + 1];
+        const bool inc = (c0 == '+' && c1 == '+') || (c0 == '-' && c1 == '-');
+        const bool compound =
+            (c0 == '+' || c0 == '-' || c0 == '|' || c0 == '&' || c0 == '^') &&
+            c1 == '=';
+        const bool assign = c0 == '=' && c1 != '=';
+        if (inc || compound || assign) {
+          add(at, "atomic-compound-op",
+              "'" + name +
+                  "' is std::atomic: operator" + std::string(1, c0) +
+                  (c1 == '=' ? "=" : std::string(1, c1)) +
+                  " is a seq_cst RMW/store; spell the operation with an "
+                  "order");
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace atomic_lint
