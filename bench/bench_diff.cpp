@@ -2,6 +2,7 @@
 // regression.
 //
 //   bench_diff OLD.json NEW.json [--tolerance x] [--min-mops x]
+//              [--require-cells]
 //
 // Points are joined on (cell, structure, scheme, threads). A joined point
 // regresses when
@@ -11,6 +12,10 @@
 // gets deleted. --min-mops filters points too slow to measure reliably
 // (their relative noise is unbounded). External-baseline points (the
 // coarse-mutex cells) are printed for context but never gate.
+// --require-cells turns a dropped point — a (cell, structure, scheme,
+// threads) tuple present in OLD but missing from NEW — into a failure:
+// a pinned lineup cell silently vanishing from the fresh sweep is how a
+// perf gate quietly stops covering what it was built to cover.
 //
 // Exit codes: 0 = no regression, 1 = regression, 2 = usage/load error.
 // Provenance from both files is printed first — a diff across machines,
@@ -33,7 +38,7 @@ using hyaline::harness::sweep_point;
 [[noreturn]] void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s OLD.json NEW.json [--tolerance x] "
-               "[--min-mops x]\n",
+               "[--min-mops x] [--require-cells]\n",
                prog);
   std::exit(2);
 }
@@ -63,6 +68,7 @@ int main(int argc, char** argv) {
   std::string old_path, new_path;
   double tolerance = 0.35;
   double min_mops = 0.05;
+  bool require_cells = false;
   for (int i = 1; i < argc; ++i) {
     auto need_val = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -79,6 +85,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--min-mops") == 0) {
       min_mops = std::strtod(need_val("--min-mops"), nullptr);
+    } else if (std::strcmp(argv[i], "--require-cells") == 0) {
+      require_cells = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0]);
     } else if (argv[i][0] == '-') {
@@ -166,5 +174,12 @@ int main(int argc, char** argv) {
                   ? "no regression"
                   : (std::to_string(regressions) + " REGRESSION(S)")
                         .c_str());
+  if (require_cells && only_old != 0) {
+    std::fprintf(stderr,
+                 "--require-cells: %zu pinned cell(s) missing from the "
+                 "fresh sweep (see 'dropped' rows above)\n",
+                 only_old);
+    return 1;
+  }
   return regressions == 0 ? 0 : 1;
 }

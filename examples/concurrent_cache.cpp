@@ -1,77 +1,84 @@
-// Read-mostly cache on the Bonsai tree, with trimming.
+// Sharded read-mostly cache under a small tenant swarm.
 //
-// Models the workload of Appendix A (90% get / 10% put) on the
-// self-balancing snapshot tree, and demonstrates §3.3 trimming: a reader
-// that performs *runs* of operations keeps one guard open and calls
-// trim() between operations — logically leave+enter without touching the
-// slot head, so previously retired nodes still get reclaimed promptly.
+// A thin demonstration of the service scenario (src/svc): a
+// shard_router over Hyaline — each shard owning its own domain — driven
+// by a few open-loop tenants (svc/service.hpp) with a scripted
+// stall-in-guard window on one of them, then judged against a small SLO
+// spec (svc/slo.hpp). The full matrix, CLI, and CI gate live in
+// bench/fig_service.cpp; this is the minimal programmatic use.
 
 #include <cstdio>
-#include <thread>
-#include <vector>
+#include <string>
 
-#include "common/rng.hpp"
-#include "ds/bonsai_tree.hpp"
 #include "smr/hyaline.hpp"
+#include "svc/service.hpp"
+#include "svc/slo.hpp"
+#include "svc/tenant.hpp"
 
 int main() {
-  // Small slot count on purpose: trim is the paper's answer for keeping k
-  // small without paying enter/leave contention (Figure 10b).
-  hyaline::domain dom(hyaline::config{.slots = 4});
-  hyaline::ds::bonsai_tree<hyaline::domain> cache(dom);
+  using namespace hyaline::svc;
 
-  constexpr std::uint64_t kRange = 20000;
-  constexpr unsigned kThreads = 4;
-  constexpr unsigned kOpsPerThread = 50000;
-
-  // Warm the cache.
-  {
-    hyaline::domain::guard g(dom);
-    hyaline::xoshiro256 rng(1);
-    for (std::uint64_t i = 0; i < kRange / 2; ++i) {
-      cache.insert(g, rng.below(kRange), i);
-    }
+  // One tenant stalls inside a guard for 100 ms mid-run; Hyaline is not
+  // robust, so the memory SLOs report without gating, but the leak gate
+  // and the CO-safe latency bound hold for every scheme.
+  std::string err;
+  const auto script = parse_tenant_plan("stall:1@150ms+100ms", &err);
+  if (!script.has_value()) {
+    std::fprintf(stderr, "script: %s\n", err.c_str());
+    return 1;
   }
 
-  std::vector<std::thread> threads;
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> misses{0};
-  for (unsigned t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] {
-      hyaline::xoshiro256 rng(t + 99);
-      std::uint64_t h = 0, m = 0;
-      // One guard per batch of operations; trim() after each op keeps
-      // reclamation timely while avoiding per-op enter/leave.
-      hyaline::domain::guard g(dom);
-      for (unsigned i = 0; i < kOpsPerThread; ++i) {
-        const std::uint64_t key = rng.below(kRange);
-        const std::uint64_t dice = rng.below(100);
-        if (dice < 90) {
-          std::uint64_t v = 0;
-          (cache.get(g, key, v) ? h : m)++;
-        } else if (dice < 95) {
-          cache.insert(g, key, key);
-        } else {
-          cache.remove(g, key);
-        }
-        g.trim();
-      }
-      hits.fetch_add(h, std::memory_order_relaxed);
-      misses.fetch_add(m, std::memory_order_relaxed);
-      dom.flush();
-    });
-  }
-  for (auto& th : threads) th.join();
+  service_config cfg;
+  cfg.shards = 2;
+  cfg.tenants = 4;
+  cfg.rate_ops_s = 8000;
+  cfg.zipf_theta = 0.9;
+  cfg.key_range = 20000;
+  cfg.prefill = 10000;
+  cfg.duration_ms = 400;
+  cfg.sample_ms = 20;
+  cfg.churn_period_ms = 150;  // connections recycle while the swarm runs
+  cfg.script = &*script;
 
-  std::printf("cache size: %zu, hits: %llu, misses: %llu\n",
-              cache.unsafe_size(),
-              static_cast<unsigned long long>(hits.load(std::memory_order_relaxed)),
-              static_cast<unsigned long long>(misses.load(std::memory_order_relaxed)));
-  const auto& c = dom.counters();
-  std::printf("retired=%llu freed=%llu unreclaimed-before-drain=%llu\n",
-              static_cast<unsigned long long>(c.retired.load(std::memory_order_relaxed)),
-              static_cast<unsigned long long>(c.freed.load(std::memory_order_relaxed)),
-              static_cast<unsigned long long>(c.unreclaimed()));
-  dom.drain();
-  return 0;
+  const service_result r =
+      run_service<hyaline::domain>(hyaline::harness::scheme_params{}, cfg);
+
+  const shard_totals totals = aggregate(r.shards);
+  std::printf("cache: %.3f Mops/s, %llu ops over %u shards "
+              "(imbalance %.2f), hit rate %.1f%%\n",
+              r.mops, static_cast<unsigned long long>(r.ops), cfg.shards,
+              totals.imbalance,
+              totals.gets > 0
+                  ? 100.0 * static_cast<double>(totals.hits) /
+                        static_cast<double>(totals.gets)
+                  : 0.0);
+  std::printf("victim p99 %.0f us over %llu ops (CO-safe: intended-start "
+              "latency)\n",
+              r.victim_hist.percentile(0.99) / 1e3,
+              static_cast<unsigned long long>(r.victim_hist.total()));
+
+  if (r.retired != r.freed) {
+    std::fprintf(stderr, "leak: retired %llu != freed %llu\n",
+                 static_cast<unsigned long long>(r.retired),
+                 static_cast<unsigned long long>(r.freed));
+    return 1;
+  }
+
+  const auto slo = parse_slo("p99=250ms,unreclaimed<8x,recovery<1s", &err);
+  if (!slo.has_value()) {
+    std::fprintf(stderr, "slo: %s\n", err.c_str());
+    return 1;
+  }
+  slo_inputs in;
+  in.latency = &r.victim_hist;
+  in.timeline = &r.timeline;
+  in.disturb_start_ms = script->first_start_ms();
+  in.disturb_end_ms = script->last_end_ms();
+  in.duration_ms = cfg.duration_ms;
+  in.robust = false;  // Hyaline: memory items report, latency items gate
+  const auto verdicts = evaluate_slo(*slo, in);
+  for (const slo_verdict& v : verdicts) {
+    std::printf("  %s\n", format_verdict(v).c_str());
+  }
+  return slo_violated(verdicts) ? 1 : 0;
 }

@@ -51,7 +51,10 @@ std::vector<std::string> parse_names(const char* s) {
                "          [--shards n|auto]\n"
                "          [--seed n] [--faults spec] [--sample-ms n]\n"
                "          [--structure name] [--json path] [--full]\n"
-               "          [--mutate mode] [--counterexample path]\n",
+               "          [--mutate mode] [--counterexample path]\n"
+               "          [--svc-shards n] [--tenants n] [--rate ops/s]\n"
+               "          [--skew theta] [--arrival fixed|poisson]\n"
+               "          [--tenant-script spec] [--slo spec] [--churn ms]\n",
                prog);
   std::exit(2);
 }
@@ -84,6 +87,12 @@ void dedupe_list(std::vector<T>& v, const char* flag) {
 }
 
 }  // namespace
+
+bool cli_options::service_flag_set() const {
+  return svc_shards != 0 || tenants != 0 || rate_ops_s >= 0 || skew >= 0 ||
+         !arrival.empty() || !tenant_script.empty() || !slo.empty() ||
+         churn_ms != 0;
+}
 
 bool cli_options::scheme_enabled(const std::string& name) const {
   if (schemes.empty()) return true;
@@ -174,6 +183,56 @@ cli_options parse_cli(int argc, char** argv, cli_options defaults) {
       o.mutate = need_val("--mutate");
     } else if (std::strcmp(argv[i], "--counterexample") == 0) {
       o.counterexample = need_val("--counterexample");
+    } else if (std::strcmp(argv[i], "--svc-shards") == 0) {
+      o.svc_shards = static_cast<unsigned>(
+          std::strtoul(need_val("--svc-shards"), nullptr, 10));
+      if (o.svc_shards == 0) {
+        std::fprintf(stderr, "--svc-shards must be >= 1\n");
+        usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--tenants") == 0) {
+      o.tenants = static_cast<unsigned>(
+          std::strtoul(need_val("--tenants"), nullptr, 10));
+      if (o.tenants == 0) {
+        std::fprintf(stderr, "--tenants must be >= 1\n");
+        usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      const char* v = need_val("--rate");
+      char* end = nullptr;
+      o.rate_ops_s = std::strtod(v, &end);
+      if (end == v || *end != '\0' || o.rate_ops_s < 0) {
+        std::fprintf(stderr,
+                     "--rate wants a non-negative ops/s (0 = closed loop)\n");
+        usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--skew") == 0) {
+      const char* v = need_val("--skew");
+      char* end = nullptr;
+      o.skew = std::strtod(v, &end);
+      // theta = 1 makes the Zipf normalization's alpha = 1/(1-theta)
+      // diverge; the YCSB-style generator is defined on [0, 1).
+      if (end == v || *end != '\0' || o.skew < 0 || o.skew >= 1) {
+        std::fprintf(stderr, "--skew wants a theta in [0, 1)\n");
+        usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--arrival") == 0) {
+      o.arrival = need_val("--arrival");
+      if (o.arrival != "fixed" && o.arrival != "poisson") {
+        std::fprintf(stderr, "--arrival wants 'fixed' or 'poisson'\n");
+        usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--tenant-script") == 0) {
+      o.tenant_script = need_val("--tenant-script");
+    } else if (std::strcmp(argv[i], "--slo") == 0) {
+      o.slo = need_val("--slo");
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      o.churn_ms = static_cast<unsigned>(
+          std::strtoul(need_val("--churn"), nullptr, 10));
+      if (o.churn_ms == 0) {
+        std::fprintf(stderr, "--churn must be >= 1 (omit for no churn)\n");
+        usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--full") == 0) {
       o.full = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {

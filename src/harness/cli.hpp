@@ -37,6 +37,19 @@
 //   --counterexample <p> check binary only: on a violation, also write
 //                        the counterexample history to this file (CI
 //                        uploads it as a workflow artifact)
+//   --svc-shards <n>     service scenario only: cache shard count (each
+//                        shard owns its own SMR domain)
+//   --tenants <n>        service scenario only: swarm size
+//   --rate <ops/s>       service scenario only: total offered load,
+//                        split over the tenants (0 = closed loop)
+//   --skew <theta>       service scenario only: Zipfian skew in [0, 1)
+//   --arrival <kind>     service scenario only: fixed | poisson
+//   --tenant-script <s>  service scenario only: bad-tenant schedule
+//                        (grammar in svc/tenant.hpp)
+//   --slo <spec>         service scenario only: SLO assertions
+//                        (grammar in svc/slo.hpp); any gated violation
+//                        exits 6
+//   --churn <ms>         service scenario only: connection-churn period
 //   --full               paper-scale settings (duration 10s, repeats 5)
 //
 // Duplicate entries in the --schemes, --threads, and --stalled lists are
@@ -106,7 +119,23 @@ struct cli_options {
   /// violation's counterexample history is mirrored.
   std::string mutate;
   std::string counterexample;
+  /// Service-scenario knobs (fig_service only; other figures reject
+  /// them). Sentinels mark "unset" so the driver can apply its own
+  /// defaults: 0 for the counts/periods, negative for the rates, empty
+  /// for the specs.
+  unsigned svc_shards = 0;    ///< cache shards (each owns a domain)
+  unsigned tenants = 0;       ///< swarm size (worker threads)
+  double rate_ops_s = -1;     ///< total offered load; 0 = closed loop
+  double skew = -1;           ///< Zipfian theta in [0, 1); 0 = uniform
+  std::string arrival;        ///< fixed | poisson
+  std::string tenant_script;  ///< bad-tenant spec (svc/tenant.hpp)
+  std::string slo;            ///< SLO spec (svc/slo.hpp)
+  unsigned churn_ms = 0;      ///< connection-churn period; 0 = none
   bool full = false;
+
+  /// True if any service-scenario flag was given (used by the figure
+  /// kinds that must reject them).
+  bool service_flag_set() const;
 
   /// True if `name` should run under the --schemes filter.
   bool scheme_enabled(const std::string& name) const;

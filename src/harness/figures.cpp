@@ -608,8 +608,9 @@ int run_timeline(const figure_spec& spec, const cli_options& o,
   return status;
 }
 
-/// Per-kind option validation (the registry's structure-kind dimension,
-/// applied to the CLI): set-only knobs on a container figure — or the
+}  // namespace
+
+/// Declared in figures.hpp; set-only knobs on a container figure — or the
 /// container split on a set figure — are rejected loudly, never silently
 /// ignored. Container runs also resolve the (producers, consumers) pair
 /// list here: explicit lists are zipped, a singleton broadcasts, the
@@ -621,12 +622,46 @@ bool validate_kind_options(const figure_spec& spec, cli_options& o) {
                  "linearizability oracle binary (check)\n");
     return false;
   }
-  if (spec.kind != figure_kind::timeline &&
-      (!o.faults.empty() || o.sample_ms_set || !o.structure.empty())) {
+  if (spec.kind != figure_kind::service && o.service_flag_set()) {
     std::fprintf(stderr,
-                 "--faults/--sample-ms/--structure only apply to timeline "
-                 "figures (fig_timeline)\n");
+                 "--svc-shards/--tenants/--rate/--skew/--arrival/"
+                 "--tenant-script/--slo/--churn only apply to the service "
+                 "scenario (fig_service)\n");
     return false;
+  }
+  if (spec.kind != figure_kind::timeline &&
+      (!o.faults.empty() || !o.structure.empty())) {
+    std::fprintf(stderr,
+                 "--faults/--structure only apply to timeline figures "
+                 "(fig_timeline); service runs script disturbances with "
+                 "--tenant-script\n");
+    return false;
+  }
+  if (spec.kind != figure_kind::timeline &&
+      spec.kind != figure_kind::service && o.sample_ms_set) {
+    std::fprintf(stderr,
+                 "--sample-ms only applies to timeline and service "
+                 "figures\n");
+    return false;
+  }
+  if (spec.kind == figure_kind::service) {
+    if (o.threads_set || !o.stalled.empty() || !o.producers.empty() ||
+        !o.consumers.empty()) {
+      std::fprintf(stderr,
+                   "service figures size the swarm with --tenants; stalls "
+                   "and misbehavior come from --tenant-script\n");
+      return false;
+    }
+    if (o.full || o.repeats != 1) {
+      std::fprintf(stderr,
+                   "service figures run one timed swarm per scheme (the "
+                   "time series cannot average across repeats); scale with "
+                   "--duration/--rate/--tenants instead of "
+                   "--repeats/--full\n");
+      return false;
+    }
+    if (!o.sample_ms_set) o.sample_ms = spec.default_sample_ms;
+    return true;
   }
   if (spec.kind == figure_kind::timeline) {
     if (!o.producers.empty() || !o.consumers.empty() || !o.stalled.empty()) {
@@ -716,6 +751,8 @@ bool validate_kind_options(const figure_spec& spec, cli_options& o) {
   }
   return true;
 }
+
+namespace {
 
 void append_list(std::string& s, const char* key,
                  const std::vector<unsigned>& v) {
@@ -820,6 +857,14 @@ int run_figure(const figure_spec& spec, int argc, char** argv) {
       break;
     case figure_kind::timeline:
       status = run_timeline(spec, o, sink);
+      break;
+    case figure_kind::service:
+      // The service scenario's scheme matrix is template-instantiated in
+      // svc/matrix.cpp with its own CSV shape and SLO gate; it cannot run
+      // through the registry-driven sink here.
+      std::fprintf(stderr,
+                   "service figures run through bench/fig_service, not "
+                   "run_figure\n");
       break;
   }
   // A failed recovery check (status 4) still writes the JSON: the series

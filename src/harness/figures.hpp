@@ -34,6 +34,13 @@ enum class figure_kind {
   /// unreclaimed must return to its pre-fault baseline after the last
   /// fault clears, or the binary exits non-zero.
   timeline,
+  /// Service scenario (fig_service): a sharded cache under an open-loop
+  /// tenant swarm with SLO gating. Takes the --tenants/--svc-shards/
+  /// --rate/--skew/--arrival/--tenant-script/--slo/--churn family (plus
+  /// --mix/--range/--sample-ms); sized by tenants, not --threads. Runs
+  /// through its own driver (bench/fig_service.cpp), not run_figure —
+  /// the kind exists so option validation covers both directions.
+  service,
 };
 
 struct figure_spec {
@@ -66,5 +73,12 @@ struct figure_spec {
 /// Parse argv over the spec's defaults and run the figure. Returns the
 /// process exit status (non-zero on CLI errors such as an unknown scheme).
 int run_figure(const figure_spec& spec, int argc, char** argv);
+
+/// Per-kind option validation (the registry's structure-kind dimension
+/// applied to the CLI): knobs from another figure family are rejected
+/// loudly, never silently ignored. Mutates `o` to resolve kind defaults
+/// (container sweep pairs, timeline/service sample cadence). Exported for
+/// drivers that run outside run_figure (bench/fig_service.cpp).
+bool validate_kind_options(const figure_spec& spec, cli_options& o);
 
 }  // namespace hyaline::harness

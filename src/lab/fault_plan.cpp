@@ -8,12 +8,11 @@
 #include <limits>
 
 namespace hyaline::lab {
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Consume a time value with an optional unit suffix; milliseconds when
 /// bare. Advances *p past the value. Negative and non-numeric input fail.
+/// Exported (fault_plan.hpp): the svc tenant-script and SLO grammars
+/// reuse it so all schedule specs share one time syntax.
 bool parse_time_ms(const char*& p, double* out) {
   if (*p == '-') return false;
   char* end = nullptr;
@@ -25,6 +24,9 @@ bool parse_time_ms(const char*& p, double* out) {
   if (p[0] == 'u' && p[1] == 's') {
     scale = 1e-3;
     p += 2;
+  } else if (p[0] == 'n' && p[1] == 's') {
+    scale = 1e-6;
+    p += 2;
   } else if (p[0] == 'm' && p[1] == 's') {
     p += 2;
   } else if (p[0] == 's') {
@@ -34,6 +36,10 @@ bool parse_time_ms(const char*& p, double* out) {
   *out = v * scale;
   return true;
 }
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 bool parse_uint(const char*& p, std::uint64_t* out) {
   if (*p < '0' || *p > '9') return false;

@@ -91,6 +91,12 @@ struct fault_plan {
 std::optional<fault_plan> parse_fault_plan(std::string_view spec,
                                            std::string* err);
 
+/// Consume a time value with an optional `us`/`ms`/`s` suffix
+/// (milliseconds when bare), advancing *p past it; false on negative or
+/// non-numeric input. Shared with the svc tenant-script and SLO grammars
+/// so every schedule spec in the suite spells time the same way.
+bool parse_time_ms(const char*& p, double* out);
+
 /// Executes a fault plan against one workload repetition. The director's
 /// clock thread walks the schedule and flips per-thread control words;
 /// workers poll them at operation boundaries through the accessors below,

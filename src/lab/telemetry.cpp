@@ -29,8 +29,13 @@ double latency_histogram::percentile(double q) const {
 
 telemetry_collector::telemetry_collector(unsigned slots, unsigned sample_ms,
                                          const smr::stats* stats)
+    : telemetry_collector(slots, sample_ms,
+                          std::vector<const smr::stats*>{stats}) {}
+
+telemetry_collector::telemetry_collector(unsigned slots, unsigned sample_ms,
+                                         std::vector<const smr::stats*> stats)
     : slots_(slots == 0 ? 1 : slots),
-      stats_(stats),
+      stats_(std::move(stats)),
       sample_ms_(sample_ms == 0 ? 10 : sample_ms) {}
 
 telemetry_collector::~telemetry_collector() { stop(); }
@@ -55,9 +60,14 @@ void telemetry_collector::take_sample(double t_ms, double interval_ms) {
   p.mops = interval_ms > 0
                ? static_cast<double>(ops - prev_ops_) / (interval_ms * 1e3)
                : 0;
-  p.retired = stats_->retired.load(std::memory_order_relaxed);
-  p.freed = stats_->freed.load(std::memory_order_relaxed);
-  p.unreclaimed = stats_->unreclaimed();
+  for (const smr::stats* s : stats_) {
+    p.retired += s->retired.load(std::memory_order_relaxed);
+    p.freed += s->freed.load(std::memory_order_relaxed);
+  }
+  // Summed from the snapshot above, not per-domain unreclaimed(): the
+  // per-domain clamp-at-zero would hide one shard's deficit against
+  // another's backlog.
+  p.unreclaimed = p.retired > p.freed ? p.retired - p.freed : 0;
   p.active_threads = active_.load(std::memory_order_relaxed);
   points_.push_back(p);
   prev_ops_ = ops;

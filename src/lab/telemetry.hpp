@@ -95,6 +95,13 @@ class telemetry_collector {
   /// (outlives the collector); `sample_ms` = cadence.
   telemetry_collector(unsigned slots, unsigned sample_ms,
                       const smr::stats* stats);
+
+  /// Multi-domain variant: each sample sums retired/freed across every
+  /// stats block (all must outlive the collector). The svc shard router
+  /// owns one domain per shard; the service timeline is the aggregate.
+  telemetry_collector(unsigned slots, unsigned sample_ms,
+                      std::vector<const smr::stats*> stats);
+
   ~telemetry_collector();
 
   telemetry_collector(const telemetry_collector&) = delete;
@@ -124,7 +131,7 @@ class telemetry_collector {
   void take_sample(double t_ms, double interval_ms);
 
   std::vector<padded<std::atomic<std::uint64_t>>> slots_;
-  const smr::stats* stats_;
+  std::vector<const smr::stats*> stats_;
   unsigned sample_ms_;
   std::atomic<unsigned> active_{0};
   std::atomic<bool> quit_{false};

@@ -1,0 +1,23 @@
+#include "svc/loadgen.hpp"
+
+#include <thread>
+
+namespace hyaline::svc {
+
+bool pacer::await(clock::time_point intended,
+                  const std::atomic<bool>& stop) {
+  constexpr auto kSlice = std::chrono::milliseconds(1);
+  for (;;) {
+    if (stop.load(std::memory_order_relaxed)) return false;
+    const clock::time_point now = clock::now();
+    if (now >= intended) return true;
+    // Sleep in bounded slices so the stop flag is observed promptly even
+    // when the next arrival is far out. The tail oversleep (scheduler
+    // wakeup granularity) delays the *actual* start, and the recorded
+    // intended-start latency charges it honestly.
+    const auto left = intended - now;
+    std::this_thread::sleep_for(left < kSlice ? left : kSlice);
+  }
+}
+
+}  // namespace hyaline::svc

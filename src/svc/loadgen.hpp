@@ -1,0 +1,97 @@
+// Service scenario, part 1: the open-loop load generator.
+//
+// A closed-loop benchmark (issue, wait, issue) silently *stops offering
+// load* whenever the system stalls, so its latency histogram omits
+// exactly the requests a stall would have delayed — coordinated
+// omission. The pacer here is open-loop: each tenant draws an arrival
+// schedule (fixed-rate or Poisson) that advances independently of the
+// system, every operation carries its *intended* start time, and the
+// recorded latency is completion minus intended start. A request issued
+// late because its predecessor stalled therefore records the stall it
+// inherited, which is what a user behind that connection would see.
+//
+// The schedule is pure arithmetic over an anchor time point; the pacer
+// never consults the clock to decide *what* the next intended start is,
+// only to wait for it. Falling behind never re-anchors the schedule —
+// except explicitly via reanchor(), which the service loop uses only for
+// scripted bad tenants leaving a misbehavior window (their backlog is
+// self-inflicted, not service latency).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace hyaline::svc {
+
+enum class arrival_kind {
+  fixed,    ///< constant inter-arrival gap (1/rate)
+  poisson,  ///< exponential gaps, memoryless arrivals (mean 1/rate)
+};
+
+/// Per-tenant open-loop pacer. Not thread-safe: one instance per worker.
+class pacer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// `rate_ops_s` is this tenant's offered load; 0 disables pacing
+  /// (paced() is false and the caller runs closed-loop).
+  pacer(arrival_kind kind, double rate_ops_s, std::uint64_t seed)
+      : kind_(kind),
+        mean_gap_ns_(rate_ops_s > 0 ? 1e9 / rate_ops_s : 0),
+        rng_(seed) {}
+
+  bool paced() const { return mean_gap_ns_ > 0; }
+
+  /// Set the schedule's first intended start. Call once before the loop.
+  void anchor(clock::time_point at) { next_ = at; }
+
+  /// The next intended start per the arrival schedule, advancing it.
+  /// Pure schedule arithmetic — never reads the clock, so a late caller
+  /// gets an intended time in the past and await() returns immediately
+  /// (the lateness lands in the recorded latency, by design).
+  clock::time_point next_intended() {
+    const clock::time_point t = next_;
+    next_ += std::chrono::nanoseconds(static_cast<std::int64_t>(gap_ns()));
+    return t;
+  }
+
+  /// Restart the schedule at now. ONLY for scripted tenants leaving a
+  /// misbehavior window: re-anchoring a victim tenant would reintroduce
+  /// coordinated omission.
+  void reanchor() { next_ = clock::now(); }
+
+  /// Wait until `intended`, polling `stop`; returns false once stop is
+  /// observed, true when the intended time has arrived. Never waits when
+  /// already behind schedule.
+  static bool await(clock::time_point intended,
+                    const std::atomic<bool>& stop);
+
+ private:
+  double gap_ns() {
+    if (kind_ == arrival_kind::fixed) return mean_gap_ns_;
+    // Exponential inter-arrival: -mean * ln(1 - u), u in [0, 1).
+    const double u = static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;
+    return -mean_gap_ns_ * std::log(1.0 - u);
+  }
+
+  arrival_kind kind_;
+  double mean_gap_ns_;
+  clock::time_point next_{};
+  xoshiro256 rng_;
+};
+
+/// CO-safe latency of one operation: completion minus *intended* start,
+/// clamped at zero (an op that ran early — only possible through clock
+/// granularity — is instantaneous, not negative).
+inline std::uint64_t intended_latency_ns(pacer::clock::time_point intended,
+                                         pacer::clock::time_point done) {
+  const auto d =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(done - intended)
+          .count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+}  // namespace hyaline::svc

@@ -1,0 +1,53 @@
+// The service scenario's scheme matrix: run_service<D> instantiated for
+// every registry scheme with a guard/retire protocol (the Mutex external
+// baseline has neither a domain to shard nor counters to gate, so it is
+// excluded), dispatched by registry name.
+#include "svc/service.hpp"
+
+namespace hyaline::svc {
+namespace {
+
+template <class D>
+service_result run_one(const harness::scheme_params& p,
+                       const service_config& cfg) {
+  return run_service<D>(p, cfg);
+}
+
+struct entry {
+  const char* name;
+  service_runner_fn fn;
+};
+
+/// Registry order (src/harness/registry.cpp), minus Mutex.
+constexpr entry kEntries[] = {
+    {"Leaky", &run_one<smr::leaky_domain>},
+    {"Epoch", &run_one<smr::ebr_domain>},
+    {"Hyaline", &run_one<domain>},
+    {"Hyaline-1", &run_one<domain_1>},
+    {"Hyaline-S", &run_one<domain_s>},
+    {"Hyaline-1S", &run_one<domain_1s>},
+    {"IBR", &run_one<smr::ibr_domain>},
+    {"HE", &run_one<smr::he_domain>},
+    {"HP", &run_one<smr::hp_domain>},
+    {"Hyaline(dwcas)", &run_one<domain_dw>},
+    {"Hyaline(llsc)", &run_one<domain_llsc>},
+    {"Hyaline-S(llsc)", &run_one<domain_s_llsc>},
+};
+
+}  // namespace
+
+service_runner_fn find_service_runner(const std::string& scheme) {
+  for (const entry& e : kEntries) {
+    if (scheme == e.name) return e.fn;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> service_schemes() {
+  std::vector<std::string> out;
+  out.reserve(std::size(kEntries));
+  for (const entry& e : kEntries) out.emplace_back(e.name);
+  return out;
+}
+
+}  // namespace hyaline::svc

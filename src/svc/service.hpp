@@ -1,0 +1,321 @@
+// Service scenario, part 5: the swarm driver.
+//
+// run_service<D> stands up a shard_router over scheme D, prefills it,
+// and runs a tenant swarm against it for a fixed duration:
+//
+//   - every tenant is one worker thread with an open-loop pacer
+//     (svc/loadgen.hpp) drawing Zipfian keys — the simulated slice of a
+//     million-user population behind one connection;
+//   - connection churn and stall-in-guard windows are lowered into a
+//     lab::fault_plan (svc/tenant.hpp) and executed by the robustness
+//     lab's fault_director — tenants poll its control words at op
+//     boundaries exactly like the workload loops;
+//   - hot-key and scan-storm windows run inline, unpaced, against the
+//     router; a scripted tenant's latency goes to a separate histogram
+//     so its self-inflicted backlog cannot pollute the victim numbers
+//     the latency SLOs gate;
+//   - the telemetry sampler aggregates retired/freed across all shard
+//     domains into one time series for the memory SLOs.
+//
+// The teardown order matches run_workload: stop flag, director stop
+// (releases in-guard stalls), telemetry stop BEFORE the joins (so
+// thread-exit flushes cannot masquerade as recovery), join primaries,
+// join churn replacements, then router shutdown (structures destroyed,
+// domains drained) and the retired == freed leak gate reading.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/schemes.hpp"
+#include "lab/fault_plan.hpp"
+#include "lab/telemetry.hpp"
+#include "svc/loadgen.hpp"
+#include "svc/shard_router.hpp"
+#include "svc/tenant.hpp"
+
+namespace hyaline::svc {
+
+struct service_config {
+  unsigned shards = 4;
+  unsigned tenants = 16;
+  /// Total offered load across the swarm, ops/s, split evenly over the
+  /// tenants; 0 = closed-loop (no pacing, latency CO-unsafe — only for
+  /// saturation probes).
+  double rate_ops_s = 0;
+  arrival_kind arrival = arrival_kind::poisson;
+  /// Zipfian skew over [0, key_range); 0 = uniform, 0.99 = YCSB default.
+  double zipf_theta = 0.99;
+  std::uint64_t key_range = 100000;
+  std::size_t prefill = 50000;
+  /// Op mix, percent; must sum to 100. Cache default: read-mostly.
+  unsigned insert_pct = 5;
+  unsigned remove_pct = 5;
+  unsigned get_pct = 90;
+  unsigned duration_ms = 2000;
+  unsigned sample_ms = 20;  ///< telemetry cadence; 0 = no timeline
+  std::uint64_t seed = 0x5eed;
+  /// Connection-churn period (0 = none): every period one well-behaved
+  /// tenant hangs up and reconnects through tid_lease recycling.
+  unsigned churn_period_ms = 0;
+  std::size_t buckets_per_shard = 4096;
+  /// Bad-tenant script (nullptr = everyone behaves). Must be validated
+  /// against `tenants` and outlive the run.
+  const tenant_plan* script = nullptr;
+};
+
+constexpr bool valid_service_mix(const service_config& cfg) {
+  return std::uint64_t{cfg.insert_pct} + cfg.remove_pct + cfg.get_pct ==
+         100;
+}
+
+struct service_result {
+  lab::latency_histogram victim_hist;    ///< well-behaved tenants, CO-safe
+  lab::latency_histogram scripted_hist;  ///< bad tenants (reported only)
+  std::vector<lab::sample_point> timeline;
+  std::vector<shard_snapshot> shards;  ///< post-shutdown, leak-gate state
+  std::uint64_t ops = 0;               ///< tenant ops (prefill excluded)
+  std::uint64_t retired = 0;           ///< summed across shard domains
+  std::uint64_t freed = 0;
+  std::uint64_t unreclaimed_peak = 0;  ///< worst timeline sample
+  double duration_s = 0;
+  double mops = 0;
+};
+
+template <class D>
+service_result run_service(const harness::scheme_params& base,
+                           const service_config& cfg) {
+  using guard_t = typename D::guard;
+  using clock = pacer::clock;
+  assert(valid_service_mix(cfg) && "op-mix percentages must sum to 100");
+
+  const unsigned tenants = cfg.tenants == 0 ? 1 : cfg.tenants;
+  const tenant_plan no_script;
+  const tenant_plan& script =
+      cfg.script != nullptr ? *cfg.script : no_script;
+  const lab::fault_plan plan = to_fault_plan(
+      script, tenants, cfg.churn_period_ms, cfg.duration_ms);
+
+  // Every tenant may touch every shard's domain, and churn replacements
+  // transiently overlap their predecessors' leases — size each domain
+  // with the lab's one headroom formula.
+  harness::scheme_params p = base;
+  p.max_threads = plan.lease_headroom(tenants);
+
+  shard_router<D> router(
+      cfg.shards, [&] { return harness::scheme_traits<D>::make(p); },
+      cfg.buckets_per_shard);
+  const unsigned shards = router.shards();
+
+  // --- prefill (quiescent) ---------------------------------------------
+  {
+    xoshiro256 rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+    std::size_t live = 0;
+    while (live < cfg.prefill) {
+      if (router.put(rng.below(cfg.key_range), 1)) ++live;
+    }
+    router.thread_quiesce();  // main thread idles while tenants run
+  }
+
+  const zipf_generator zipf(cfg.key_range, cfg.zipf_theta);
+  const double tenant_rate = cfg.rate_ops_s / tenants;
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  clock::time_point run_t0{};  // written before start, read after
+
+  service_result res;
+  std::mutex hist_mu;
+  lab::fault_director* dir = nullptr;
+  lab::telemetry_collector* tele = nullptr;
+
+  auto tenant_body = [&](unsigned tid, std::uint32_t gen) {
+    // Churn replacements (gen > 0) get fresh randomness: a reconnecting
+    // user is a different request stream, not a replay.
+    xoshiro256 rng(cfg.seed + tid * 1000003 + gen * 7919 + 1);
+    pacer pace(cfg.arrival, tenant_rate, cfg.seed ^ (tid * 0x9e37 + gen));
+    lab::latency_histogram lhist;
+    const bool scripted = script.is_scripted(tid);
+    std::uint64_t local_ops = 0;
+    bool in_window = false;
+
+    auto good_op = [&](std::uint64_t key) {
+      const std::uint64_t dice = rng.below(100);
+      if (dice < cfg.insert_pct) {
+        router.put(key, key);
+      } else if (dice < cfg.insert_pct + cfg.remove_pct) {
+        router.del(key);
+      } else {
+        std::uint64_t out = 0;
+        router.get(key, out);
+      }
+    };
+    auto after_op = [&] {
+      ++local_ops;
+      if (tele != nullptr) tele->on_op(tid);
+    };
+
+    if (tele != nullptr) tele->thread_enter();
+    while (!start.load(std::memory_order_acquire)) {
+    }
+    // Each tenant anchors its own schedule at its own loop entry, so a
+    // churn replacement starts fresh instead of inheriting the backlog
+    // of a schedule anchored at run start.
+    pace.anchor(clock::now());
+
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (dir != nullptr) {
+        if (dir->exited(tid, gen)) break;
+        if (dir->stalled(tid)) {
+          // Stall-in-guard: enter one shard's domain, touch a node so
+          // the guard pins something, and block for the window. The
+          // blast radius is that shard; the others keep reclaiming.
+          const unsigned s = tid % shards;
+          guard_t g(router.domain(s));
+          router.touch(g, s, rng.below(cfg.key_range));
+          dir->wait_stall_end(tid);
+          // A stalled tenant is a scripted tenant: its pacer backlog is
+          // the fault's doing, not the service's.
+          pace.reanchor();
+          continue;
+        }
+      }
+      if (scripted) {
+        const double t_ms =
+            std::chrono::duration_cast<std::chrono::duration<double,
+                                                             std::milli>>(
+                clock::now() - run_t0)
+                .count();
+        if (const behavior_event* be = script.active(tid, t_ms)) {
+          in_window = true;
+          const auto t_op = clock::now();
+          if (be->kind == behavior_kind::hot_keys) {
+            // Hammer the hottest Zipf rank with unpaced writes: one
+            // shard's bucket chain takes the retire churn.
+            if ((local_ops & 1) == 0) {
+              router.put(0, 0);
+            } else {
+              router.del(0);
+            }
+          } else {
+            router.scan(static_cast<unsigned>(rng.below(shards)),
+                        rng.below(cfg.key_range), 256);
+          }
+          lhist.record(intended_latency_ns(t_op, clock::now()));
+          after_op();
+          continue;
+        }
+        if (in_window) {
+          in_window = false;
+          pace.reanchor();  // the window's backlog was self-inflicted
+        }
+      }
+      const clock::time_point intended =
+          pace.paced() ? pace.next_intended() : clock::now();
+      if (pace.paced() && !pacer::await(intended, stop)) break;
+      good_op(zipf(rng));
+      lhist.record(intended_latency_ns(intended, clock::now()));
+      after_op();
+    }
+
+    total_ops.fetch_add(local_ops, std::memory_order_relaxed);
+    router.thread_quiesce();
+    {
+      std::lock_guard<std::mutex> lk(hist_mu);
+      (scripted ? res.scripted_hist : res.victim_hist).merge(lhist);
+    }
+    if (tele != nullptr) tele->thread_exit();
+  };
+
+  // Churn replacements spawned by the lab clock thread mid-run; joined
+  // after the primaries (the director is stopped first, so the clock
+  // thread no longer appends by then).
+  std::vector<std::thread> replacements;
+  std::mutex spawn_mu;
+  std::unique_ptr<lab::fault_director> dir_holder;
+  if (!plan.empty()) {
+    dir_holder = std::make_unique<lab::fault_director>(
+        plan, tenants, [&](unsigned tid) {
+          const std::uint32_t gen = dir->generation(tid);
+          std::lock_guard<std::mutex> lk(spawn_mu);
+          replacements.emplace_back(tenant_body, tid, gen);
+        });
+  }
+  dir = dir_holder.get();
+  std::unique_ptr<lab::telemetry_collector> tele_holder;
+  if (cfg.sample_ms != 0) {
+    tele_holder = std::make_unique<lab::telemetry_collector>(
+        tenants, cfg.sample_ms, router.stats_pointers());
+  }
+  tele = tele_holder.get();
+
+  std::vector<std::thread> ts;
+  ts.reserve(tenants);
+  for (unsigned t = 0; t < tenants; ++t) {
+    ts.emplace_back(tenant_body, t, 0);
+  }
+
+  run_t0 = clock::now();
+  start.store(true, std::memory_order_release);
+  if (dir != nullptr) dir->start();
+  if (tele != nullptr) tele->start();
+  std::this_thread::sleep_until(run_t0 +
+                                std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_release);
+  // Director before joins: a stalled tenant cannot observe stop until
+  // its wait is released. Telemetry before joins: teardown samples would
+  // record the post-flush counters — thread exit is not recovery.
+  if (dir != nullptr) dir->stop();
+  if (tele != nullptr) {
+    tele->stop();
+    res.timeline = tele->take_points();
+  }
+  for (auto& th : ts) th.join();
+  for (auto& th : replacements) th.join();
+  const auto t1 = clock::now();
+
+  res.duration_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - run_t0)
+          .count();
+  res.ops = total_ops.load(std::memory_order_relaxed);
+  res.mops = static_cast<double>(res.ops) / res.duration_s / 1e6;
+  for (const lab::sample_point& pt : res.timeline) {
+    if (pt.unreclaimed > res.unreclaimed_peak) {
+      res.unreclaimed_peak = pt.unreclaimed;
+    }
+  }
+
+  // Leak gate: destroy structures, drain every shard domain, and read
+  // the final ledger. retired != freed afterwards means the scheme
+  // leaked under churn + faults.
+  router.shutdown();
+  res.shards = router.snapshot();
+  for (const shard_snapshot& s : res.shards) {
+    res.retired += s.retired;
+    res.freed += s.freed;
+  }
+  return res;
+}
+
+/// Type-erased entry point for the scheme-name dispatch in svc/matrix.cpp
+/// (every registry scheme except the Mutex external baseline, which has
+/// no guard/retire protocol to shard).
+using service_runner_fn = service_result (*)(const harness::scheme_params&,
+                                             const service_config&);
+
+/// nullptr for unknown or unsupported (Mutex) scheme names.
+service_runner_fn find_service_runner(const std::string& scheme);
+
+/// The scheme names with a service runner, in registry order.
+std::vector<std::string> service_schemes();
+
+}  // namespace hyaline::svc

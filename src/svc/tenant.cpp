@@ -1,0 +1,180 @@
+#include "svc/tenant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hyaline::svc {
+namespace {
+
+bool fail(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+  return false;
+}
+
+bool parse_uint(const char*& p, unsigned* out) {
+  if (*p < '0' || *p > '9') return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(p, &end, 10);
+  if (end == p || v > ~0u) return false;
+  p = end;
+  *out = static_cast<unsigned>(v);
+  return true;
+}
+
+bool parse_item(std::string_view tok, behavior_event* ev,
+                std::string* err) {
+  const std::string item(tok);  // NUL-terminated view for strto*
+  const char* p = item.c_str();
+
+  const auto starts = [&](const char* kw) {
+    const std::size_t n = std::char_traits<char>::length(kw);
+    if (item.compare(0, n, kw) != 0) return false;
+    p += n;
+    return true;
+  };
+  if (starts("hot")) {
+    ev->kind = behavior_kind::hot_keys;
+  } else if (starts("scan")) {
+    ev->kind = behavior_kind::scan_storm;
+  } else if (starts("stall")) {
+    ev->kind = behavior_kind::stall_in_guard;
+  } else {
+    return fail(err, "unknown behavior in '" + item +
+                         "' (want hot | scan | stall)");
+  }
+
+  if (*p != ':') return fail(err, "missing ':tenant' in '" + item + "'");
+  ++p;
+  if (!parse_uint(p, &ev->tenant)) {
+    return fail(err, "bad tenant id in '" + item + "'");
+  }
+  if (*p != '@') return fail(err, "missing '@start' in '" + item + "'");
+  ++p;
+  if (!lab::parse_time_ms(p, &ev->start_ms)) {
+    return fail(err, "bad start time in '" + item + "'");
+  }
+  if (*p != '+') return fail(err, "missing '+duration' in '" + item + "'");
+  ++p;
+  if (!lab::parse_time_ms(p, &ev->dur_ms) || ev->dur_ms <= 0 ||
+      std::isinf(ev->dur_ms)) {
+    return fail(err, "bad duration in '" + item +
+                         "' (want a positive, finite window)");
+  }
+  if (*p != '\0') {
+    return fail(err, "trailing garbage in '" + item + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool tenant_plan::validate(unsigned tenants, std::string* err) const {
+  for (const behavior_event& e : events) {
+    if (e.tenant >= tenants) {
+      if (err != nullptr) {
+        *err = "script targets tenant " + std::to_string(e.tenant) +
+               " but the swarm has only " + std::to_string(tenants) +
+               " tenants (ids 0.." + std::to_string(tenants - 1) + ")";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool tenant_plan::is_scripted(unsigned tenant) const {
+  for (const behavior_event& e : events) {
+    if (e.tenant == tenant) return true;
+  }
+  return false;
+}
+
+const behavior_event* tenant_plan::active(unsigned tenant,
+                                          double t_ms) const {
+  for (const behavior_event& e : events) {
+    if (e.kind == behavior_kind::stall_in_guard) continue;
+    if (e.tenant == tenant && t_ms >= e.start_ms && t_ms < e.end_ms()) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+double tenant_plan::first_start_ms() const {
+  double t = std::numeric_limits<double>::infinity();
+  for (const behavior_event& e : events) t = std::min(t, e.start_ms);
+  return t;
+}
+
+double tenant_plan::last_end_ms() const {
+  double t = 0;
+  for (const behavior_event& e : events) t = std::max(t, e.end_ms());
+  return t;
+}
+
+std::optional<tenant_plan> parse_tenant_plan(std::string_view spec,
+                                             std::string* err) {
+  tenant_plan plan;
+  plan.spec = std::string(spec);
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view tok = spec.substr(pos, comma - pos);
+    if (tok.empty()) {
+      if (err != nullptr) *err = "empty item in tenant script";
+      return std::nullopt;
+    }
+    behavior_event ev;
+    if (!parse_item(tok, &ev, err)) return std::nullopt;
+    plan.events.push_back(ev);
+    if (comma == spec.size()) break;
+    pos = comma + 1;
+  }
+  if (plan.events.empty()) {
+    if (err != nullptr) *err = "empty tenant script";
+    return std::nullopt;
+  }
+  return plan;
+}
+
+lab::fault_plan to_fault_plan(const tenant_plan& plan, unsigned tenants,
+                              unsigned churn_period_ms,
+                              double duration_ms) {
+  lab::fault_plan fp;
+  for (const behavior_event& e : plan.events) {
+    if (e.kind != behavior_kind::stall_in_guard) continue;
+    lab::fault_event fe;
+    fe.kind = lab::fault_kind::stall;
+    fe.tid = e.tenant;
+    fe.start_ms = e.start_ms;
+    fe.dur_ms = e.dur_ms;
+    fp.events.push_back(fe);
+  }
+  if (churn_period_ms > 0 && tenants > 0) {
+    std::vector<unsigned> victims;
+    for (unsigned t = 0; t < tenants; ++t) {
+      if (!plan.is_scripted(t)) victims.push_back(t);
+    }
+    if (victims.empty()) {  // everyone is scripted: churn them anyway
+      for (unsigned t = 0; t < tenants; ++t) victims.push_back(t);
+    }
+    std::size_t next = 0;
+    for (double t = churn_period_ms; t < duration_ms;
+         t += churn_period_ms) {
+      lab::fault_event fe;
+      fe.kind = lab::fault_kind::churn;
+      fe.tid = victims[next++ % victims.size()];
+      fe.start_ms = t;
+      fp.events.push_back(fe);
+    }
+  }
+  std::sort(fp.events.begin(), fp.events.end(),
+            [](const lab::fault_event& a, const lab::fault_event& b) {
+              return a.start_ms < b.start_ms;
+            });
+  return fp;
+}
+
+}  // namespace hyaline::svc

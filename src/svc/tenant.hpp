@@ -1,0 +1,93 @@
+// Service scenario, part 3: tenant scripts.
+//
+// A tenant is one client connection (one worker thread holding a
+// tid_lease on every shard domain it touches). The swarm is mostly
+// well-behaved — paced, Zipfian, CO-safe — but a --tenant-script marks
+// some tenants as *bad* for scheduled windows:
+//
+//   spec  := item (',' item)*
+//   item  := ('hot' | 'scan' | 'stall') ':' tenant '@' start '+' dur
+//
+//   hot    — hammer the hottest key with unpaced writes (put/del) for
+//            the window: one shard's bucket takes the contention.
+//   scan   — unpaced scan storms: long runs of probes under a single
+//            guard, the guard-residency pressure pattern.
+//   stall  — enter a guard, touch a node, and block for the window (the
+//            paper's stalled-thread fault, aimed at one shard); lowered
+//            into a lab::fault_plan stall event and executed by the
+//            fault_director.
+//
+// Times default to milliseconds with the fault-plan ns/us/ms/s suffixes
+// (one time syntax across every schedule grammar in the suite).
+// Example: `stall:3@250ms+200ms,hot:7@300ms+200ms`.
+//
+// Connection churn — tenants hanging up and reconnecting, recycling
+// thread identities through tid_lease — is periodic rather than
+// scripted: to_fault_plan() lowers a churn period into fault_plan churn
+// events cycling over the well-behaved tenants.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lab/fault_plan.hpp"
+
+namespace hyaline::svc {
+
+enum class behavior_kind { hot_keys, scan_storm, stall_in_guard };
+
+struct behavior_event {
+  behavior_kind kind = behavior_kind::hot_keys;
+  unsigned tenant = 0;
+  double start_ms = 0;
+  double dur_ms = 0;
+
+  double end_ms() const { return start_ms + dur_ms; }
+};
+
+struct tenant_plan {
+  std::vector<behavior_event> events;
+  /// Original spec text, echoed into the --json config block.
+  std::string spec;
+
+  bool empty() const { return events.empty(); }
+
+  /// Reject events naming a tenant the swarm will not run.
+  bool validate(unsigned tenants, std::string* err) const;
+
+  /// True if any scripted behavior names this tenant. Scripted tenants'
+  /// latency is recorded separately — their self-inflicted backlog must
+  /// not pollute the victim histogram the latency SLOs gate.
+  bool is_scripted(unsigned tenant) const;
+
+  /// The loop-driven behavior (hot/scan) active for `tenant` at `t_ms`,
+  /// or nullptr. Stall windows are excluded: the fault_director drives
+  /// those through its per-thread control words.
+  const behavior_event* active(unsigned tenant, double t_ms) const;
+
+  /// Disturbance window for the SLO gate: start of the earliest scripted
+  /// behavior (+infinity when empty) and end of the latest (0 when
+  /// empty).
+  double first_start_ms() const;
+  double last_end_ms() const;
+};
+
+/// Parse a --tenant-script spec; nullopt with a message in *err on any
+/// syntax error (unknown behavior, missing '@'/'+', non-positive
+/// window, ...).
+std::optional<tenant_plan> parse_tenant_plan(std::string_view spec,
+                                             std::string* err);
+
+/// Lower the plan's stall windows plus a periodic connection-churn
+/// schedule into a lab::fault_plan for the fault_director. Churn events
+/// fire every `churn_period_ms` (0 = none) strictly inside the run,
+/// cycling over the tenants no script names (every tenant when all are
+/// scripted) — bad tenants keep their windows, well-behaved connections
+/// recycle. The returned plan's lease_headroom() sizes the shard
+/// domains.
+lab::fault_plan to_fault_plan(const tenant_plan& plan, unsigned tenants,
+                              unsigned churn_period_ms, double duration_ms);
+
+}  // namespace hyaline::svc
