@@ -31,10 +31,13 @@ void run_point(const char* series, const char* variant, unsigned threads,
   cfg.key_range = o.key_range;
   cfg.prefill = o.prefill;
   cfg.seed = o.seed;
+  cfg.lat_sample = o.lat_sample;
   const auto r = run_workload(dom, map, cfg);
   print_csv_row(series, "hashmap", variant, threads, 0, 0, 0, r.mops,
                 r.unreclaimed_avg, static_cast<double>(r.unreclaimed_peak),
-                r.p50_ns, r.p99_ns, static_cast<double>(r.max_ns));
+                r.p50_ns, r.p99_ns, static_cast<double>(r.max_ns),
+                r.lag_p50_ns, r.lag_p99_ns,
+                static_cast<double>(r.lag_max_ns));
 }
 
 }  // namespace
@@ -43,7 +46,7 @@ int main(int argc, char** argv) {
   cli_options defaults;
   defaults.threads = {2, 4};
   const cli_options o = parse_cli(argc, argv, defaults);
-  print_csv_header("ablation-hyaline", o.seed);
+  print_csv_header("ablation-hyaline", o.seed, o.lat_sample);
 
   for (unsigned t : o.threads) {
     for (std::size_t batch : {16, 64, 256, 1024}) {

@@ -174,6 +174,19 @@ int main(int argc, char** argv) {
                   ? "no regression"
                   : (std::to_string(regressions) + " REGRESSION(S)")
                         .c_str());
+  // Machine-greppable comparability trailer: how many provenance fields
+  // disagree between the two files. 0 = a clean apples-to-apples diff;
+  // anything else and CI logs carry the caveat even after the human-prose
+  // notes above scroll away.
+  {
+    int mismatches = 0;
+    if (oldf.cpu_model != newf.cpu_model) ++mismatches;
+    if (oldf.compiler != newf.compiler) ++mismatches;
+    if (oldf.seed != newf.seed) ++mismatches;
+    if (oldf.fastpath != newf.fastpath) ++mismatches;
+    if (oldf.shards != newf.shards) ++mismatches;
+    std::printf("# provenance: %d mismatches\n", mismatches);
+  }
   if (require_cells && only_old != 0) {
     std::fprintf(stderr,
                  "--require-cells: %zu pinned cell(s) missing from the "

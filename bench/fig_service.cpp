@@ -26,6 +26,8 @@
 #include "harness/figures.hpp"
 #include "harness/provenance.hpp"
 #include "harness/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svc/service.hpp"
 #include "svc/slo.hpp"
 #include "svc/tenant.hpp"
@@ -110,6 +112,22 @@ bool write_json(const std::string& path, const harness::cli_options& o,
                  r.victim_hist.percentile(0.90),
                  r.victim_hist.percentile(0.99),
                  static_cast<unsigned long long>(r.victim_hist.max()));
+    std::fprintf(f,
+                 "     \"retire_free_lag\": {\"count\": %llu, \"p50_ns\": "
+                 "%.0f, \"p99_ns\": %.0f, \"max_ns\": %llu},\n",
+                 static_cast<unsigned long long>(r.obs.lag_count),
+                 r.lag_p50_ns, r.lag_p99_ns,
+                 static_cast<unsigned long long>(r.lag_max_ns));
+    std::fprintf(f,
+                 "     \"counters\": {\"scans\": %llu, \"steals\": %llu, "
+                 "\"rearms\": %llu, \"finalizes\": %llu, "
+                 "\"era_advances\": %llu, \"tid_acquires\": %llu},\n",
+                 static_cast<unsigned long long>(r.obs.scans),
+                 static_cast<unsigned long long>(r.obs.steals),
+                 static_cast<unsigned long long>(r.obs.rearms),
+                 static_cast<unsigned long long>(r.obs.finalizes),
+                 static_cast<unsigned long long>(r.obs.era_advances),
+                 static_cast<unsigned long long>(r.obs.tid_acquires));
     std::fprintf(f,
                  "     \"scripted_latency\": {\"ops\": %llu, \"p99_ns\": "
                  "%.0f},\n",
@@ -281,10 +299,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Lag tracking is always on here: the retire->free lag columns are the
+  // per-shard blast-radius story told in time units, which is what this
+  // report exists to show. Tracing flips on before any shard domain
+  // exists so no ring registration races a worker.
+  obs::set_lag_tracking(true);
+  if (!o.trace.empty()) obs::set_tracing(true);
+
   harness::print_csv_header(kFigure, o.seed);
   const harness::scheme_registry& reg =
       harness::scheme_registry::instance();
   std::vector<scheme_report> reports;
+  std::vector<obs::metric_series> metric_rows;
   bool violated = false;
   for (const std::string& name : lineup) {
     harness::scheme_params p;
@@ -332,7 +358,9 @@ int main(int argc, char** argv) {
         r.mops, timeline_mean_unreclaimed(r.timeline),
         static_cast<double>(r.unreclaimed_peak),
         r.victim_hist.percentile(0.50), r.victim_hist.percentile(0.99),
-        static_cast<double>(r.victim_hist.max()));
+        static_cast<double>(r.victim_hist.max()), r.lag_p50_ns,
+        r.lag_p99_ns, static_cast<double>(r.lag_max_ns));
+    metric_rows.push_back({name, r.obs});
     reports.push_back(std::move(rep));
   }
 
@@ -344,6 +372,20 @@ int main(int argc, char** argv) {
   // tripped is exactly what a CI debugger needs.
   if (!o.json.empty() && !write_json(o.json, o, cfg, *slo, reports)) {
     status = 2;
+  }
+  if (!o.metrics.empty()) {
+    std::string err;
+    if (!obs::write_prometheus(o.metrics, metric_rows, &err)) {
+      std::fprintf(stderr, "--metrics: %s\n", err.c_str());
+      status = 2;
+    }
+  }
+  if (!o.trace.empty()) {
+    std::string err;
+    if (!obs::write_chrome_trace(o.trace, &err)) {
+      std::fprintf(stderr, "--trace: %s\n", err.c_str());
+      status = 2;
+    }
   }
   return status;
 }

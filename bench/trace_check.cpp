@@ -1,0 +1,279 @@
+// CI validator for the observability artifacts:
+//
+//   trace_check TRACE.json TIMELINE.json [--spike-scheme Epoch]
+//               [--bounded-scheme Hyaline-1S] [--ratio 2]
+//               [--min-ms 25] [--min-max-ms 75] [--tail-ms 32]
+//               [--min-tail 0.01]
+//
+// TRACE.json is a `--trace` export from fig_timeline: it must parse as
+// Chrome trace-event JSON (the dialect Perfetto loads), carry a
+// non-empty "traceEvents" array, and an "otherData" block with the clock
+// calibration and per-thread drop accounting — the parts a human debugs
+// from, so CI notices when a writer change silently drops them.
+//
+// TIMELINE.json is the same run's --json trajectory. The checked
+// property is the paper's robustness story measured in time units, via
+// three assertions chosen for stability (a gate that cries wolf gets
+// deleted):
+//   1. The spike scheme's lag MAX reaches --min-max-ms: some node
+//      demonstrably waited out the stall, so the fault is visible in the
+//      lag attribution at all (fault-free runs sit far below this).
+//   2. The spike scheme's lag p99 clears --min-ms: the tail is populated,
+//      so a dead lag pipeline (all-zero histograms) cannot pass.
+//   3. Tail MASS contrast: the fraction of frees that lagged past
+//      --tail-ms must be >= --min-tail for the spike scheme and >=
+//      --ratio x the bounded scheme's fraction. Mass, not a percentile:
+//      a robust scheme bounds HOW MANY nodes a stall can delay, not how
+//      long the unlucky ones wait, so its p99 rides a rank cliff (the
+//      bounded backlog is a run-varying ~1% of total frees) while its
+//      tail fraction is smooth.
+//
+// Exit codes: 0 = all checks pass, 1 = a check failed, 2 = usage/load.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/json.hpp"
+
+namespace {
+
+namespace json = hyaline::harness::json;
+
+[[noreturn]] void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s TRACE.json TIMELINE.json [--spike-scheme s]\n"
+               "          [--bounded-scheme s] [--ratio x] [--min-ms x]\n"
+               "          [--min-max-ms x] [--tail-ms x] [--min-tail x]\n",
+               prog);
+  std::exit(2);
+}
+
+bool check_trace(const std::string& path) {
+  json::jvalue root;
+  std::string err;
+  if (!json::load_file(path, root, err)) {
+    std::fprintf(stderr, "trace: %s\n", err.c_str());
+    return false;
+  }
+  const json::jvalue* events = json::get(root, "traceEvents");
+  if (events == nullptr || !events->is_arr()) {
+    std::fprintf(stderr, "trace: %s: no 'traceEvents' array\n",
+                 path.c_str());
+    return false;
+  }
+  if (events->arr->empty()) {
+    std::fprintf(stderr,
+                 "trace: %s: 'traceEvents' is empty — tracing was on but "
+                 "nothing was recorded\n",
+                 path.c_str());
+    return false;
+  }
+  // Every record must at least have a phase; duration slices and instants
+  // both do. A malformed writer shows up here before it shows up as a
+  // Perfetto import error nobody runs in CI.
+  std::size_t named = 0;
+  for (const json::jvalue& e : *events->arr) {
+    std::string ph;
+    std::string ferr;
+    if (!e.is_obj() || !json::want_str(e, "ph", ph, ferr)) {
+      std::fprintf(stderr, "trace: %s: event without a 'ph' phase field\n",
+                   path.c_str());
+      return false;
+    }
+    if (json::get(e, "name") != nullptr) ++named;
+  }
+  const json::jvalue* other = json::get(root, "otherData");
+  if (other == nullptr || !other->is_obj()) {
+    std::fprintf(stderr, "trace: %s: no 'otherData' metadata block\n",
+                 path.c_str());
+    return false;
+  }
+  std::string clock;
+  std::string err2;
+  double tpn = 0;
+  if (!json::want_str(*other, "clock", clock, err2) ||
+      !json::want_num(*other, "ticks_per_ns", tpn, err2)) {
+    std::fprintf(stderr, "trace: %s: otherData: %s\n", path.c_str(),
+                 err2.c_str());
+    return false;
+  }
+  const json::jvalue* threads = json::get(*other, "threads");
+  if (threads == nullptr || !threads->is_arr() || threads->arr->empty()) {
+    std::fprintf(stderr,
+                 "trace: %s: otherData lacks the per-thread drop "
+                 "accounting ('threads' array)\n",
+                 path.c_str());
+    return false;
+  }
+  std::printf("trace: %s: %zu events (%zu named), %zu threads, clock=%s\n",
+              path.c_str(), events->arr->size(), named,
+              threads->arr->size(), clock.c_str());
+  return true;
+}
+
+struct lag_point {
+  double p99 = 0;
+  double max = 0;
+  double count = 0;
+  std::vector<double> buckets;  // log2 histogram, bucket b = [2^(b-1), 2^b)
+};
+
+/// Pull a scheme's lag figures out of a fig_timeline --json file; the
+/// timeline kind emits exactly one point per scheme series.
+bool lag_of(const json::jvalue& root, const char* scheme, lag_point* out) {
+  const json::jvalue* series = json::get(root, "series");
+  if (series == nullptr || !series->is_arr()) return false;
+  for (const json::jvalue& s : *series->arr) {
+    std::string name;
+    std::string err;
+    if (!s.is_obj() || !json::want_str(s, "scheme", name, err)) continue;
+    if (name != scheme) continue;
+    const json::jvalue* points = json::get(s, "points");
+    if (points == nullptr || !points->is_arr() || points->arr->empty()) {
+      return false;
+    }
+    const json::jvalue& pt = points->arr->front();
+    if (!json::want_num(pt, "lag_p99_ns", out->p99, err) ||
+        !json::want_num(pt, "lag_max_ns", out->max, err) ||
+        !json::want_num(pt, "lag_count", out->count, err)) {
+      return false;
+    }
+    const json::jvalue* buckets = json::get(pt, "lag_bucket");
+    if (buckets == nullptr || !buckets->is_arr()) return false;
+    for (const json::jvalue& b : *buckets->arr) {
+      if (!b.is_num()) return false;
+      out->buckets.push_back(b.num);
+    }
+    return true;
+  }
+  return false;
+}
+
+/// Fraction of all frees whose retire->free lag was at least min_ns
+/// (rounded up to the next bucket boundary — bucket b's low edge is
+/// 2^(b-1) ns).
+double tail_frac(const lag_point& lp, double min_ns) {
+  if (lp.count <= 0) return 0;
+  double tail = 0;
+  for (std::size_t b = 1; b < lp.buckets.size(); ++b) {
+    if (std::ldexp(1.0, static_cast<int>(b) - 1) >= min_ns) {
+      tail += lp.buckets[b];
+    }
+  }
+  return tail / lp.count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, timeline_path;
+  std::string spike = "Epoch";
+  std::string bounded = "Hyaline-1S";
+  double ratio = 2.0;
+  double min_ms = 25.0;
+  double min_max_ms = 75.0;
+  double tail_ms = 32.0;
+  double min_tail = 0.01;
+  for (int i = 1; i < argc; ++i) {
+    auto need_val = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--spike-scheme") == 0) {
+      spike = need_val("--spike-scheme");
+    } else if (std::strcmp(argv[i], "--bounded-scheme") == 0) {
+      bounded = need_val("--bounded-scheme");
+    } else if (std::strcmp(argv[i], "--ratio") == 0) {
+      ratio = std::strtod(need_val("--ratio"), nullptr);
+    } else if (std::strcmp(argv[i], "--min-ms") == 0) {
+      min_ms = std::strtod(need_val("--min-ms"), nullptr);
+    } else if (std::strcmp(argv[i], "--min-max-ms") == 0) {
+      min_max_ms = std::strtod(need_val("--min-max-ms"), nullptr);
+    } else if (std::strcmp(argv[i], "--tail-ms") == 0) {
+      tail_ms = std::strtod(need_val("--tail-ms"), nullptr);
+    } else if (std::strcmp(argv[i], "--min-tail") == 0) {
+      min_tail = std::strtod(need_val("--min-tail"), nullptr);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0]);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage(argv[0]);
+    } else if (trace_path.empty()) {
+      trace_path = argv[i];
+    } else if (timeline_path.empty()) {
+      timeline_path = argv[i];
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (trace_path.empty() || timeline_path.empty()) usage(argv[0]);
+
+  bool ok = check_trace(trace_path);
+
+  json::jvalue root;
+  std::string err;
+  if (!json::load_file(timeline_path, root, err)) {
+    std::fprintf(stderr, "timeline: %s\n", err.c_str());
+    return 2;
+  }
+  lag_point spike_lag, bounded_lag;
+  if (!lag_of(root, spike.c_str(), &spike_lag)) {
+    std::fprintf(stderr,
+                 "timeline: %s: no lag point for scheme '%s'\n",
+                 timeline_path.c_str(), spike.c_str());
+    return 2;
+  }
+  if (!lag_of(root, bounded.c_str(), &bounded_lag)) {
+    std::fprintf(stderr,
+                 "timeline: %s: no lag point for scheme '%s'\n",
+                 timeline_path.c_str(), bounded.c_str());
+    return 2;
+  }
+  const double spike_frac = tail_frac(spike_lag, tail_ms * 1e6);
+  const double bounded_frac = tail_frac(bounded_lag, tail_ms * 1e6);
+  std::printf("lag: %s p99 %.2f ms max %.2f ms tail>=%.0fms %.2f%% | "
+              "%s p99 %.2f ms max %.2f ms tail>=%.0fms %.2f%%\n",
+              spike.c_str(), spike_lag.p99 / 1e6, spike_lag.max / 1e6,
+              tail_ms, spike_frac * 100, bounded.c_str(),
+              bounded_lag.p99 / 1e6, bounded_lag.max / 1e6, tail_ms,
+              bounded_frac * 100);
+  if (spike_lag.max < min_max_ms * 1e6) {
+    std::fprintf(stderr,
+                 "FAIL: %s lag max %.2f ms < %.0f ms — no node waited "
+                 "out the stall, so the fault never reached the lag "
+                 "attribution\n",
+                 spike.c_str(), spike_lag.max / 1e6, min_max_ms);
+    ok = false;
+  }
+  if (spike_lag.p99 < min_ms * 1e6) {
+    std::fprintf(stderr,
+                 "FAIL: %s lag p99 %.2f ms < %.0f ms — the lag tail is "
+                 "unpopulated (dead histogram plumbing?)\n",
+                 spike.c_str(), spike_lag.p99 / 1e6, min_ms);
+    ok = false;
+  }
+  if (spike_frac < min_tail) {
+    std::fprintf(stderr,
+                 "FAIL: only %.3f%% of %s frees lagged past %.0f ms "
+                 "(want >= %.1f%%) — the stall barely registered\n",
+                 spike_frac * 100, spike.c_str(), tail_ms,
+                 min_tail * 100);
+    ok = false;
+  }
+  if (spike_frac < ratio * bounded_frac) {
+    std::fprintf(stderr,
+                 "FAIL: %s tail mass (%.3f%%) is not %.1fx %s's "
+                 "(%.3f%%) — the robust/non-robust contrast is gone\n",
+                 spike.c_str(), spike_frac * 100, ratio, bounded.c_str(),
+                 bounded_frac * 100);
+    ok = false;
+  }
+  if (ok) std::printf("trace_check: all checks passed\n");
+  return ok ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "harness/cli.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,7 +51,9 @@ std::vector<std::string> parse_names(const char* s) {
                "          [--producers a,b,...] [--consumers a,b,...]\n"
                "          [--shards n|auto]\n"
                "          [--seed n] [--faults spec] [--sample-ms n]\n"
-               "          [--structure name] [--json path] [--full]\n"
+               "          [--structure name] [--lat-sample n]\n"
+               "          [--trace path] [--metrics path]\n"
+               "          [--json path] [--full]\n"
                "          [--mutate mode] [--counterexample path]\n"
                "          [--svc-shards n] [--tenants n] [--rate ops/s]\n"
                "          [--skew theta] [--arrival fixed|poisson]\n"
@@ -177,6 +180,24 @@ cli_options parse_cli(int argc, char** argv, cli_options defaults) {
       }
     } else if (std::strcmp(argv[i], "--structure") == 0) {
       o.structure = need_val("--structure");
+    } else if (std::strcmp(argv[i], "--lat-sample") == 0) {
+      const char* v = need_val("--lat-sample");
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      // Power of two keeps the per-op modulo a mask and makes the
+      // sampled-op spacing exact; 0 would divide by zero.
+      if (end == v || *end != '\0' || !std::has_single_bit(n)) {
+        std::fprintf(stderr,
+                     "--lat-sample wants a power of two >= 1 (got '%s')\n",
+                     v);
+        usage(argv[0]);
+      }
+      o.lat_sample = n;
+      o.lat_sample_set = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      o.trace = need_val("--trace");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      o.metrics = need_val("--metrics");
     } else if (std::strcmp(argv[i], "--json") == 0) {
       o.json = need_val("--json");
     } else if (std::strcmp(argv[i], "--mutate") == 0) {
@@ -252,9 +273,14 @@ cli_options parse_cli(int argc, char** argv, cli_options defaults) {
   return o;
 }
 
-void print_csv_header(const char* figure, std::uint64_t seed) {
+void print_csv_header(const char* figure, std::uint64_t seed,
+                      std::uint64_t lat_sample) {
   std::printf("# %s\n# seed=0x%llx\n", figure,
               static_cast<unsigned long long>(seed));
+  if (lat_sample != 0) {
+    std::printf("# lat_sample=%llu\n",
+                static_cast<unsigned long long>(lat_sample));
+  }
   for (std::size_t i = 0; i < std::size(kCsvColumns); ++i) {
     std::printf("%s%s", i == 0 ? "" : ",", kCsvColumns[i]);
   }
@@ -276,7 +302,8 @@ void print_csv_row(const char* figure, const char* structure,
                    const char* scheme, unsigned threads, unsigned stalled,
                    unsigned producers, unsigned consumers, double mops,
                    double unreclaimed, double unreclaimed_peak,
-                   double p50_ns, double p99_ns, double max_ns) {
+                   double p50_ns, double p99_ns, double max_ns,
+                   double lag_p50_ns, double lag_p99_ns, double lag_max_ns) {
   const std::string vals[] = {
       figure,
       structure,
@@ -291,6 +318,9 @@ void print_csv_row(const char* figure, const char* structure,
       fixed(p50_ns, 0),
       fixed(p99_ns, 0),
       fixed(max_ns, 0),
+      fixed(lag_p50_ns, 0),
+      fixed(lag_p99_ns, 0),
+      fixed(lag_max_ns, 0),
   };
   static_assert(std::size(vals) == std::size(kCsvColumns),
                 "row values and kCsvColumns must stay in lockstep");

@@ -27,6 +27,20 @@
 //                        (grammar in lab/fault_plan.hpp)
 //   --sample-ms <n>      timeline figures only: telemetry cadence
 //   --structure <name>   timeline figures only: structure to drive
+//   --lat-sample <n>     latency-sampling period: one in n operations is
+//                        timed (default 32; must be a power of two so the
+//                        modulo stays a mask); echoed in the CSV header
+//                        comment and the --json config block
+//   --trace <path>       record SMR-internals events (guard enter/exit,
+//                        retire, scan, steal, finalize, free, era advance,
+//                        stall windows) into per-thread ring buffers and
+//                        export them as Chrome trace-event JSON on exit
+//                        (load in Perfetto / chrome://tracing). Bounded
+//                        memory: oldest records are overwritten, drops are
+//                        counted in the trace metadata
+//   --metrics <path>     service scenario only: write a Prometheus-style
+//                        text snapshot of the domain counters and the
+//                        retire->free lag histogram at end of run
 //   --json <path>        also write the run as machine-readable JSON
 //                        (per-scheme throughput + unreclaimed + latency
 //                        series plus the resolved workload config as
@@ -73,7 +87,8 @@ inline constexpr const char* kCsvColumns[] = {
     "threads",       "stalled",            "producers",
     "consumers",     "mops",               "unreclaimed_per_op",
     "unreclaimed_peak", "p50_ns",          "p99_ns",
-    "max_ns",
+    "max_ns",        "lag_p50_ns",         "lag_p99_ns",
+    "lag_max_ns",
 };
 
 struct cli_options {
@@ -111,6 +126,18 @@ struct cli_options {
   unsigned sample_ms = 0;
   bool sample_ms_set = false;
   std::string structure;
+  /// Latency-sampling period: one in `lat_sample` operations is timed.
+  /// parse_cli guarantees a power of two >= 1. `lat_sample_set` marks an
+  /// explicit flag (the service scenario records every op CO-safely and
+  /// rejects the flag rather than silently ignoring it).
+  std::uint64_t lat_sample = 32;
+  bool lat_sample_set = false;
+  /// Path for the Chrome trace-event JSON export of the SMR-internals
+  /// event rings (empty = tracing stays off).
+  std::string trace;
+  /// Path for the Prometheus-style counter snapshot (fig_service only;
+  /// empty = none).
+  std::string metrics;
   /// Path for the machine-readable JSON trajectory file (empty = none).
   std::string json;
   /// Correctness-oracle knobs (the check binary only; figure binaries
@@ -146,17 +173,21 @@ struct cli_options {
 cli_options parse_cli(int argc, char** argv, cli_options defaults);
 
 /// Print the standard CSV header used by all figure benches: a comment
-/// line naming the figure, one echoing the seed, then the kCsvColumns
-/// line.
-void print_csv_header(const char* figure, std::uint64_t seed);
+/// line naming the figure, one echoing the seed, one echoing the
+/// latency-sampling period (omitted when `lat_sample` is 0), then the
+/// kCsvColumns line.
+void print_csv_header(const char* figure, std::uint64_t seed,
+                      std::uint64_t lat_sample = 0);
 
 /// Emit one CSV data row (column meanings per kCsvColumns; producers and
 /// consumers are 0 on set-structure rows, latency columns are the sampled
-/// per-op percentiles in ns).
+/// per-op percentiles in ns, lag columns the retire->free percentiles —
+/// zero unless the run had lag tracking on).
 void print_csv_row(const char* figure, const char* structure,
                    const char* scheme, unsigned threads, unsigned stalled,
                    unsigned producers, unsigned consumers, double mops,
                    double unreclaimed, double unreclaimed_peak,
-                   double p50_ns, double p99_ns, double max_ns);
+                   double p50_ns, double p99_ns, double max_ns,
+                   double lag_p50_ns, double lag_p99_ns, double lag_max_ns);
 
 }  // namespace hyaline::harness

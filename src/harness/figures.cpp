@@ -11,6 +11,7 @@
 #include "harness/registry.hpp"
 #include "lab/fault_plan.hpp"
 #include "lab/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace hyaline::harness {
 namespace {
@@ -21,13 +22,14 @@ namespace {
 /// and unreclaimed-node counts.
 class figure_sink {
  public:
-  figure_sink(const char* figure, std::uint64_t seed)
-      : figure_(figure), seed_(seed) {}
+  figure_sink(const char* figure, std::uint64_t seed,
+              std::uint64_t lat_sample)
+      : figure_(figure), seed_(seed), lat_sample_(lat_sample) {}
 
   /// Emit the CSV header. Called by the figure runners only after the
   /// --schemes filter validated, so a rejected filter produces no stdout
   /// (scripts may capture stdout straight into a .csv).
-  void header() { print_csv_header(figure_, seed_); }
+  void header() { print_csv_header(figure_, seed_, lat_sample_); }
 
   void row(const char* structure, const char* scheme, unsigned threads,
            unsigned stalled, unsigned producers, unsigned consumers,
@@ -35,11 +37,13 @@ class figure_sink {
     print_csv_row(figure_, structure, scheme, threads, stalled, producers,
                   consumers, r.mops, r.unreclaimed_avg,
                   static_cast<double>(r.unreclaimed_peak), r.p50_ns,
-                  r.p99_ns, static_cast<double>(r.max_ns));
+                  r.p99_ns, static_cast<double>(r.max_ns), r.lag_p50_ns,
+                  r.lag_p99_ns, static_cast<double>(r.lag_max_ns));
     rows_.push_back({structure, scheme, threads, stalled, producers,
                      consumers, r.mops, r.unreclaimed_avg,
                      r.unreclaimed_peak, r.p50_ns, r.p90_ns, r.p99_ns,
-                     r.max_ns});
+                     r.max_ns, r.lag_p50_ns, r.lag_p99_ns, r.lag_max_ns,
+                     r.obs});
   }
 
   /// Attach a telemetry time series to the (structure, scheme) series —
@@ -94,12 +98,26 @@ class figure_sink {
                      "\"mops\": %.6f, \"unreclaimed\": %.3f, "
                      "\"unreclaimed_peak\": %llu, "
                      "\"p50_ns\": %.0f, \"p90_ns\": %.0f, "
-                     "\"p99_ns\": %.0f, \"max_ns\": %llu}",
+                     "\"p99_ns\": %.0f, \"max_ns\": %llu, "
+                     "\"lag_p50_ns\": %.0f, \"lag_p99_ns\": %.0f, "
+                     "\"lag_max_ns\": %llu, "
+                     "\"lag_count\": %llu, \"lag_bucket\": [",
                      first_point ? "" : ",", r.threads, r.stalled,
                      r.producers, r.consumers, r.mops, r.unreclaimed,
                      static_cast<unsigned long long>(r.unreclaimed_peak),
                      r.p50_ns, r.p90_ns, r.p99_ns,
-                     static_cast<unsigned long long>(r.max_ns));
+                     static_cast<unsigned long long>(r.max_ns),
+                     r.lag_p50_ns, r.lag_p99_ns,
+                     static_cast<unsigned long long>(r.lag_max_ns),
+                     static_cast<unsigned long long>(r.obs.lag_count));
+        // Full log2-bucket histogram (bucket b covers [2^(b-1), 2^b-1]
+        // ns; bucket 0 is exact zero): percentiles hide the tail *mass*,
+        // which is the quantity the robustness gate compares.
+        for (std::size_t b = 0; b < std::size(r.obs.lag_bucket); ++b) {
+          std::fprintf(f, "%s%llu", b == 0 ? "" : ",",
+                       static_cast<unsigned long long>(r.obs.lag_bucket[b]));
+        }
+        std::fprintf(f, "]}");
         first_point = false;
       }
       std::fprintf(f, "\n    ]");
@@ -150,6 +168,10 @@ class figure_sink {
     double p90_ns;
     double p99_ns;
     std::uint64_t max_ns;
+    double lag_p50_ns;
+    double lag_p99_ns;
+    std::uint64_t lag_max_ns;
+    smr::stats_snapshot obs;
   };
 
   struct timeline_t {
@@ -160,6 +182,7 @@ class figure_sink {
 
   const char* figure_;
   std::uint64_t seed_;
+  std::uint64_t lat_sample_;
   std::string config_;
   std::vector<row_t> rows_;
   std::vector<timeline_t> timelines_;
@@ -208,6 +231,7 @@ workload_config base_cfg(const figure_spec& spec, const cli_options& o) {
   cfg.key_range = o.key_range;
   cfg.prefill = o.prefill;
   cfg.seed = o.seed;
+  cfg.lat_sample = o.lat_sample;
   return cfg;
 }
 
@@ -478,6 +502,12 @@ int run_timeline(const figure_spec& spec, const cli_options& o,
                  figure_sink& sink) {
   const scheme_registry& reg = scheme_registry::instance();
 
+  // Timeline runs report the retire->free lag columns (the stall-window
+  // story is exactly what lag attribution exists to show); sweeps and
+  // matrix figures leave the bit off so the perf gate measures the
+  // untracked path.
+  obs::set_lag_tracking(true);
+
   const std::string structure =
       o.structure.empty() ? "hashmap" : o.structure;
   const auto kind = reg.kind_of(structure);
@@ -644,7 +674,22 @@ bool validate_kind_options(const figure_spec& spec, cli_options& o) {
                  "figures\n");
     return false;
   }
+  if (spec.kind != figure_kind::service && !o.metrics.empty()) {
+    std::fprintf(stderr,
+                 "--metrics only applies to the service scenario "
+                 "(fig_service); figure runs export counters through "
+                 "--json and --trace\n");
+    return false;
+  }
   if (spec.kind == figure_kind::service) {
+    if (o.lat_sample_set) {
+      std::fprintf(stderr,
+                   "--lat-sample applies to the sampled workload loops; "
+                   "the service scenario times every paced op "
+                   "(coordinated-omission-safe) and takes no sampling "
+                   "period\n");
+      return false;
+    }
     if (o.threads_set || !o.stalled.empty() || !o.producers.empty() ||
         !o.consumers.empty()) {
       std::fprintf(stderr,
@@ -820,6 +865,7 @@ std::string config_json(const figure_spec& spec, const cli_options& o) {
   s += "\"duration_ms\": " + std::to_string(base.duration_ms) + ", ";
   s += "\"repeats\": " + std::to_string(base.repeats) + ", ";
   s += "\"sample_every\": " + std::to_string(base.sample_every) + ", ";
+  s += "\"lat_sample\": " + std::to_string(base.lat_sample) + ", ";
   s += "\"seed\": " + std::to_string(base.seed) + ", ";
   s += "\"retire_shards\": " + std::to_string(o.shards) + ", ";
   // Build/machine stamp: revision, compiler, CPU — the fields that decide
@@ -839,8 +885,11 @@ int run_figure(const figure_spec& spec, int argc, char** argv) {
   }
   cli_options o = parse_cli(argc, argv, defaults);
   if (!validate_kind_options(spec, o)) return 2;
-  figure_sink sink(spec.name, o.seed);
+  figure_sink sink(spec.name, o.seed, o.lat_sample);
   sink.set_config(config_json(spec, o));
+  // Tracing flips on before any domain exists and exports after the last
+  // worker joined — the rings are only ever read quiescent.
+  if (!o.trace.empty()) obs::set_tracing(true);
   int status = 2;
   switch (spec.kind) {
     case figure_kind::matrix:
@@ -872,6 +921,15 @@ int run_figure(const figure_spec& spec, int argc, char** argv) {
   if ((status == 0 || status == 4) && !o.json.empty() &&
       !sink.write_json(o.json)) {
     status = 2;
+  }
+  // Same rule for the event trace — a failed run's trace is the debugging
+  // artifact, so only a write error downgrades the status.
+  if ((status == 0 || status == 4) && !o.trace.empty()) {
+    std::string err;
+    if (!obs::write_chrome_trace(o.trace, &err)) {
+      std::fprintf(stderr, "--trace: %s\n", err.c_str());
+      status = 2;
+    }
   }
   return status;
 }

@@ -1,0 +1,279 @@
+// A minimal JSON value + recursive-descent reader, shared by every
+// binary that consumes this repo's own JSON output (the trajectory gate
+// in bench_diff, the trace validator in trace_check). Covers exactly
+// what our writers emit: objects, arrays, strings (with the escapes our
+// writers produce), numbers, booleans, null. Duplicate keys keep the
+// last value, as in every mainstream parser. Header-only so the tools
+// stay single-translation-unit.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hyaline::harness::json {
+
+struct jvalue;
+using jobject = std::map<std::string, jvalue>;
+using jarray = std::vector<jvalue>;
+
+struct jvalue {
+  enum class kind { null, boolean, number, string, array, object };
+  kind k = kind::null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::shared_ptr<jarray> arr;
+  std::shared_ptr<jobject> obj;
+
+  bool is_num() const { return k == kind::number; }
+  bool is_str() const { return k == kind::string; }
+  bool is_obj() const { return k == kind::object; }
+  bool is_arr() const { return k == kind::array; }
+};
+
+class parser {
+ public:
+  parser(const char* s, std::size_t n) : p_(s), end_(s + n) {}
+
+  bool parse(jvalue& out, std::string& err) {
+    skip_ws();
+    if (!value(out, err)) return false;
+    skip_ws();
+    if (p_ != end_) {
+      err = "trailing content after the top-level value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool fail(std::string& err, const std::string& what) {
+    err = what + " at offset " + std::to_string(off());
+    return false;
+  }
+
+  std::size_t off() const { return static_cast<std::size_t>(p_ - start_); }
+
+  bool value(jvalue& out, std::string& err) {
+    if (p_ == end_) return fail(err, "unexpected end of input");
+    switch (*p_) {
+      case '{': return object(out, err);
+      case '[': return array(out, err);
+      case '"': out.k = jvalue::kind::string; return string(out.str, err);
+      case 't':
+        if (!literal("true", err)) return false;
+        out.k = jvalue::kind::boolean;
+        out.b = true;
+        return true;
+      case 'f':
+        if (!literal("false", err)) return false;
+        out.k = jvalue::kind::boolean;
+        out.b = false;
+        return true;
+      case 'n':
+        if (!literal("null", err)) return false;
+        out.k = jvalue::kind::null;
+        return true;
+      default: return number(out, err);
+    }
+  }
+
+  bool literal(const char* lit, std::string& err) {
+    for (const char* l = lit; *l != '\0'; ++l, ++p_) {
+      if (p_ == end_ || *p_ != *l) return fail(err, "bad literal");
+    }
+    return true;
+  }
+
+  bool number(jvalue& out, std::string& err) {
+    char* numend = nullptr;
+    const double v = std::strtod(p_, &numend);
+    if (numend == p_) return fail(err, "expected a value");
+    // strtod reads past end_ only if the buffer lacks a terminator; the
+    // loader always passes a NUL-terminated string.
+    p_ = numend;
+    out.k = jvalue::kind::number;
+    out.num = v;
+    return true;
+  }
+
+  bool string(std::string& out, std::string& err) {
+    ++p_;  // opening quote
+    out.clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (p_ == end_) return fail(err, "dangling escape");
+      switch (*p_++) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          // Our writers never emit \u escapes; decode the BMP-ASCII
+          // subset and reject the rest rather than corrupt silently.
+          if (end_ - p_ < 4) return fail(err, "bad \\u escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail(err, "bad \\u escape");
+          }
+          if (v > 0x7f) return fail(err, "non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(v));
+          break;
+        }
+        default: return fail(err, "unknown escape");
+      }
+    }
+    if (p_ == end_) return fail(err, "unterminated string");
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool array(jvalue& out, std::string& err) {
+    ++p_;  // '['
+    out.k = jvalue::kind::array;
+    out.arr = std::make_shared<jarray>();
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      jvalue v;
+      skip_ws();
+      if (!value(v, err)) return false;
+      out.arr->push_back(std::move(v));
+      skip_ws();
+      if (p_ == end_) return fail(err, "unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return fail(err, "expected ',' or ']'");
+    }
+  }
+
+  bool object(jvalue& out, std::string& err) {
+    ++p_;  // '{'
+    out.k = jvalue::kind::object;
+    out.obj = std::make_shared<jobject>();
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (p_ == end_ || *p_ != '"') return fail(err, "expected a key");
+      std::string key;
+      if (!string(key, err)) return false;
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') return fail(err, "expected ':'");
+      ++p_;
+      skip_ws();
+      jvalue v;
+      if (!value(v, err)) return false;
+      (*out.obj)[std::move(key)] = std::move(v);
+      skip_ws();
+      if (p_ == end_) return fail(err, "unterminated object");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return fail(err, "expected ',' or '}'");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* start_ = p_;
+};
+
+inline const jvalue* get(const jvalue& obj, const char* key) {
+  if (!obj.is_obj()) return nullptr;
+  auto it = obj.obj->find(key);
+  return it == obj.obj->end() ? nullptr : &it->second;
+}
+
+inline bool want_num(const jvalue& obj, const char* key, double& out,
+                     std::string& err) {
+  const jvalue* v = get(obj, key);
+  if (v == nullptr || !v->is_num()) {
+    err = std::string("missing or non-numeric field '") + key + "'";
+    return false;
+  }
+  out = v->num;
+  return true;
+}
+
+inline bool want_str(const jvalue& obj, const char* key, std::string& out,
+                     std::string& err) {
+  const jvalue* v = get(obj, key);
+  if (v == nullptr || !v->is_str()) {
+    err = std::string("missing or non-string field '") + key + "'";
+    return false;
+  }
+  out = v->str;
+  return true;
+}
+
+/// Slurp `path` and parse it. False with *err* set on I/O or parse error
+/// (parse errors are prefixed with the path).
+inline bool load_file(const std::string& path, jvalue& root,
+                      std::string& err) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    err = "cannot open '" + path + "'";
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    err = "read error on '" + path + "'";
+    return false;
+  }
+  parser ps(text.c_str(), text.size());
+  if (!ps.parse(root, err)) {
+    err = path + ": " + err;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hyaline::harness::json

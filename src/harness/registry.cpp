@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "ds/bonsai_tree.hpp"
+#include "lab/telemetry.hpp"
 #include "ds/harris_list.hpp"
 #include "ds/hm_list.hpp"
 #include "ds/locked_queue.hpp"
@@ -38,6 +39,21 @@ static_assert(smr::Domain<smr::immediate_domain>);
 
 namespace {
 
+/// Carry the domain's full counter state (ledgers, mechanism events, lag
+/// histogram) out of the cell after the quiescent drain, and rehydrate the
+/// lag buckets into percentile columns via the shared histogram math. The
+/// lag fields stay zero unless the caller enabled obs::set_lag_tracking.
+void capture_counters(workload_result& r, const smr::stats& st) {
+  r.obs = st.snapshot();
+  r.retired = r.obs.retired;
+  r.freed = r.obs.freed;
+  const auto lagh =
+      lab::latency_histogram::from_counts(r.obs.lag_bucket, r.obs.lag_max_ns);
+  r.lag_p50_ns = lagh.percentile(0.50);
+  r.lag_p99_ns = lagh.percentile(0.99);
+  r.lag_max_ns = r.obs.lag_max_ns;
+}
+
 /// One benchmark run over a concrete (scheme, structure) pair. Teardown
 /// order matters for the trailing leak counters: the structure frees its
 /// live nodes directly, then the quiescent drain flushes every
@@ -59,8 +75,7 @@ workload_result run_cell(const scheme_params& params,
     r = run_workload(*dom, s, cfg);
   }
   dom->drain();
-  r.retired = dom->counters().retired.load(std::memory_order_relaxed);
-  r.freed = dom->counters().freed.load(std::memory_order_relaxed);
+  capture_counters(r, dom->counters());
   return r;
 }
 
@@ -81,8 +96,7 @@ workload_result run_container_cell(const scheme_params& params,
     r = run_container_workload(*dom, q, cfg);
   }
   dom->drain();
-  r.retired = dom->counters().retired.load(std::memory_order_relaxed);
-  r.freed = dom->counters().freed.load(std::memory_order_relaxed);
+  capture_counters(r, dom->counters());
   return r;
 }
 

@@ -42,6 +42,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -53,9 +54,18 @@
 #include "common/rng.hpp"
 #include "lab/fault_plan.hpp"
 #include "lab/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "smr/stats.hpp"
 
 namespace hyaline::harness {
+
+namespace detail {
+/// Default latency-sampling period: one in this many operations is timed.
+/// Sampling keeps the two clock reads off the common path so the histogram
+/// does not perturb the throughput it is measured alongside. Overridable
+/// per run via workload_config::lat_sample (the --lat-sample flag).
+inline constexpr std::uint64_t kLatencyEvery = 32;
+}  // namespace detail
 
 struct workload_config {
   unsigned threads = 4;
@@ -72,6 +82,10 @@ struct workload_config {
   unsigned get_pct = 0;
   bool use_trim = false;
   unsigned sample_every = 128;
+  /// Latency-sampling period: one in `lat_sample` operations is timed
+  /// around its guard + operation. Must be a power of two (the CLI
+  /// validates); 1 times every op (max detail, max perturbation).
+  std::uint64_t lat_sample = detail::kLatencyEvery;
   std::uint64_t seed = 0x5eed;
   /// Container workloads only: the producer/consumer thread split. Both
   /// zero means "derive from `threads`" (see container_split). Set drivers
@@ -134,6 +148,15 @@ struct workload_result {
   /// Time series from the telemetry sampler (empty unless
   /// workload_config::sample_ms was set).
   std::vector<lab::sample_point> timeline;
+  /// Full domain counter snapshot (scans/steals/finalizes/lag histogram),
+  /// captured by the registry runners after the quiescent drain. The lag
+  /// buckets are all-zero unless obs::lag_tracking() was on for the run.
+  smr::stats_snapshot obs;
+  /// Retire->free lag percentiles (ns) rehydrated from obs.lag_bucket;
+  /// zero when lag tracking was off.
+  double lag_p50_ns = 0;
+  double lag_p99_ns = 0;
+  std::uint64_t lag_max_ns = 0;
 };
 
 /// True iff the op-mix percentages cover exactly the whole dice range.
@@ -146,11 +169,6 @@ constexpr bool valid_mix(const workload_config& cfg) {
 }
 
 namespace detail {
-
-/// One in this many operations is latency-timed. Sampling keeps the two
-/// clock reads off the common path so the histogram does not perturb the
-/// throughput it is measured alongside.
-inline constexpr std::uint64_t kLatencyEvery = 32;
 
 /// THE definition of how a history interval wraps an operation, shared by
 /// every recording site (prefill, workers, bursts, drain): invocation
@@ -463,7 +481,9 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
               // node, block holding the guard for the stall window.
               guard_t g(dom);
               apply(g, check::op_kind::contains, rng.below(cfg.key_range));
+              obs::emit(obs::event::stall_begin, tid);
               lab.dir->wait_stall_end(tid);
+              obs::emit(obs::event::stall_end, tid);
               continue;
             }
             if (const std::uint32_t us = lab.dir->slow_delay_us(tid)) {
@@ -480,7 +500,7 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
           }
           const std::uint64_t key = rng.below(cfg.key_range);
           const auto kind = kind_of(rng.below(100));
-          const bool timed = local_ops % detail::kLatencyEvery == 0;
+          const bool timed = local_ops % cfg.lat_sample == 0;
           const auto t_op = timed ? std::chrono::steady_clock::now()
                                   : std::chrono::steady_clock::time_point{};
           {
@@ -506,7 +526,9 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
               if (lab.dir->stalled(tid)) {
                 apply(g, check::op_kind::contains,
                       rng.below(cfg.key_range));
+                obs::emit(obs::event::stall_begin, tid);
                 lab.dir->wait_stall_end(tid);
+                obs::emit(obs::event::stall_end, tid);
               }
               if (const std::uint32_t us = lab.dir->slow_delay_us(tid)) {
                 std::this_thread::sleep_for(std::chrono::microseconds(us));
@@ -522,7 +544,7 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
             }
             const std::uint64_t key = rng.below(cfg.key_range);
             const auto kind = kind_of(rng.below(100));
-            const bool timed = local_ops % detail::kLatencyEvery == 0;
+            const bool timed = local_ops % cfg.lat_sample == 0;
             const auto t_op =
                 timed ? std::chrono::steady_clock::now()
                       : std::chrono::steady_clock::time_point{};
@@ -552,7 +574,12 @@ workload_result run_workload(D& dom, DS& s, const workload_config& cfg) {
           plan, total_threads, [&](unsigned tid) {
             const std::uint32_t gen = lab.dir->generation(tid);
             std::lock_guard<std::mutex> lk(spawn_mu);
-            replacements.emplace_back(worker, tid, gen);
+            replacements.emplace_back([&worker, tid, gen] {
+              char name[16];
+              std::snprintf(name, sizeof name, "churn-%u", tid);
+              obs::name_thread(name);
+              worker(tid, gen);
+            });
           });
     }
     lab.dir = dir_holder.get();
@@ -719,7 +746,9 @@ workload_result run_container_workload(D& dom, Q& q,
             // Containers have no read-only touch; holding the guard
             // alone pins whatever the scheme's reservation pins.
             guard_t g(dom);
+            obs::emit(obs::event::stall_begin, tid);
             lab.dir->wait_stall_end(tid);
+            obs::emit(obs::event::stall_end, tid);
             continue;
           }
           if (const std::uint32_t us = lab.dir->slow_delay_us(tid)) {
@@ -738,7 +767,7 @@ workload_result run_container_workload(D& dom, Q& q,
             after_op();
           }
         }
-        const bool timed = local_ops % detail::kLatencyEvery == 0;
+        const bool timed = local_ops % cfg.lat_sample == 0;
         const auto t_op = timed ? std::chrono::steady_clock::now()
                                 : std::chrono::steady_clock::time_point{};
         {
@@ -770,7 +799,12 @@ workload_result run_container_workload(D& dom, Q& q,
           plan, total_threads, [&](unsigned tid) {
             const std::uint32_t gen = lab.dir->generation(tid);
             std::lock_guard<std::mutex> lk(spawn_mu);
-            replacements.emplace_back(body, tid, gen);
+            replacements.emplace_back([&body, tid, gen] {
+              char name[16];
+              std::snprintf(name, sizeof name, "churn-%u", tid);
+              obs::name_thread(name);
+              body(tid, gen);
+            });
           });
     }
     lab.dir = dir_holder.get();

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace hyaline::lab {
 
 /// Consume a time value with an optional unit suffix; milliseconds when
@@ -284,6 +286,7 @@ std::uint64_t fault_director::claim_burst(std::uint64_t max_n) {
 }
 
 void fault_director::run_clock() {
+  obs::name_thread("fault-director");
   const auto t0 = std::chrono::steady_clock::now();
   std::size_t next = 0;
   while (!quit_.load(std::memory_order_relaxed)) {

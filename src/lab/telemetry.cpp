@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.hpp"
+
 namespace hyaline::lab {
 
 double latency_histogram::percentile(double q) const {
@@ -20,7 +22,11 @@ double latency_histogram::percentile(double q) const {
           static_cast<double>(counts_[b]);
       const double lo = static_cast<double>(bucket_lo(b));
       const double hi = static_cast<double>(bucket_hi(b));
-      return lo + within * (hi - lo);
+      const double v = lo + within * (hi - lo);
+      // The top occupied bucket spans up to 2x the largest observation;
+      // interpolating past max_ would report a p99 above the max column.
+      const double cap = static_cast<double>(max_);
+      return max_ != 0 && v > cap ? cap : v;
     }
     cum += counts_[b];
   }
@@ -75,6 +81,7 @@ void telemetry_collector::take_sample(double t_ms, double interval_ms) {
 }
 
 void telemetry_collector::run_sampler() {
+  obs::name_thread("sampler");
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
   const auto elapsed_ms = [&] {

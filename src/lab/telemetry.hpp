@@ -71,6 +71,21 @@ class latency_histogram {
     if (o.max_ > max_) max_ = o.max_;
   }
 
+  /// Rehydrate from externally-accumulated bucket counts that share this
+  /// class's geometry — smr::lag_counters records retire->free lag into
+  /// the same 65 log2 buckets precisely so its snapshots can be fed back
+  /// through percentile() here instead of duplicating the quantile math.
+  static latency_histogram from_counts(
+      const std::uint64_t (&counts)[kBuckets], std::uint64_t max_ns) {
+    latency_histogram h;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      h.counts_[b] = counts[b];
+      h.total_ += counts[b];
+    }
+    h.max_ = max_ns;
+    return h;
+  }
+
   /// Quantile estimate in ns, q in [0, 1]; linear interpolation within
   /// the covering bucket. 0 when empty.
   double percentile(double q) const;

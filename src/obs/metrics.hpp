@@ -1,0 +1,32 @@
+// Prometheus-style text export of the SMR domain counters.
+//
+// The service scenario (`fig_service --metrics <path>`) writes one
+// snapshot at end of run: the alloc/retire/free ledgers and mechanism
+// event counters as `counter` samples labelled by scheme, plus the
+// retire->free lag histogram in the cumulative-`le` bucket encoding
+// (bucket bounds are the log2 upper edges of smr::lag_counters, so a
+// scrape of two runs diffs cleanly). This is a point-in-time file, not a
+// live exporter — the goal is that the numbers a dashboard would want
+// already exist in the standard exposition format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smr/stats.hpp"
+
+namespace hyaline::obs {
+
+/// One labelled snapshot (a scheme's accumulated counters).
+struct metric_series {
+  std::string scheme;
+  smr::stats_snapshot snap;
+};
+
+/// Write every series to `path` in Prometheus text exposition format.
+/// Returns false with *err set on I/O failure.
+bool write_prometheus(const std::string& path,
+                      const std::vector<metric_series>& series,
+                      std::string* err);
+
+}  // namespace hyaline::obs

@@ -11,6 +11,8 @@
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "obs/trace.hpp"
+#include "smr/stats.hpp"
 
 namespace hyaline::smr::core {
 
@@ -20,6 +22,10 @@ class era_clock {
 
   era_clock(const era_clock&) = delete;
   era_clock& operator=(const era_clock&) = delete;
+
+  /// Attach the owning domain's event counters: every successful advance
+  /// is counted (and traced) here, uniformly for all era-based schemes.
+  void attach(domain_counters* c) { ctrs_ = c; }
 
   /// No default order: every call site spells how strong a read it needs
   /// (the relaxed-ordering audit in the README leans on this being
@@ -34,7 +40,9 @@ class era_clock {
     // e" from "retired in era >= e"; scanners compare stamps taken on
     // both sides of it, so it must take part in the single total order
     // with the reservation publications.
-    era_->fetch_add(1, std::memory_order_seq_cst);
+    const std::uint64_t e = era_->fetch_add(1, std::memory_order_seq_cst);
+    if (ctrs_ != nullptr) ctrs_->on_era_advance();
+    obs::emit(obs::event::era_advance, e + 1);
   }
 
   /// Conditional advance from a known value (EBR: only the thread that
@@ -43,8 +51,13 @@ class era_clock {
     // seq_cst: must not be reordered before the per-thread reservation
     // scan that justified the advance (store-load pairing with guard
     // entry publication).
-    return era_->compare_exchange_strong(expected, expected + 1,
-                                         std::memory_order_seq_cst);
+    if (!era_->compare_exchange_strong(expected, expected + 1,
+                                       std::memory_order_seq_cst)) {
+      return false;
+    }
+    if (ctrs_ != nullptr) ctrs_->on_era_advance();
+    obs::emit(obs::event::era_advance, expected + 1);
+    return true;
   }
 
   /// Per-thread allocation tick: advance once every `freq` calls. The
@@ -55,6 +68,7 @@ class era_clock {
 
  private:
   padded<std::atomic<std::uint64_t>> era_;
+  domain_counters* ctrs_ = nullptr;
 };
 
 /// Era-validated pointer acquisition (IBR's 2GE read, HE's get_protected,

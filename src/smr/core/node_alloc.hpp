@@ -30,9 +30,11 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <type_traits>
 
+#include "obs/trace.hpp"
 #include "smr/core/slab_alloc.hpp"
 
 namespace hyaline::smr::core {
@@ -70,8 +72,12 @@ struct hooked_alloc {
 
 /// Base of every scheme's node header: hooked allocation plus the typed
 /// destroy thunk. One extra word per node buys N node types per domain.
+/// `obs_retire_ticks` is the retire->free lag stamp (smr/stats.hpp):
+/// written at retire and read at free only while obs::lag_tracking() is
+/// on; zero means "never stamped" and is skipped by the lag histogram.
 struct reclaimable : hooked_alloc {
   void (*smr_dtor)(reclaimable*) = nullptr;
+  std::uint64_t obs_retire_ticks = 0;
 };
 
 /// The type-erased destroy thunk for a concrete node type `T` (any type
@@ -91,6 +97,7 @@ template <class Node>
 inline void destroy(Node* n) {
   assert(n->smr_dtor != nullptr &&
          "retired node missing its typed destroy thunk");
+  obs::emit(obs::event::free_node, reinterpret_cast<std::uintptr_t>(n));
   n->smr_dtor(n);
 }
 

@@ -20,6 +20,13 @@
 //
 // All are intrusive over the scheme's node type, which must expose a
 // `Node* next` member.
+//
+// Observability: every container can be attached to a domain's
+// `smr::domain_counters` (attach()); scans, rearms and shard steals are
+// then counted here, in the primitive, so every scheme built on these
+// containers reports them uniformly. Scan passes also emit
+// scan_begin/scan_end trace events (obs/trace.hpp) — both seams cost one
+// relaxed load + predicted branch when observability is off.
 #pragma once
 
 #include <algorithm>
@@ -28,6 +35,8 @@
 #include <memory>
 
 #include "common/align.hpp"
+#include "obs/trace.hpp"
+#include "smr/stats.hpp"
 
 namespace hyaline::smr::core {
 
@@ -49,13 +58,17 @@ class retired_list {
   /// nodes are re-examined wholesale on the next scan).
   template <class CanFree, class DoFree>
   void scan(CanFree&& can_free, DoFree&& do_free) {
+    obs::emit(obs::event::scan_begin, count_);
+    if (ctrs_ != nullptr) ctrs_->on_scan();
     Node* keep = nullptr;
     std::size_t kept = 0;
+    std::size_t freed = 0;
     Node* n = head_;
     while (n != nullptr) {
       Node* nx = n->next;
       if (can_free(n)) {
         do_free(n);
+        ++freed;
       } else {
         n->next = keep;
         keep = n;
@@ -65,12 +78,19 @@ class retired_list {
     }
     head_ = keep;
     count_ = kept;
+    obs::emit(obs::event::scan_end, freed);
   }
 
   /// Geometric growth of the rescan point: the next scan happens only after
   /// the list doubles (plus a floor of `threshold`), so nodes pinned by
   /// long-lived reservations are not rescanned on a fixed period.
-  void rearm(std::size_t threshold) { scan_at_ = 2 * count_ + threshold; }
+  void rearm(std::size_t threshold) {
+    scan_at_ = 2 * count_ + threshold;
+    if (ctrs_ != nullptr) ctrs_->on_rearm();
+  }
+
+  /// Attach the owning domain's event counters (see smr/stats.hpp).
+  void attach(domain_counters* c) { ctrs_ = c; }
 
   std::size_t size() const { return count_; }
   bool empty() const { return head_ == nullptr; }
@@ -79,6 +99,7 @@ class retired_list {
   Node* head_ = nullptr;
   std::size_t count_ = 0;
   std::size_t scan_at_ = 0;  // adaptive: kept + threshold after each scan
+  domain_counters* ctrs_ = nullptr;
 };
 
 /// Owner-thread-private FIFO limbo list (EBR: FIFO by retire epoch, so
@@ -96,22 +117,34 @@ class limbo_queue {
     }
   }
 
-  /// Pop-and-free from the head while `ready(head)` holds.
+  /// Pop-and-free from the head while `ready(head)` holds. A pass that
+  /// frees at least one node counts as a scan (EBR's limbo reclamation is
+  /// this loop; an empty-handed probe is not a reclamation pass).
   template <class Ready, class DoFree>
   void reclaim_ready(Ready&& ready, DoFree&& do_free) {
+    if (head_ == nullptr || !ready(head_)) return;
+    obs::emit(obs::event::scan_begin, 0);
+    if (ctrs_ != nullptr) ctrs_->on_scan();
+    std::size_t freed = 0;
     while (head_ != nullptr && ready(head_)) {
       Node* n = head_;
       head_ = n->next;
       if (head_ == nullptr) tail_ = nullptr;
       do_free(n);
+      ++freed;
     }
+    obs::emit(obs::event::scan_end, freed);
   }
+
+  /// Attach the owning domain's event counters (see smr/stats.hpp).
+  void attach(domain_counters* c) { ctrs_ = c; }
 
   bool empty() const { return head_ == nullptr; }
 
  private:
   Node* head_ = nullptr;
   Node* tail_ = nullptr;
+  domain_counters* ctrs_ = nullptr;
 };
 
 /// N concurrent retired lists indexed by thread group (`tid % shards`).
@@ -157,19 +190,30 @@ class sharded_retire {
     return sh.count.load(std::memory_order_relaxed) >= at;
   }
 
+  /// Attach the owning domain's event counters (see smr/stats.hpp).
+  void attach(domain_counters* c) { ctrs_ = c; }
+
   /// Detach shard `s`, free every node satisfying `can_free` via `do_free`,
   /// splice the survivors back. Safe to run concurrently with pushes and
   /// with other scans of the same shard (the exchange hands each node to
   /// exactly one scanner). Rearms the shard's rescan point to
   /// 2 * kept + threshold: survivors are pinned by some reservation, so
   /// re-examining them before the shard grows past them again is wasted
-  /// work (and turns a drain loop quadratic).
+  /// work (and turns a drain loop quadratic). `steal` marks a scan of a
+  /// shard that is not the caller's own (the steal-on-scan path) for the
+  /// observability counters.
   template <class CanFree, class DoFree>
   void scan(unsigned s, std::size_t threshold, CanFree&& can_free,
-            DoFree&& do_free) {
+            DoFree&& do_free, bool steal = false) {
     shard& sh = shards_[s];
     Node* n = sh.head.exchange(nullptr, std::memory_order_acquire);
     if (n == nullptr) return;
+    obs::emit(obs::event::scan_begin, s);
+    if (steal) obs::emit(obs::event::shard_steal, s);
+    if (ctrs_ != nullptr) {
+      ctrs_->on_scan();
+      if (steal) ctrs_->on_steal();
+    }
     Node* keep = nullptr;
     Node* keep_tail = nullptr;
     std::size_t freed = 0;
@@ -197,6 +241,8 @@ class sharded_retire {
     }
     if (freed != 0) sh.count.fetch_sub(freed, std::memory_order_relaxed);
     sh.scan_at.store(2 * kept + threshold, std::memory_order_relaxed);
+    if (ctrs_ != nullptr) ctrs_->on_rearm();
+    obs::emit(obs::event::scan_end, freed);
   }
 
  private:
@@ -208,6 +254,7 @@ class sharded_retire {
 
   unsigned n_;
   std::unique_ptr<shard[]> shards_;
+  domain_counters* ctrs_ = nullptr;
 };
 
 /// Concurrent LIFO (Treiber) stack of retired nodes.

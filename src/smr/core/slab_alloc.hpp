@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "obs/trace.hpp"
 
 namespace hyaline::smr::core::slab {
 
@@ -235,6 +236,7 @@ inline bool refill_bump(tcache* c) {
 /// owner calls this (MPSC pop side).
 inline void drain_remote(tcache* c) {
   void* n = c->remote.exchange(nullptr, std::memory_order_acquire);
+  std::size_t drained = 0;
   while (n != nullptr) {
     void* nx = next_of(n);
     auto* h = reinterpret_cast<block_header*>(static_cast<std::byte*>(n) -
@@ -242,8 +244,10 @@ inline void drain_remote(tcache* c) {
     next_of(n) = c->free_list[h->cls];
     c->free_list[h->cls] = n;
     ++c->free_count[h->cls];
+    ++drained;
     n = nx;
   }
+  if (drained != 0) obs::emit(obs::event::slab_remote_drain, drained);
 }
 
 inline void* slow_alloc(tcache* c, std::size_t cls) {

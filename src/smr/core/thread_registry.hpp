@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "smr/stats.hpp"
+
 namespace hyaline::smr::core {
 
 /// Process-unique id source shared by pools, domains, and TLS caches.
@@ -62,11 +64,16 @@ class tid_pool {
   std::uint64_t id() const { return id_; }
   unsigned capacity() const { return static_cast<unsigned>(used_.size()); }
 
+  /// Attach the owning domain's event counters: every slow-path checkout
+  /// (pool acquire, as opposed to a TLS cache hit) is counted.
+  void attach(domain_counters* c) { ctrs_ = c; }
+
   unsigned acquire() {
     std::lock_guard<std::mutex> lk(mu_);
     for (unsigned i = 0; i < used_.size(); ++i) {
       if (!used_[i]) {
         used_[i] = true;
+        if (ctrs_ != nullptr) ctrs_->on_tid_acquire();
         return i;
       }
     }
@@ -95,6 +102,7 @@ class tid_pool {
   std::mutex mu_;
   std::vector<bool> used_;
   std::atomic<bool> closed_{false};
+  domain_counters* ctrs_ = nullptr;
 };
 
 namespace detail {

@@ -16,6 +16,7 @@
 #include <stdexcept>
 
 #include "common/align.hpp"
+#include "obs/trace.hpp"
 #include "smr/caps.hpp"
 #include "smr/core/era_clock.hpp"
 #include "smr/core/node_alloc.hpp"
@@ -64,7 +65,11 @@ class ebr_domain {
       sharded_ =
           std::make_unique<core::sharded_retire<node>>(cfg_.retire_shards);
       shard_threshold_ = std::max<std::size_t>(64, 2 * cfg_.max_threads);
+      sharded_->attach(&stats_->events);
     }
+    epoch_.attach(&stats_->events);
+    recs_.pool()->attach(&stats_->events);
+    for (rec& r : recs_) r.limbo.attach(&stats_->events);
   }
 
   explicit ebr_domain(unsigned max_threads)
@@ -82,6 +87,7 @@ class ebr_domain {
   class guard {
    public:
     explicit guard(ebr_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {
+      obs::emit(obs::event::guard_enter, lease_.tid());
       rec& r = dom_.recs_[lease_.tid()];
       // Audit(ebr-entry-load): acquire, not seq_cst. Reading a stale-low
       // epoch publishes an older reservation, which only pins the epoch
@@ -105,6 +111,7 @@ class ebr_domain {
     }
 
     ~guard() {
+      obs::emit(obs::event::guard_exit, lease_.tid());
       rec& r = dom_.recs_[lease_.tid()];
       if (r.burst_left > 1) {
         // Burst fast path: leave the reservation published for the next
@@ -200,7 +207,8 @@ class ebr_domain {
   };
 
   void retire(unsigned tid, node* n) {
-    stats_->on_retire();
+    stats_->stamp_retire(n);
+    obs::emit(obs::event::retire, reinterpret_cast<std::uintptr_t>(n));
     rec& r = recs_[tid];
     // seq_cst: the retire stamp must not read stale-low. A stamp one
     // behind the true epoch frees at stamp+2 while a reader reserved at
@@ -215,7 +223,8 @@ class ebr_domain {
         scan_shard(s);
         const unsigned nb = (s + 1) % sharded_->shards();
         if (nb != s && sharded_->hot(nb, shard_threshold_)) {
-          scan_shard(nb);  // steal-on-scan: the neighbour's group is idle
+          // steal-on-scan: the neighbour's group is idle
+          scan_shard(nb, /*steal=*/true);
         }
       }
       return;
@@ -256,22 +265,16 @@ class ebr_domain {
     const std::uint64_t e = epoch_.load(std::memory_order_acquire);
     recs_[tid].limbo.reclaim_ready(
         [e](const node* n) { return n->retire_epoch + 2 <= e; },
-        [this](node* n) {
-          core::destroy(n);
-          stats_->on_free();
-        });
+        [this](node* n) { stats_->free_node(n); });
   }
 
-  void scan_shard(unsigned s) {
+  void scan_shard(unsigned s, bool steal = false) {
     // Audit(ebr-reclaim-load): acquire, same argument as reclaim().
     const std::uint64_t e = epoch_.load(std::memory_order_acquire);
     sharded_->scan(
         s, shard_threshold_,
         [e](const node* n) { return n->retire_epoch + 2 <= e; },
-        [this](node* n) {
-          core::destroy(n);
-          stats_->on_free();
-        });
+        [this](node* n) { stats_->free_node(n); }, steal);
   }
 
   const ebr_config cfg_;

@@ -15,6 +15,7 @@
 #include <stdexcept>
 
 #include "common/align.hpp"
+#include "obs/trace.hpp"
 #include "smr/caps.hpp"
 #include "smr/core/era_clock.hpp"
 #include "smr/core/node_alloc.hpp"
@@ -68,7 +69,11 @@ class he_domain {
     if (cfg_.retire_shards != 0) {
       sharded_ =
           std::make_unique<core::sharded_retire<node>>(cfg_.retire_shards);
+      sharded_->attach(&stats_->events);
     }
+    era_.attach(&stats_->events);
+    recs_.pool()->attach(&stats_->events);
+    for (rec& r : recs_) r.retired.attach(&stats_->events);
   }
 
   explicit he_domain(unsigned max_threads)
@@ -94,9 +99,12 @@ class he_domain {
 
   class guard {
    public:
-    explicit guard(he_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {}
+    explicit guard(he_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {
+      obs::emit(obs::event::guard_enter, lease_.tid());
+    }
 
     ~guard() {
+      obs::emit(obs::event::guard_exit, lease_.tid());
       // Clear still-leased era slots only; handles self-clear on release,
       // so the common guard exit writes nothing (see hp_domain::~guard).
       unsigned mask = slots_.leased_mask();
@@ -177,7 +185,8 @@ class he_domain {
   };
 
   void retire(unsigned tid, node* n) {
-    stats_->on_retire();
+    stats_->stamp_retire(n);
+    obs::emit(obs::event::retire, reinterpret_cast<std::uintptr_t>(n));
     // seq_cst: a stale-low retire stamp shrinks [birth, retire] and lets
     // can_free miss a published era that still covers the node — early
     // free, so this read stays in the total order.
@@ -188,7 +197,7 @@ class he_domain {
         scan_shard(s);
         const unsigned nb = (s + 1) % sharded_->shards();
         if (nb != s && sharded_->hot(nb, cfg_.scan_threshold)) {
-          scan_shard(nb);
+          scan_shard(nb, /*steal=*/true);
         }
       }
       return;
@@ -216,20 +225,14 @@ class he_domain {
   void scan(unsigned tid) {
     recs_[tid].retired.scan(
         [this](const node* n) { return can_free(n); },
-        [this](node* n) {
-          core::destroy(n);
-          stats_->on_free();
-        });
+        [this](node* n) { stats_->free_node(n); });
   }
 
-  void scan_shard(unsigned s) {
+  void scan_shard(unsigned s, bool steal = false) {
     sharded_->scan(
         s, cfg_.scan_threshold,
         [this](const node* n) { return can_free(n); },
-        [this](node* n) {
-          core::destroy(n);
-          stats_->on_free();
-        });
+        [this](node* n) { stats_->free_node(n); }, steal);
   }
 
   he_config cfg_;

@@ -20,6 +20,7 @@
 
 #include "common/align.hpp"
 #include "common/tagged_ptr.hpp"
+#include "obs/trace.hpp"
 #include "smr/caps.hpp"
 #include "smr/core/node_alloc.hpp"
 #include "smr/core/retired_batch.hpp"
@@ -72,7 +73,10 @@ class hp_domain {
     if (cfg_.retire_shards != 0) {
       sharded_ =
           std::make_unique<core::sharded_retire<node>>(cfg_.retire_shards);
+      sharded_->attach(&stats_->events);
     }
+    recs_.pool()->attach(&stats_->events);
+    for (rec& r : recs_) r.retired.attach(&stats_->events);
   }
 
   explicit hp_domain(unsigned max_threads)
@@ -89,9 +93,12 @@ class hp_domain {
 
   class guard {
    public:
-    explicit guard(hp_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {}
+    explicit guard(hp_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {
+      obs::emit(obs::event::guard_enter, lease_.tid());
+    }
 
     ~guard() {
+      obs::emit(obs::event::guard_exit, lease_.tid());
       // Clear still-leased hazards (leave). Handles self-clear their slot
       // on release, so the leased mask — and this loop — is normally
       // empty: the common guard exit writes nothing to the hazard array.
@@ -171,14 +178,15 @@ class hp_domain {
   };
 
   void retire(unsigned tid, node* n) {
-    stats_->on_retire();
+    stats_->stamp_retire(n);
+    obs::emit(obs::event::retire, reinterpret_cast<std::uintptr_t>(n));
     if (sharded_ != nullptr) {
       const unsigned s = sharded_->shard_of(tid);
       if (sharded_->push(s, n, cfg_.scan_threshold)) {
         scan_shard(s);
         const unsigned nb = (s + 1) % sharded_->shards();
         if (nb != s && sharded_->hot(nb, cfg_.scan_threshold)) {
-          scan_shard(nb);
+          scan_shard(nb, /*steal=*/true);
         }
       }
       return;
@@ -213,13 +221,10 @@ class hp_domain {
           return !std::binary_search(snapshot.begin(), snapshot.end(),
                                      static_cast<const void*>(n));
         },
-        [this](node* n) {
-          core::destroy(n);
-          stats_->on_free();
-        });
+        [this](node* n) { stats_->free_node(n); });
   }
 
-  void scan_shard(unsigned s) {
+  void scan_shard(unsigned s, bool steal = false) {
     std::vector<void*> snapshot = hazard_snapshot();
     sharded_->scan(
         s, cfg_.scan_threshold,
@@ -227,10 +232,7 @@ class hp_domain {
           return !std::binary_search(snapshot.begin(), snapshot.end(),
                                      static_cast<const void*>(n));
         },
-        [this](node* n) {
-          core::destroy(n);
-          stats_->on_free();
-        });
+        [this](node* n) { stats_->free_node(n); }, steal);
   }
 
   hp_config cfg_;

@@ -44,6 +44,7 @@
 #include "common/align.hpp"
 #include "common/head_policy.hpp"
 #include "common/slot_directory.hpp"
+#include "obs/trace.hpp"
 #include "smr/caps.hpp"
 #include "smr/core/era_clock.hpp"
 #include "smr/core/node_alloc.hpp"
@@ -142,7 +143,9 @@ class basic_domain {
         slots_(normalize_k(cfg_.slots),
                Robust && cfg_.max_slots > normalize_k(cfg_.slots)
                    ? std::bit_ceil(cfg_.max_slots)
-                   : normalize_k(cfg_.slots)) {}
+                   : normalize_k(cfg_.slots)) {
+    alloc_era_.attach(&stats_->events);
+  }
 
   ~basic_domain() { drain(); }
 
@@ -196,6 +199,7 @@ class basic_domain {
         builder_->slot_cache = slot_;
         builder_->slot_probe_left = dom_.cfg_.entry_burst;
       }
+      obs::emit(obs::event::guard_enter, slot_);
       handle_ = dom_.enter(slot_);
     }
 
@@ -206,11 +210,13 @@ class basic_domain {
     /// deterministically.
     guard(basic_domain& dom, unsigned slot_hint) : dom_(dom) {
       slot_ = dom_.choose_slot(slot_hint);
+      obs::emit(obs::event::guard_enter, slot_);
       handle_ = dom_.enter(slot_);
       builder_ = &dom_.builders_.local();
     }
 
     ~guard() {
+      obs::emit(obs::event::guard_exit, slot_);
       if (active_) dom_.leave(slot_, handle_);
     }
 
@@ -444,7 +450,8 @@ class basic_domain {
   }
 
   void retire_into(batch_builder& b, node* n) {
-    stats_->on_retire();
+    stats_->stamp_retire(n);
+    obs::emit(obs::event::retire, reinterpret_cast<std::uintptr_t>(n));
     if constexpr (Robust) {
       const std::uint64_t era = birth_of(n);
       if (era < b.min_birth) b.min_birth = era;
@@ -482,6 +489,8 @@ class basic_domain {
 
     node* refs = b.refs;
     const std::uint64_t min_birth = b.min_birth;
+    obs::emit(obs::event::batch_finalize, b.count);
+    stats_->events.on_finalize();
     b.refs = nullptr;
     b.count = 0;
     b.min_birth = ~std::uint64_t{0};
@@ -598,15 +607,13 @@ class basic_domain {
 
   void free_batch(node* refs) {
     node* c = refs->w1;
-    smr::core::destroy(refs);
-    stats_->on_free();
+    stats_->free_node(refs);
     while (c != nullptr) {
       node* nx = c->w1;
       if (is_dummy(c)) {
         delete c;  // padding dummy: a plain node, never user-retired
       } else {
-        smr::core::destroy(c);
-        stats_->on_free();
+        stats_->free_node(c);
       }
       c = nx;
     }

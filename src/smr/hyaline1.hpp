@@ -27,6 +27,7 @@
 #include <stdexcept>
 
 #include "common/align.hpp"
+#include "obs/trace.hpp"
 #include "smr/caps.hpp"
 #include "smr/core/era_clock.hpp"
 #include "smr/core/node_alloc.hpp"
@@ -69,7 +70,10 @@ class basic_domain1 {
 
   explicit basic_domain1(config1 cfg = {})
       : cfg_(validated(cfg)),
-        slots_(static_cast<unsigned>(cfg_.max_threads)) {}
+        slots_(static_cast<unsigned>(cfg_.max_threads)) {
+    alloc_era_.attach(&stats_->events);
+    slots_.pool()->attach(&stats_->events);
+  }
 
   ~basic_domain1() { drain(); }
 
@@ -104,12 +108,16 @@ class basic_domain1 {
     /// guards on one thread lease distinct slots.
     explicit guard(basic_domain1& dom)
         : dom_(dom), lease_(dom.slots_.pool()), slot_(lease_.tid()) {
+      obs::emit(obs::event::guard_enter, slot_);
       dom_.enter(slot_);
       handle_ = nullptr;  // Fig. 4: enter returns Null
       builder_ = &dom_.builders_.local();
     }
 
-    ~guard() { dom_.leave(slot_, handle_); }
+    ~guard() {
+      obs::emit(obs::event::guard_exit, slot_);
+      dom_.leave(slot_, handle_);
+    }
 
     guard(const guard&) = delete;
     guard& operator=(const guard&) = delete;
@@ -263,7 +271,8 @@ class basic_domain1 {
   }
 
   void retire_into(batch_builder& b, node* n) {
-    stats_->on_retire();
+    stats_->stamp_retire(n);
+    obs::emit(obs::event::retire, reinterpret_cast<std::uintptr_t>(n));
     if constexpr (Robust) {
       const std::uint64_t era = birth_of(n);
       if (era < b.min_birth) b.min_birth = era;
@@ -296,6 +305,8 @@ class basic_domain1 {
 
     node* refs = b.refs;
     const std::uint64_t min_birth = b.min_birth;
+    obs::emit(obs::event::batch_finalize, b.count);
+    stats_->events.on_finalize();
     b.refs = nullptr;
     b.count = 0;
     b.min_birth = ~std::uint64_t{0};
@@ -387,15 +398,13 @@ class basic_domain1 {
 
   void free_batch(node* refs) {
     node* c = refs->w1;
-    smr::core::destroy(refs);
-    stats_->on_free();
+    stats_->free_node(refs);
     while (c != nullptr) {
       node* nx = c->w1;
       if (is_dummy(c)) {
         delete c;  // padding dummy: a plain node, never user-retired
       } else {
-        smr::core::destroy(c);
-        stats_->on_free();
+        stats_->free_node(c);
       }
       c = nx;
     }

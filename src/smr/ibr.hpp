@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "common/align.hpp"
+#include "obs/trace.hpp"
 #include "smr/caps.hpp"
 #include "smr/core/era_clock.hpp"
 #include "smr/core/node_alloc.hpp"
@@ -68,7 +69,11 @@ class ibr_domain {
     if (cfg_.retire_shards != 0) {
       sharded_ =
           std::make_unique<core::sharded_retire<node>>(cfg_.retire_shards);
+      sharded_->attach(&stats_->events);
     }
+    era_.attach(&stats_->events);
+    recs_.pool()->attach(&stats_->events);
+    for (rec& r : recs_) r.retired.attach(&stats_->events);
   }
 
   explicit ibr_domain(unsigned max_threads)
@@ -95,6 +100,7 @@ class ibr_domain {
   class guard {
    public:
     explicit guard(ibr_domain& dom) : dom_(dom), lease_(dom.recs_.pool()) {
+      obs::emit(obs::event::guard_enter, lease_.tid());
       rec& r = dom_.recs_[lease_.tid()];
       if (dom_.cfg_.entry_burst != 0 &&
           r.lo.load(std::memory_order_relaxed) != inactive) {
@@ -123,6 +129,7 @@ class ibr_domain {
     }
 
     ~guard() {
+      obs::emit(obs::event::guard_exit, lease_.tid());
       rec& r = dom_.recs_[lease_.tid()];
       if (r.burst_left > 1) {
         // Burst fast path: keep the interval published for the next guard
@@ -226,7 +233,8 @@ class ibr_domain {
   };
 
   void retire(unsigned tid, node* n) {
-    stats_->on_retire();
+    stats_->stamp_retire(n);
+    obs::emit(obs::event::retire, reinterpret_cast<std::uintptr_t>(n));
     // seq_cst: a stale-low retire stamp shrinks the node's lifetime
     // interval, so can_free misses reservations that still cover it and
     // frees early — this read must stay in the total order.
@@ -237,7 +245,7 @@ class ibr_domain {
         scan_shard(s);
         const unsigned nb = (s + 1) % sharded_->shards();
         if (nb != s && sharded_->hot(nb, cfg_.scan_threshold)) {
-          scan_shard(nb);
+          scan_shard(nb, /*steal=*/true);
         }
       }
       return;
@@ -267,20 +275,14 @@ class ibr_domain {
   void scan(unsigned tid) {
     recs_[tid].retired.scan(
         [this](const node* n) { return can_free(n); },
-        [this](node* n) {
-          core::destroy(n);
-          stats_->on_free();
-        });
+        [this](node* n) { stats_->free_node(n); });
   }
 
-  void scan_shard(unsigned s) {
+  void scan_shard(unsigned s, bool steal = false) {
     sharded_->scan(
         s, cfg_.scan_threshold,
         [this](const node* n) { return can_free(n); },
-        [this](node* n) {
-          core::destroy(n);
-          stats_->on_free();
-        });
+        [this](node* n) { stats_->free_node(n); }, steal);
   }
 
   ibr_config cfg_;

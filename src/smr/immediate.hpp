@@ -14,6 +14,7 @@
 
 #include <atomic>
 
+#include "obs/trace.hpp"
 #include "smr/caps.hpp"
 #include "smr/core/node_alloc.hpp"
 #include "smr/protected_ptr.hpp"
@@ -43,7 +44,10 @@ class immediate_domain {
 
   class guard {
    public:
-    explicit guard(immediate_domain& dom) : dom_(dom) {}
+    explicit guard(immediate_domain& dom) : dom_(dom) {
+      obs::emit(obs::event::guard_enter, 0);
+    }
+    ~guard() { obs::emit(obs::event::guard_exit, 0); }
     guard(const guard&) = delete;
     guard& operator=(const guard&) = delete;
 
@@ -57,9 +61,9 @@ class immediate_domain {
     template <class T>
     void retire(T* n) {
       n->smr_dtor = core::dtor_thunk<T>();
-      dom_.stats_->on_retire();
-      core::destroy(static_cast<node*>(n));
-      dom_.stats_->on_free();
+      dom_.stats_->stamp_retire(static_cast<node*>(n));
+      obs::emit(obs::event::retire, reinterpret_cast<std::uintptr_t>(n));
+      dom_.stats_->free_node(static_cast<node*>(n));
     }
 
    private:

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "obs/trace.hpp"
 #include "smr/caps.hpp"
 #include "smr/core/node_alloc.hpp"
 #include "smr/core/retired_batch.hpp"
@@ -48,7 +49,10 @@ class leaky_domain {
 
   class guard {
    public:
-    explicit guard(leaky_domain& dom) : dom_(dom) {}
+    explicit guard(leaky_domain& dom) : dom_(dom) {
+      obs::emit(obs::event::guard_enter, 0);
+    }
+    ~guard() { obs::emit(obs::event::guard_exit, 0); }
     guard(const guard&) = delete;
     guard& operator=(const guard&) = delete;
 
@@ -60,7 +64,8 @@ class leaky_domain {
     template <class T>
     void retire(T* n) {
       n->smr_dtor = core::dtor_thunk<T>();
-      dom_.stats_->on_retire();
+      dom_.stats_->stamp_retire(static_cast<node*>(n));
+      obs::emit(obs::event::retire, reinterpret_cast<std::uintptr_t>(n));
       auto& shards = dom_.retired_;
       shards[core::thread_hint() % shards.size()].value.push(
           static_cast<node*>(n));
@@ -76,8 +81,7 @@ class leaky_domain {
       node* n = shard.value.take_all();
       while (n != nullptr) {
         node* nx = n->next;
-        core::destroy(n);
-        stats_->on_free();
+        stats_->free_node(n);
         n = nx;
       }
     }

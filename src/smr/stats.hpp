@@ -4,19 +4,113 @@
 // yet reclaimed objects per operation; these counters are what the harness
 // samples to regenerate them. Counters are relaxed (they are monotone
 // statistics, not synchronization).
+//
+// Three surfaces live here:
+//   - the original alloc/retire/free ledgers,
+//   - `domain_counters`: mechanism-level event counts (scans, steals,
+//     rearms, batch finalizes, era advances, tid acquires) bumped by the
+//     core primitives every scheme is built from, so all 12 schemes report
+//     them uniformly without per-scheme bookkeeping,
+//   - `lag_counters`: a log-bucketed retire->free lag histogram (same
+//     bucket geometry as lab::latency_histogram) fed at free time from the
+//     retire timestamp stamped on the node. Lag tracking is gated by
+//     obs::lag_tracking() — off, retire/free pay one relaxed load each.
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "obs/trace.hpp"
+#include "smr/core/node_alloc.hpp"
 
 namespace hyaline::smr {
+
+/// Mechanism-level event counters, bumped (relaxed) by the core retired-set
+/// primitives and the schemes' steal/finalize call sites. Monotone
+/// statistics only — never synchronization.
+struct domain_counters {
+  std::atomic<std::uint64_t> scans{0};      // reclamation passes over a retired set
+  std::atomic<std::uint64_t> steals{0};     // scans of a neighbour's shard
+  std::atomic<std::uint64_t> rearms{0};     // adaptive rescan-point resets
+  std::atomic<std::uint64_t> finalizes{0};  // Hyaline batch finalizations
+  std::atomic<std::uint64_t> era_advances{0};
+  std::atomic<std::uint64_t> tid_acquires{0};  // slow-path tid pool checkouts
+
+  void on_scan() { scans.fetch_add(1, std::memory_order_relaxed); }
+  void on_steal() { steals.fetch_add(1, std::memory_order_relaxed); }
+  void on_rearm() { rearms.fetch_add(1, std::memory_order_relaxed); }
+  void on_finalize() { finalizes.fetch_add(1, std::memory_order_relaxed); }
+  void on_era_advance() {
+    era_advances.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_tid_acquire() {
+    tid_acquires.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// Atomic log2-bucketed histogram of retire->free lag in nanoseconds.
+/// Bucket geometry matches lab::latency_histogram exactly (bucket 0 holds
+/// {0}, bucket b holds [2^(b-1), 2^b - 1]) so the harness can rehydrate a
+/// latency_histogram from a snapshot and reuse its percentile math.
+struct lag_counters {
+  static constexpr unsigned kBuckets = 65;
+
+  std::atomic<std::uint64_t> bucket[kBuckets] = {};
+  std::atomic<std::uint64_t> max_ns{0};
+
+  void record(std::uint64_t ns) {
+    bucket[std::bit_width(ns)].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t m = max_ns.load(std::memory_order_relaxed);
+    while (ns > m &&
+           !max_ns.compare_exchange_weak(m, ns, std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Plain-integer copy of everything a domain counts, for carrying results
+/// across domain teardown (workload_result, service_result).
+struct stats_snapshot {
+  std::uint64_t allocated = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t freed = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t rearms = 0;
+  std::uint64_t finalizes = 0;
+  std::uint64_t era_advances = 0;
+  std::uint64_t tid_acquires = 0;
+  std::uint64_t lag_bucket[lag_counters::kBuckets] = {};
+  std::uint64_t lag_count = 0;
+  std::uint64_t lag_max_ns = 0;
+
+  /// Element-wise sum (sharded service domains report one total).
+  void accumulate(const stats_snapshot& o) {
+    allocated += o.allocated;
+    retired += o.retired;
+    freed += o.freed;
+    scans += o.scans;
+    steals += o.steals;
+    rearms += o.rearms;
+    finalizes += o.finalizes;
+    era_advances += o.era_advances;
+    tid_acquires += o.tid_acquires;
+    for (unsigned b = 0; b < lag_counters::kBuckets; ++b) {
+      lag_bucket[b] += o.lag_bucket[b];
+    }
+    lag_count += o.lag_count;
+    if (o.lag_max_ns > lag_max_ns) lag_max_ns = o.lag_max_ns;
+  }
+};
 
 struct stats {
   std::atomic<std::uint64_t> allocated{0};
   std::atomic<std::uint64_t> retired{0};
   std::atomic<std::uint64_t> freed{0};
+  domain_counters events;
+  lag_counters lag;
 
   void on_alloc(std::uint64_t n = 1) {
     allocated.fetch_add(n, std::memory_order_relaxed);
@@ -28,12 +122,56 @@ struct stats {
     freed.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Retire-path half of lag tracking: stamp the node with the current
+  /// tick count. One relaxed load + predicted branch when tracking is off.
+  void stamp_retire(core::reclaimable* n) {
+    on_retire();
+    if (obs::lag_tracking()) [[unlikely]] {
+      n->obs_retire_ticks = obs::now_ticks();
+    }
+  }
+
+  /// Free-path counterpart: feed the lag histogram from the retire stamp,
+  /// destroy the node through its typed thunk, bump the freed ledger.
+  /// Every scheme's reclamation loop funnels user-retired nodes here.
+  template <class Node>
+  void free_node(Node* n) {
+    if (obs::lag_tracking()) [[unlikely]] {
+      if (n->obs_retire_ticks != 0) {
+        lag.record(
+            obs::ticks_to_ns(obs::now_ticks() - n->obs_retire_ticks));
+      }
+    }
+    core::destroy(n);
+    on_free();
+  }
+
   /// Retired-but-not-yet-reclaimed snapshot. Relaxed reads: the value is a
   /// statistical sample, momentary inconsistencies are fine.
   std::uint64_t unreclaimed() const {
     const auto r = retired.load(std::memory_order_relaxed);
     const auto f = freed.load(std::memory_order_relaxed);
     return r >= f ? r - f : 0;
+  }
+
+  /// Relaxed copy-out of every counter (see stats_snapshot).
+  stats_snapshot snapshot() const {
+    stats_snapshot s;
+    s.allocated = allocated.load(std::memory_order_relaxed);
+    s.retired = retired.load(std::memory_order_relaxed);
+    s.freed = freed.load(std::memory_order_relaxed);
+    s.scans = events.scans.load(std::memory_order_relaxed);
+    s.steals = events.steals.load(std::memory_order_relaxed);
+    s.rearms = events.rearms.load(std::memory_order_relaxed);
+    s.finalizes = events.finalizes.load(std::memory_order_relaxed);
+    s.era_advances = events.era_advances.load(std::memory_order_relaxed);
+    s.tid_acquires = events.tid_acquires.load(std::memory_order_relaxed);
+    for (unsigned b = 0; b < lag_counters::kBuckets; ++b) {
+      s.lag_bucket[b] = lag.bucket[b].load(std::memory_order_relaxed);
+      s.lag_count += s.lag_bucket[b];
+    }
+    s.lag_max_ns = lag.max_ns.load(std::memory_order_relaxed);
+    return s;
   }
 };
 

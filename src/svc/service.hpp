@@ -28,6 +28,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +39,8 @@
 #include "harness/schemes.hpp"
 #include "lab/fault_plan.hpp"
 #include "lab/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "smr/stats.hpp"
 #include "svc/loadgen.hpp"
 #include "svc/shard_router.hpp"
 #include "svc/tenant.hpp"
@@ -88,6 +91,14 @@ struct service_result {
   std::uint64_t unreclaimed_peak = 0;  ///< worst timeline sample
   double duration_s = 0;
   double mops = 0;
+  /// Domain counters summed across every shard domain after shutdown
+  /// (scans/steals/finalizes and the retire->free lag histogram).
+  smr::stats_snapshot obs;
+  /// Retire->free lag percentiles (ns) over all shards; zero when lag
+  /// tracking was off.
+  double lag_p50_ns = 0;
+  double lag_p99_ns = 0;
+  std::uint64_t lag_max_ns = 0;
 };
 
 template <class D>
@@ -139,6 +150,10 @@ service_result run_service(const harness::scheme_params& base,
   lab::telemetry_collector* tele = nullptr;
 
   auto tenant_body = [&](unsigned tid, std::uint32_t gen) {
+    char tname[16];
+    std::snprintf(tname, sizeof tname, gen == 0 ? "tenant-%u" : "churn-%u",
+                  tid);
+    obs::name_thread(tname);
     // Churn replacements (gen > 0) get fresh randomness: a reconnecting
     // user is a different request stream, not a replay.
     xoshiro256 rng(cfg.seed + tid * 1000003 + gen * 7919 + 1);
@@ -182,7 +197,9 @@ service_result run_service(const harness::scheme_params& base,
           const unsigned s = tid % shards;
           guard_t g(router.domain(s));
           router.touch(g, s, rng.below(cfg.key_range));
+          obs::emit(obs::event::stall_begin, tid);
           dir->wait_stall_end(tid);
+          obs::emit(obs::event::stall_end, tid);
           // A stalled tenant is a scripted tenant: its pacer backlog is
           // the fault's doing, not the service's.
           pace.reanchor();
@@ -303,6 +320,17 @@ service_result run_service(const harness::scheme_params& base,
     res.retired += s.retired;
     res.freed += s.freed;
   }
+  // Full counter state, summed across the shard domains (each owns its
+  // own stats block), then the lag buckets rehydrated through the shared
+  // histogram math.
+  for (const smr::stats* st : router.stats_pointers()) {
+    res.obs.accumulate(st->snapshot());
+  }
+  const auto lagh = lab::latency_histogram::from_counts(
+      res.obs.lag_bucket, res.obs.lag_max_ns);
+  res.lag_p50_ns = lagh.percentile(0.50);
+  res.lag_p99_ns = lagh.percentile(0.99);
+  res.lag_max_ns = res.obs.lag_max_ns;
   return res;
 }
 

@@ -13,6 +13,7 @@
 #include "check/history.hpp"
 #include "check/linearize.hpp"
 #include "harness/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace hyaline {
 namespace {
@@ -62,6 +63,26 @@ TEST(SeededDeterminism, SameSeedSameOpsColumnAndSameHistory) {
   ASSERT_EQ(a.history.size(), b.history.size());
   EXPECT_TRUE(a.history == b.history)
       << "same seed, same config must replay the identical op stream";
+}
+
+TEST(SeededDeterminism, TracingDoesNotPerturbTheOpStream) {
+  // The tracer observes the run; it must not participate in it. The same
+  // seed replays the identical history whether the rings are recording or
+  // not — which is also what licenses shipping the emit() seams
+  // compiled-in on every benchmark path.
+  const run_out off = one_run("Epoch", "hashmap", 0xfeed);
+  obs::reset();
+  obs::set_ring_capacity(4096);
+  obs::set_tracing(true);
+  const run_out on = one_run("Epoch", "hashmap", 0xfeed);
+  std::uint64_t recorded = 0;
+  for (const obs::thread_trace& t : obs::snapshot()) recorded += t.emitted;
+  obs::reset();
+  obs::set_ring_capacity(8192);  // restore the shipping default
+  EXPECT_GT(recorded, 0u) << "tracing was on; the run must leave records";
+  EXPECT_EQ(off.total_ops, on.total_ops);
+  EXPECT_TRUE(off.history == on.history)
+      << "enabling the tracer must not change the op stream";
 }
 
 TEST(SeededDeterminism, DifferentSeedDifferentStream) {
